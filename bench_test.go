@@ -1,0 +1,58 @@
+package bos
+
+// One benchmark per table/figure of the paper's evaluation (Section VIII).
+// Each benchmark executes the same experiment code path that `bosbench -exp
+// <id>` uses to print the figure, at a reduced dataset scale so the whole
+// suite finishes in minutes; run `go run ./cmd/bosbench -exp all` for the
+// full-size text renditions recorded in EXPERIMENTS.md.
+
+import (
+	"io"
+	"testing"
+
+	"bos/internal/harness"
+)
+
+// benchCfg keeps per-iteration work bounded: ~2048 values per dataset, one
+// timing repetition.
+var benchCfg = harness.Config{Scale: 0.02, Reps: 1}
+
+func benchExperiment(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		harness.ResetGridCache() // measure regeneration, not cache hits
+		if err := harness.Run(id, io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure08 regenerates the post-TS2DIFF value distributions.
+func BenchmarkFigure08(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFigure09 regenerates the outlier-percentage chart.
+func BenchmarkFigure09(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFigure10a regenerates the compression-ratio table.
+func BenchmarkFigure10a(b *testing.B) { benchExperiment(b, "fig10a") }
+
+// BenchmarkFigure10b regenerates the ratio-vs-time summary.
+func BenchmarkFigure10b(b *testing.B) { benchExperiment(b, "fig10b") }
+
+// BenchmarkFigure10c regenerates the compression/decompression time tables.
+func BenchmarkFigure10c(b *testing.B) { benchExperiment(b, "fig10c") }
+
+// BenchmarkFigure11 regenerates the storage/query-cost comparison.
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFigure12 regenerates the upper-only ablation.
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFigure13 regenerates the LZ4/7Z/DCT/FFT complementarity study.
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFigure14 regenerates the parts sweep.
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFigure15 regenerates the block-size scalability sweep.
+func BenchmarkFigure15(b *testing.B) { benchExperiment(b, "fig15") }

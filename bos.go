@@ -1,0 +1,325 @@
+// Package bos is a Go implementation of Bit-packing with Outlier Separation
+// (BOS, ICDE 2025): a drop-in replacement for the bit-packing operator that
+// stores both the extremely large values (upper outliers) and the extremely
+// small ones (lower outliers) of each block separately, so the remaining
+// center values pack at a condensed bit-width.
+//
+// The package offers three planners that trade planning time for optimality:
+//
+//   - PlannerValue (BOS-V): exact, O(n^2) — enumerates value thresholds.
+//   - PlannerBitWidth (BOS-B): exact, O(n log n) — enumerates bit-width
+//     shaped thresholds; provably returns the same cost as BOS-V.
+//   - PlannerMedian (BOS-M): approximate, O(n) — symmetric thresholds around
+//     the median.
+//
+// and three pipelines that mirror the compression methods the paper plugs
+// BOS into: raw block packing, delta packing (TS2DIFF) and run-length
+// packing (RLE). Compressed streams are self-describing: Decompress needs no
+// options.
+//
+//	enc := bos.Compress(nil, values, bos.Options{})           // BOS-B, delta
+//	dec, err := bos.Decompress(enc)
+//
+// Float series with finite decimal precision compress through the same
+// integer machinery via CompressFloats/DecompressFloats, falling back to a
+// lossless raw representation when the data is not decimal.
+package bos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"bos/internal/codec"
+	"bos/internal/core"
+	"bos/internal/floatconv"
+	"bos/internal/lz"
+	"bos/internal/rangelz"
+	"bos/internal/rle"
+	"bos/internal/ts2diff"
+)
+
+// Planner selects how outlier thresholds are chosen per block.
+type Planner int
+
+const (
+	// PlannerBitWidth is BOS-B: optimal cost in O(n log n). The default.
+	PlannerBitWidth Planner = iota
+	// PlannerValue is BOS-V: optimal cost in O(n^2). Useful as a
+	// reference; prefer PlannerBitWidth, which produces the same size.
+	PlannerValue
+	// PlannerMedian is BOS-M: near-optimal in O(n); the fastest encoder.
+	PlannerMedian
+	// PlannerNone disables outlier separation (plain bit-packing).
+	PlannerNone
+)
+
+// String returns the paper's name for the planner.
+func (p Planner) String() string { return p.separation().String() }
+
+func (p Planner) separation() core.Separation {
+	switch p {
+	case PlannerValue:
+		return core.SeparationValue
+	case PlannerMedian:
+		return core.SeparationMedian
+	case PlannerNone:
+		return core.SeparationNone
+	default:
+		return core.SeparationBitWidth
+	}
+}
+
+// Pipeline selects the series transform applied before block packing.
+type Pipeline int
+
+const (
+	// PipelineDelta packs consecutive differences (TS2DIFF). The default:
+	// time series usually have far smaller deltas than values.
+	PipelineDelta Pipeline = iota
+	// PipelineRaw packs the values themselves.
+	PipelineRaw
+	// PipelineRLE packs (value, run length) pairs; best for series with
+	// long constant runs.
+	PipelineRLE
+)
+
+// Post selects an optional byte-level entropy stage applied over the packed
+// stream — the paper's "BOS+LZ4" / "BOS+7-Zip" combinations (Figure 13).
+type Post int
+
+const (
+	// PostNone stores the packed stream as-is. The default.
+	PostNone Post = iota
+	// PostLZ runs the packed stream through the LZ4-class compressor:
+	// cheap, catches structural redundancy across blocks.
+	PostLZ
+	// PostRange runs the packed stream through the LZMA-class
+	// range-coded compressor: slower, strongest ratios.
+	PostRange
+)
+
+// Options configures Compress. The zero value (BOS-B planner, delta
+// pipeline, no post stage, 1024-value blocks) is a good general-purpose
+// choice.
+type Options struct {
+	Planner   Planner
+	Pipeline  Pipeline
+	Post      Post
+	BlockSize int // values per block; 0 means 1024
+}
+
+// Stream layout constants.
+const (
+	magic0, magic1 = 0xB0, 0x51 // "BOS1"
+	kindInt        = 0x00
+	kindFloat      = 0x01
+	kindFloatRaw   = 0x02
+)
+
+// ErrCorrupt reports an undecodable stream.
+var ErrCorrupt = errors.New("bos: corrupt stream")
+
+func (o Options) intCodec() codec.IntCodec {
+	p := core.NewPacker(o.Planner.separation())
+	switch o.Pipeline {
+	case PipelineRaw:
+		return codec.NewBlockwise(p, o.BlockSize)
+	case PipelineRLE:
+		return rle.New(p, o.BlockSize)
+	default:
+		return ts2diff.New(p, o.BlockSize)
+	}
+}
+
+func pipelineCodec(pl Pipeline, blockSize int) codec.IntCodec {
+	return Options{Pipeline: pl, BlockSize: blockSize}.intCodec()
+}
+
+// Compress appends the compressed form of vals to dst and returns the
+// extended slice. The output records the pipeline and post stage, so
+// Decompress needs no options.
+func Compress(dst []byte, vals []int64, opt Options) []byte {
+	dst = append(dst, magic0, magic1, kindInt, byte(opt.Pipeline), byte(opt.Post))
+	dst = codec.AppendUvarint(dst, uint64(blockSizeOf(opt)))
+	packed := opt.intCodec().Encode(nil, vals)
+	return appendPost(dst, packed, opt.Post)
+}
+
+// appendPost applies the entropy stage to the packed payload.
+func appendPost(dst, packed []byte, post Post) []byte {
+	switch post {
+	case PostLZ:
+		return lz.Compress(dst, packed)
+	case PostRange:
+		return rangelz.Compress(dst, packed)
+	default:
+		return append(dst, packed...)
+	}
+}
+
+// undoPost inverts appendPost.
+func undoPost(payload []byte, post Post) ([]byte, error) {
+	switch post {
+	case PostLZ:
+		return lz.Decompress(payload)
+	case PostRange:
+		return rangelz.Decompress(payload)
+	case PostNone:
+		return payload, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown post stage %d", ErrCorrupt, post)
+	}
+}
+
+func blockSizeOf(opt Options) int {
+	if opt.BlockSize <= 0 {
+		return codec.DefaultBlockSize
+	}
+	return opt.BlockSize
+}
+
+// Decompress decodes a stream produced by Compress.
+func Decompress(src []byte) ([]int64, error) {
+	kind, pl, post, bs, rest, err := readHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindInt {
+		return nil, fmt.Errorf("%w: stream holds floats; use DecompressFloats", ErrCorrupt)
+	}
+	rest, err = undoPost(rest, post)
+	if err != nil {
+		return nil, fmt.Errorf("%w: post stage: %v", ErrCorrupt, err)
+	}
+	out, err := pipelineCodec(pl, bs).Decode(rest)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return out, nil
+}
+
+// CompressFloats appends the compressed form of a float64 series to dst.
+// Series that are exact decimals (the common case for sensor data) are
+// scaled to integers by 10^p as in the paper; anything else is stored
+// losslessly in raw form.
+func CompressFloats(dst []byte, vals []float64, opt Options) []byte {
+	if p, ok := floatconv.DetectPrecision(vals); ok {
+		scaled, err := floatconv.ToScaled(vals, p)
+		if err == nil {
+			dst = append(dst, magic0, magic1, kindFloat, byte(opt.Pipeline), byte(opt.Post))
+			dst = codec.AppendUvarint(dst, uint64(blockSizeOf(opt)))
+			dst = codec.AppendUvarint(dst, uint64(p))
+			packed := opt.intCodec().Encode(nil, scaled)
+			return appendPost(dst, packed, opt.Post)
+		}
+	}
+	dst = append(dst, magic0, magic1, kindFloatRaw, 0, byte(PostNone))
+	dst = codec.AppendUvarint(dst, uint64(blockSizeOf(opt)))
+	dst = codec.AppendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		b := math.Float64bits(v)
+		dst = append(dst,
+			byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
+			byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56))
+	}
+	return dst
+}
+
+// DecompressFloats decodes a stream produced by CompressFloats.
+func DecompressFloats(src []byte) ([]float64, error) {
+	kind, pl, post, bs, rest, err := readHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case kindFloat:
+		p64, rest, err := codec.ReadUvarint(rest)
+		if err != nil || p64 > floatconv.MaxPrecision {
+			return nil, fmt.Errorf("%w: precision", ErrCorrupt)
+		}
+		rest, err = undoPost(rest, post)
+		if err != nil {
+			return nil, fmt.Errorf("%w: post stage: %v", ErrCorrupt, err)
+		}
+		scaled, err := pipelineCodec(pl, bs).Decode(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return floatconv.FromScaled(scaled, int(p64)), nil
+	case kindFloatRaw:
+		n64, rest, err := codec.ReadUvarint(rest)
+		if err != nil || n64 > uint64(len(rest)/8) {
+			return nil, fmt.Errorf("%w: raw count", ErrCorrupt)
+		}
+		out := make([]float64, n64)
+		for i := range out {
+			b := rest[i*8:]
+			out[i] = math.Float64frombits(uint64(b[0]) | uint64(b[1])<<8 |
+				uint64(b[2])<<16 | uint64(b[3])<<24 | uint64(b[4])<<32 |
+				uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
+		}
+		return out, nil
+	case kindInt:
+		return nil, fmt.Errorf("%w: stream holds integers; use Decompress", ErrCorrupt)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+	}
+}
+
+func readHeader(src []byte) (kind byte, pl Pipeline, post Post, blockSize int, rest []byte, err error) {
+	if len(src) < 5 || src[0] != magic0 || src[1] != magic1 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	kind = src[2]
+	pl = Pipeline(src[3])
+	post = Post(src[4])
+	if pl > PipelineRLE {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: unknown pipeline %d", ErrCorrupt, pl)
+	}
+	if post > PostRange {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: unknown post stage %d", ErrCorrupt, post)
+	}
+	bs64, rest, err := codec.ReadUvarint(src[5:])
+	if err != nil || bs64 == 0 || bs64 > codec.MaxBlockLen {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: block size", ErrCorrupt)
+	}
+	return kind, pl, post, int(bs64), rest, nil
+}
+
+// Plan describes the outlier separation a planner chose for one block of
+// values — the thresholds, class sizes, per-class bit-widths and the
+// projected cost in bits (Definition 5 of the paper). Use it to inspect why
+// BOS does or does not separate on particular data.
+type Plan struct {
+	// Separated is false when plain bit-packing is at least as small.
+	Separated bool
+	// LowerCount and UpperCount are the outlier class sizes.
+	LowerCount, UpperCount int
+	// MaxLower is the largest lower outlier; MinUpper the smallest upper
+	// outlier (valid when the respective count is > 0).
+	MaxLower, MinUpper int64
+	// LowerBits, CenterBits, UpperBits are the class bit-widths
+	// (alpha, beta, gamma in the paper).
+	LowerBits, CenterBits, UpperBits uint
+	// CostBits is the projected block body size in bits, including the
+	// positional bitmap.
+	CostBits int64
+}
+
+// AnalyzeBlock runs the chosen planner over one block and reports the
+// separation it would use.
+func AnalyzeBlock(vals []int64, p Planner) Plan {
+	cp := core.PlanFor(vals, p.separation())
+	return Plan{
+		Separated:  cp.Separated,
+		LowerCount: cp.NL,
+		UpperCount: cp.NU,
+		MaxLower:   cp.MaxXl,
+		MinUpper:   cp.MinXu,
+		LowerBits:  cp.Alpha,
+		CenterBits: cp.Beta,
+		UpperBits:  cp.Gamma,
+		CostBits:   cp.CostBits,
+	}
+}

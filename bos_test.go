@@ -1,0 +1,299 @@
+package bos
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allOptions() []Options {
+	var opts []Options
+	for _, pl := range []Pipeline{PipelineDelta, PipelineRaw, PipelineRLE} {
+		for _, pn := range []Planner{PlannerBitWidth, PlannerValue, PlannerMedian, PlannerNone} {
+			opts = append(opts, Options{Planner: pn, Pipeline: pl})
+		}
+	}
+	return opts
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{42},
+		{1, 2, 3, 4, 5},
+		{math.MinInt64, math.MaxInt64},
+		{7, 7, 7, 7, 7, 7},
+		{-5, 1000000, -4, -3},
+	}
+	for _, opt := range allOptions() {
+		for _, vals := range cases {
+			enc := Compress(nil, vals, opt)
+			got, err := Decompress(enc)
+			if err != nil {
+				t.Fatalf("%+v on %v: %v", opt, vals, err)
+			}
+			if len(got) != len(vals) {
+				t.Fatalf("%+v: decoded %d values want %d", opt, len(got), len(vals))
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("%+v: value %d: got %d want %d", opt, i, got[i], vals[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(vals []int64, planner, pipeline uint8) bool {
+		opt := Options{
+			Planner:  Planner(planner % 4),
+			Pipeline: Pipeline(pipeline % 3),
+		}
+		got, err := Decompress(Compress(nil, vals, opt))
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatsRoundTrip(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{0},
+		{1.25, 2.5, -3.75},
+		{0.1, 0.2, 0.3},
+		{math.Pi, math.E}, // raw fallback
+		{math.NaN(), math.Inf(1), -0.0},
+	}
+	for _, vals := range cases {
+		enc := CompressFloats(nil, vals, Options{})
+		got, err := DecompressFloats(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", vals, err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("decoded %d values want %d", len(got), len(vals))
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("value %d: got %v want %v", i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestKindMismatchErrors(t *testing.T) {
+	intEnc := Compress(nil, []int64{1, 2, 3}, Options{})
+	if _, err := DecompressFloats(intEnc); err == nil {
+		t.Error("DecompressFloats accepted an int stream")
+	}
+	floatEnc := CompressFloats(nil, []float64{1.5}, Options{})
+	if _, err := Decompress(floatEnc); err == nil {
+		t.Error("Decompress accepted a float stream")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Decompress([]byte{1, 2, 3, 4, 5}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Decompress(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1000))
+	}
+	base := Compress(nil, vals, Options{})
+	for i := 0; i < 2000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		Decompress(cor)
+		DecompressFloats(cor)
+	}
+}
+
+func TestSeparationHelpsOnOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]int64, 8192)
+	v := int64(0)
+	for i := range vals {
+		if rng.Float64() < 0.02 {
+			v += rng.Int63n(1<<30) - 1<<29
+		} else {
+			v += int64(rng.Intn(16)) - 8
+		}
+		vals[i] = v
+	}
+	withBOS := len(Compress(nil, vals, Options{Planner: PlannerBitWidth}))
+	withBP := len(Compress(nil, vals, Options{Planner: PlannerNone}))
+	if withBOS >= withBP {
+		t.Errorf("BOS %d bytes >= BP %d on outlier-heavy data", withBOS, withBP)
+	}
+}
+
+func TestAnalyzeBlock(t *testing.T) {
+	p := AnalyzeBlock([]int64{3, 2, 4, 5, 3, 2, 0, 8}, PlannerValue)
+	if !p.Separated || p.LowerCount != 1 || p.UpperCount != 1 {
+		t.Errorf("plan = %+v", p)
+	}
+	if p.CostBits != 24 {
+		t.Errorf("cost = %d want 24", p.CostBits)
+	}
+	if p.MaxLower != 0 || p.MinUpper != 8 {
+		t.Errorf("thresholds = %d/%d", p.MaxLower, p.MinUpper)
+	}
+}
+
+func TestStreamWriterReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var want []int64
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{BlockSize: 128})
+	for i := 0; i < 10; i++ {
+		chunk := make([]int64, rng.Intn(300))
+		for j := range chunk {
+			chunk[j] = rng.Int63n(1 << 20)
+		}
+		want = append(want, chunk...)
+		if err := w.WriteValues(chunk...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d values want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %d values, err %v", len(got), err)
+	}
+}
+
+func TestStreamTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{})
+	w.WriteValues(1, 2, 3, 4, 5)
+	w.Close()
+	full := buf.Bytes()
+	for cut := 1; cut < len(full)-1; cut++ {
+		if _, err := ReadAll(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("cut %d accepted", cut)
+		}
+	}
+}
+
+func BenchmarkCompressDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]int64, 8192)
+	v := int64(0)
+	for i := range vals {
+		v += int64(rng.NormFloat64() * 100)
+		vals[i] = v
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		buf = Compress(buf[:0], vals, Options{})
+	}
+}
+
+func BenchmarkDecompressDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]int64, 8192)
+	v := int64(0)
+	for i := range vals {
+		v += int64(rng.NormFloat64() * 100)
+		vals[i] = v
+	}
+	enc := Compress(nil, vals, Options{})
+	b.ReportAllocs()
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPostStagesRoundTrip(t *testing.T) {
+	// A strongly periodic series: the packed blocks repeat byte patterns
+	// that the entropy stage (but not bit-packing alone) can exploit —
+	// the Figure 13 "BOS+LZ4 / BOS+7-Zip are complementary" setting.
+	vals := make([]int64, 20000)
+	v := int64(0)
+	for i := range vals {
+		v += int64(i%64) - 31
+		vals[i] = v
+	}
+	base := len(Compress(nil, vals, Options{}))
+	for _, post := range []Post{PostLZ, PostRange} {
+		enc := Compress(nil, vals, Options{Post: post})
+		got, err := Decompress(enc)
+		if err != nil {
+			t.Fatalf("post %d: %v", post, err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("post %d: value %d mismatch", post, i)
+			}
+		}
+		// Packed blocks share headers and structure; the entropy stage
+		// should shave something off on this redundant series.
+		if len(enc) >= base {
+			t.Errorf("post %d: %d bytes >= plain %d", post, len(enc), base)
+		}
+	}
+}
+
+func TestPostStageFloats(t *testing.T) {
+	vals := []float64{1.5, 2.5, 3.5, 1.5, 2.5, 3.5, 1.5, 2.5}
+	enc := CompressFloats(nil, vals, Options{Post: PostRange})
+	got, err := DecompressFloats(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+}

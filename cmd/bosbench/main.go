@@ -1,0 +1,33 @@
+// Command bosbench regenerates the tables and figures of the BOS paper's
+// evaluation (Section VIII) on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	bosbench -exp fig10a            # one experiment
+//	bosbench -exp all -scale 0.25   # everything, quarter-size datasets
+//
+// Experiment ids: fig8 fig9 fig10a fig10b fig10c fig11 fig12 fig13 fig14
+// fig15, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bos/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id ("+strings.Join(harness.SortedIDs(), ", ")+", or all)")
+	scale := flag.Float64("scale", 1.0, "dataset size multiplier")
+	reps := flag.Int("reps", 3, "timing repetitions per measurement")
+	flag.Parse()
+
+	cfg := harness.Config{Scale: *scale, Reps: *reps}
+	if err := harness.Run(*exp, os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "bosbench:", err)
+		os.Exit(1)
+	}
+}

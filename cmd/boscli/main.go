@@ -1,0 +1,171 @@
+// Command boscli compresses and decompresses series files with BOS.
+//
+// Input for compression is text: one integer (or decimal float with -float)
+// per line. The compressed form is the self-describing bos stream format.
+//
+//	boscli -c -in values.txt -out values.bos -planner bosb -pipeline delta
+//	boscli -d -in values.bos -out values.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"bos"
+)
+
+func main() {
+	var (
+		compress   = flag.Bool("c", false, "compress text input to a bos stream")
+		decompress = flag.Bool("d", false, "decompress a bos stream to text")
+		inPath     = flag.String("in", "", "input file (default stdin)")
+		outPath    = flag.String("out", "", "output file (default stdout)")
+		asFloat    = flag.Bool("float", false, "treat values as float64")
+		planner    = flag.String("planner", "bosb", "planner: bosb, bosv, bosm, bp")
+		pipeline   = flag.String("pipeline", "delta", "pipeline: delta, raw, rle")
+		blockSize  = flag.Int("block", 0, "values per block (default 1024)")
+	)
+	flag.Parse()
+	if *compress == *decompress {
+		fatal(fmt.Errorf("exactly one of -c or -d is required"))
+	}
+
+	in, out := os.Stdin, os.Stdout
+	var err error
+	if *inPath != "" {
+		if in, err = os.Open(*inPath); err != nil {
+			fatal(err)
+		}
+		defer in.Close()
+	}
+	if *outPath != "" {
+		if out, err = os.Create(*outPath); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := out.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	if *compress {
+		opt, err := parseOptions(*planner, *pipeline, *blockSize)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runCompress(in, out, opt, *asFloat); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := runDecompress(in, out); err != nil {
+		fatal(err)
+	}
+}
+
+func parseOptions(planner, pipeline string, blockSize int) (bos.Options, error) {
+	opt := bos.Options{BlockSize: blockSize}
+	switch strings.ToLower(planner) {
+	case "bosb", "bos-b":
+		opt.Planner = bos.PlannerBitWidth
+	case "bosv", "bos-v":
+		opt.Planner = bos.PlannerValue
+	case "bosm", "bos-m":
+		opt.Planner = bos.PlannerMedian
+	case "bp", "none":
+		opt.Planner = bos.PlannerNone
+	default:
+		return opt, fmt.Errorf("unknown planner %q", planner)
+	}
+	switch strings.ToLower(pipeline) {
+	case "delta":
+		opt.Pipeline = bos.PipelineDelta
+	case "raw":
+		opt.Pipeline = bos.PipelineRaw
+	case "rle":
+		opt.Pipeline = bos.PipelineRLE
+	default:
+		return opt, fmt.Errorf("unknown pipeline %q", pipeline)
+	}
+	return opt, nil
+}
+
+func runCompress(in io.Reader, out io.Writer, opt bos.Options, asFloat bool) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var ints []int64
+	var floats []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if asFloat {
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			floats = append(floats, v)
+		} else {
+			v, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			ints = append(ints, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	var enc []byte
+	var n int
+	if asFloat {
+		enc = bos.CompressFloats(nil, floats, opt)
+		n = len(floats)
+	} else {
+		enc = bos.Compress(nil, ints, opt)
+		n = len(ints)
+	}
+	if _, err := out.Write(enc); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "boscli: %d values -> %d bytes (ratio %.2f)\n",
+		n, len(enc), float64(8*n)/float64(len(enc)))
+	return nil
+}
+
+func runDecompress(in io.Reader, out io.Writer) error {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	if ints, err := bos.Decompress(data); err == nil {
+		for _, v := range ints {
+			fmt.Fprintln(w, v)
+		}
+		return nil
+	}
+	floats, err := bos.DecompressFloats(data)
+	if err != nil {
+		return err
+	}
+	for _, v := range floats {
+		fmt.Fprintln(w, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "boscli:", err)
+	os.Exit(1)
+}

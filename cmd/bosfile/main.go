@@ -1,0 +1,240 @@
+// Command bosfile writes and queries the miniature TsFile-style block files
+// of internal/tsfile, with BOS (or a baseline packer) as the storage
+// operator — the deployment shape of Section VII of the paper.
+//
+// Ingest CSV rows of `series,timestamp,value` and query back:
+//
+//	bosfile -write -in samples.csv -file data.tsf -packer bosb
+//	bosfile -query -file data.tsf -series root.d1.temp -from 0 -to 5000
+//	bosfile -stats -file data.tsf
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"bos/internal/bitpack"
+	"bos/internal/codec"
+	"bos/internal/core"
+	"bos/internal/tsfile"
+)
+
+func main() {
+	var (
+		write  = flag.Bool("write", false, "ingest CSV (series,timestamp,value) into a new file")
+		query  = flag.Bool("query", false, "query one series")
+		stats  = flag.Bool("stats", false, "print per-series chunk statistics")
+		inPath = flag.String("in", "", "CSV input for -write (default stdin)")
+		file   = flag.String("file", "", "block file path (required)")
+		series = flag.String("series", "", "series name for -query")
+		from   = flag.Int64("from", math.MinInt64, "minimum timestamp for -query")
+		to     = flag.Int64("to", math.MaxInt64, "maximum timestamp for -query")
+		minV   = flag.Int64("minv", math.MinInt64, "minimum value for -query")
+		maxV   = flag.Int64("maxv", math.MaxInt64, "maximum value for -query")
+		packer = flag.String("packer", "bosb", "packing operator: bosb, bosv, bosm, bp")
+		chunk  = flag.Int("chunk", 4096, "points per chunk when writing")
+	)
+	flag.Parse()
+	if *file == "" {
+		fatal(fmt.Errorf("-file is required"))
+	}
+	modes := 0
+	for _, m := range []bool{*write, *query, *stats} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fatal(fmt.Errorf("exactly one of -write, -query, -stats is required"))
+	}
+	opt, err := options(*packer)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *write:
+		err = runWrite(*inPath, *file, opt, *chunk)
+	case *query:
+		if *series == "" {
+			fatal(fmt.Errorf("-series is required with -query"))
+		}
+		err = runQuery(*file, opt, *series, *from, *to, *minV, *maxV)
+	default:
+		err = runStats(*file, opt)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func options(packer string) (tsfile.Options, error) {
+	var p codec.Packer
+	switch strings.ToLower(packer) {
+	case "bosb", "bos-b":
+		p = core.NewPacker(core.SeparationBitWidth)
+	case "bosv", "bos-v":
+		p = core.NewPacker(core.SeparationValue)
+	case "bosm", "bos-m":
+		p = core.NewPacker(core.SeparationMedian)
+	case "bp":
+		p = bitpack.Packer{}
+	default:
+		return tsfile.Options{}, fmt.Errorf("unknown packer %q", packer)
+	}
+	return tsfile.Options{Packer: p}, nil
+}
+
+func runWrite(inPath, filePath string, opt tsfile.Options, chunk int) error {
+	in := os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	out, err := os.Create(filePath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+
+	bw := bufio.NewWriter(out)
+	w := tsfile.NewWriter(bw, opt)
+	// CSV rows must be grouped by series and time-ordered within each.
+	pending := map[string][]tsfile.Point{}
+	var total int
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	flushSeries := func(name string) error {
+		if len(pending[name]) == 0 {
+			return nil
+		}
+		if err := w.Append(name, pending[name]); err != nil {
+			return err
+		}
+		total += len(pending[name])
+		pending[name] = pending[name][:0]
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return fmt.Errorf("line %d: want series,timestamp,value", line)
+		}
+		name := strings.TrimSpace(parts[0])
+		t, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: timestamp: %w", line, err)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: value: %w", line, err)
+		}
+		pending[name] = append(pending[name], tsfile.Point{T: t, V: v})
+		if len(pending[name]) >= chunk {
+			if err := flushSeries(name); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name := range pending {
+		if err := flushSeries(name); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	info, err := out.Stat()
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "bosfile: %d points -> %d bytes (%.2f B/point)\n",
+			total, info.Size(), float64(info.Size())/float64(total))
+	}
+	return nil
+}
+
+func runQuery(filePath string, opt tsfile.Options, series string, from, to, minV, maxV int64) error {
+	r, size, err := openFile(filePath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	tr, err := tsfile.OpenReader(r, size, opt)
+	if err != nil {
+		return err
+	}
+	pts, err := tr.Query(series, from, to, minV, maxV)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d,%d\n", p.T, p.V)
+	}
+	fmt.Fprintf(os.Stderr, "bosfile: %d points\n", len(pts))
+	return nil
+}
+
+func runStats(filePath string, opt tsfile.Options) error {
+	r, size, err := openFile(filePath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	tr, err := tsfile.OpenReader(r, size, opt)
+	if err != nil {
+		return err
+	}
+	for _, s := range tr.Series() {
+		chunks, err := tr.Chunks(s)
+		if err != nil {
+			return err
+		}
+		var points, bytes int
+		for _, c := range chunks {
+			points += c.Count
+			bytes += c.EncodedBytes
+		}
+		fmt.Printf("%-30s %3d chunks %8d points %9d bytes (%.2f B/point)\n",
+			s, len(chunks), points, bytes, float64(bytes)/float64(points))
+	}
+	return nil
+}
+
+func openFile(path string) (*os.File, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, info.Size(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bosfile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+package bos_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"bos"
+)
+
+// The paper's motivating series: the outlier 0 and the outlier 8 force plain
+// bit-packing to 4 bits per value; separating them leaves a 2-bit center.
+func ExampleAnalyzeBlock() {
+	plan := bos.AnalyzeBlock([]int64{3, 2, 4, 5, 3, 2, 0, 8}, bos.PlannerBitWidth)
+	fmt.Println("separated:", plan.Separated)
+	fmt.Println("lower outliers:", plan.LowerCount)
+	fmt.Println("upper outliers:", plan.UpperCount)
+	fmt.Println("center bits:", plan.CenterBits)
+	fmt.Println("cost bits:", plan.CostBits)
+	// Output:
+	// separated: true
+	// lower outliers: 1
+	// upper outliers: 1
+	// center bits: 2
+	// cost bits: 24
+}
+
+func ExampleCompress() {
+	values := []int64{100, 102, 101, 103, 100, 5_000_000, 102, 101}
+	enc := bos.Compress(nil, values, bos.Options{Pipeline: bos.PipelineRaw})
+	dec, err := bos.Decompress(enc)
+	fmt.Println(err, len(dec) == len(values))
+	// Output: <nil> true
+}
+
+func ExampleCompressFloats() {
+	readings := []float64{20.1, 20.3, 20.2, 0.1, 20.4}
+	enc := bos.CompressFloats(nil, readings, bos.Options{})
+	dec, err := bos.DecompressFloats(enc)
+	fmt.Println(err, dec[3])
+	// Output: <nil> 0.1
+}
+
+func ExampleWriter() {
+	var file bytes.Buffer
+	w := bos.NewWriter(&file, bos.Options{BlockSize: 4})
+	w.WriteValues(1, 2, 3, 4, 5, 6)
+	w.Close()
+
+	vals, err := bos.ReadAll(&file)
+	fmt.Println(err, vals)
+	// Output: <nil> [1 2 3 4 5 6]
+}

@@ -1,0 +1,82 @@
+// Float storage: compress decimal sensor floats losslessly through the
+// scaled-integer path (the paper's 10^p conversion), compare planner and
+// pipeline choices, and show the raw fallback for non-decimal data.
+//
+//	go run ./examples/floatstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"bos"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// A fuel-gauge style series at one decimal place: slow drain with
+	// refuel jumps and occasional sensor dropouts to ~0.
+	fuel := make([]float64, 100_000)
+	level := 92.0
+	for i := range fuel {
+		level -= math.Abs(rng.NormFloat64()) * 0.02
+		level += rng.NormFloat64() * 0.3
+		if level < 20 {
+			level = 130 + rng.Float64()*15
+		}
+		v := level
+		if rng.Float64() < 0.004 {
+			v = rng.Float64() * 2 // dropout
+		}
+		fuel[i] = math.Round(v*10) / 10
+	}
+
+	fmt.Println("fuel gauge (decimal, precision 1):")
+	for _, c := range []struct {
+		name string
+		opt  bos.Options
+	}{
+		{"delta + BP", bos.Options{Planner: bos.PlannerNone}},
+		{"delta + BOS-B", bos.Options{Planner: bos.PlannerBitWidth}},
+		{"delta + BOS-M", bos.Options{Planner: bos.PlannerMedian}},
+		{"RLE   + BOS-B", bos.Options{Pipeline: bos.PipelineRLE}},
+	} {
+		enc := bos.CompressFloats(nil, fuel, c.opt)
+		dec, err := bos.DecompressFloats(enc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range fuel {
+			if dec[i] != fuel[i] {
+				log.Fatalf("%s: lossy at %d", c.name, i)
+			}
+		}
+		fmt.Printf("  %-14s %8d bytes  ratio %.2f\n",
+			c.name, len(enc), float64(8*len(fuel))/float64(len(enc)))
+	}
+
+	// Non-decimal floats (simulation output): the library detects that no
+	// finite decimal precision represents them and stores raw bits rather
+	// than lose information.
+	sim := make([]float64, 10_000)
+	for i := range sim {
+		sim[i] = math.Sin(float64(i) / 17.3)
+	}
+	enc := bos.CompressFloats(nil, sim, bos.Options{})
+	dec, err := bos.DecompressFloats(enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := true
+	for i := range sim {
+		if math.Float64bits(dec[i]) != math.Float64bits(sim[i]) {
+			exact = false
+			break
+		}
+	}
+	fmt.Printf("\nsimulation floats (non-decimal): %d bytes for %d values, bit-exact: %v\n",
+		len(enc), len(sim), exact)
+}

@@ -1,0 +1,82 @@
+// Quickstart: compress a small series with BOS, inspect the separation the
+// planner chose, and verify the round trip.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bos"
+)
+
+func main() {
+	// The motivating series from the paper's introduction: 8 small values
+	// with a lower outlier (0) and an upper outlier (8).
+	series := []int64{3, 2, 4, 5, 3, 2, 0, 8}
+
+	// Ask the optimal O(n log n) planner what it would do with one block.
+	plan := bos.AnalyzeBlock(series, bos.PlannerBitWidth)
+	fmt.Printf("separated:    %v\n", plan.Separated)
+	fmt.Printf("lower class:  %d value(s) <= %d at %d bits\n", plan.LowerCount, plan.MaxLower, plan.LowerBits)
+	fmt.Printf("upper class:  %d value(s) >= %d at %d bits\n", plan.UpperCount, plan.MinUpper, plan.UpperBits)
+	fmt.Printf("center width: %d bits (vs 4 bits under plain bit-packing)\n", plan.CenterBits)
+	fmt.Printf("body cost:    %d bits (plain bit-packing needs %d)\n\n", plan.CostBits, 8*4)
+
+	// Compress and decompress through the public API. The zero Options
+	// value means: BOS-B planner, delta pipeline, 1024-value blocks.
+	enc := bos.Compress(nil, series, bos.Options{Pipeline: bos.PipelineRaw})
+	dec, err := bos.Decompress(enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed %d values to %d bytes\n", len(series), len(enc))
+	fmt.Printf("round trip ok: %v\n", equal(dec, series))
+
+	// A larger, realistic series: a random-walk sensor with rare spikes.
+	// Delta + BOS is the intended pipeline for this shape.
+	sensor := makeSensor(100_000)
+	for _, opt := range []struct {
+		name string
+		o    bos.Options
+	}{
+		{"BP   (no separation)", bos.Options{Planner: bos.PlannerNone}},
+		{"BOS-B (optimal)", bos.Options{Planner: bos.PlannerBitWidth}},
+		{"BOS-M (fast approx)", bos.Options{Planner: bos.PlannerMedian}},
+	} {
+		enc := bos.Compress(nil, sensor, opt.o)
+		fmt.Printf("%-22s %8d bytes  ratio %.2f\n",
+			opt.name, len(enc), float64(8*len(sensor))/float64(len(enc)))
+	}
+}
+
+func makeSensor(n int) []int64 {
+	vals := make([]int64, n)
+	v := int64(500_000)
+	state := uint64(42)
+	for i := range vals {
+		state = state*6364136223846793005 + 1442695040888963407
+		r := state >> 33
+		switch {
+		case r%997 == 0:
+			v += int64(r%200_000) - 100_000 // rare spike
+		default:
+			v += int64(r%17) - 8 // small jitter
+		}
+		vals[i] = v
+	}
+	return vals
+}
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package bos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// FloatWriter streams float64 values as length-prefixed compressed segments,
+// the float twin of Writer. Each segment independently detects its decimal
+// precision, so a stream may mix scaled and raw segments and stay lossless
+// throughout.
+type FloatWriter struct {
+	w   io.Writer
+	opt Options
+	buf []float64
+	scr []byte
+	err error
+}
+
+// NewFloatWriter returns a FloatWriter with the given options.
+func NewFloatWriter(w io.Writer, opt Options) *FloatWriter {
+	return &FloatWriter{w: w, opt: opt, buf: make([]float64, 0, blockSizeOf(opt))}
+}
+
+// WriteValues appends values, emitting full segments as blocks fill up.
+func (w *FloatWriter) WriteValues(vals ...float64) error {
+	if w.err != nil {
+		return w.err
+	}
+	bs := blockSizeOf(w.opt)
+	for len(vals) > 0 {
+		take := bs - len(w.buf)
+		if take > len(vals) {
+			take = len(vals)
+		}
+		w.buf = append(w.buf, vals[:take]...)
+		vals = vals[take:]
+		if len(w.buf) == bs {
+			w.err = w.emit()
+			if w.err != nil {
+				return w.err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *FloatWriter) emit() error {
+	seg := CompressFloats(w.scr[:0], w.buf, w.opt)
+	w.scr = seg
+	w.buf = w.buf[:0]
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(seg)))
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(seg)
+	return err
+}
+
+// Flush writes any buffered values as a final (possibly short) segment.
+func (w *FloatWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) > 0 {
+		w.err = w.emit()
+	}
+	return w.err
+}
+
+// Close flushes the writer. It does not close the underlying io.Writer.
+func (w *FloatWriter) Close() error { return w.Flush() }
+
+// FloatReader decodes a stream produced by FloatWriter, one segment at a
+// time.
+type FloatReader struct {
+	r *bufioReader
+}
+
+// NewFloatReader returns a FloatReader over r.
+func NewFloatReader(r io.Reader) *FloatReader {
+	return &FloatReader{r: newBufioReader(r)}
+}
+
+// Next returns the values of the next segment, or io.EOF at end of stream.
+func (r *FloatReader) Next() ([]float64, error) {
+	seg, err := r.r.nextSegment()
+	if err != nil {
+		return nil, err
+	}
+	return DecompressFloats(seg)
+}
+
+// ReadAllFloats drains a FloatWriter stream into one slice.
+func ReadAllFloats(r io.Reader) ([]float64, error) {
+	fr := NewFloatReader(r)
+	var out []float64
+	for {
+		vals, err := fr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+}
+
+// bufioReader frames length-prefixed segments for both Reader and
+// FloatReader.
+type bufioReader struct {
+	br byteReader
+}
+
+type byteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+func newBufioReader(r io.Reader) *bufioReader {
+	if br, ok := r.(byteReader); ok {
+		return &bufioReader{br: br}
+	}
+	return &bufioReader{br: newFallbackReader(r)}
+}
+
+func (b *bufioReader) nextSegment() ([]byte, error) {
+	segLen, err := binary.ReadUvarint(b.br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: segment length: %v", ErrCorrupt, err)
+	}
+	if segLen > 1<<31 {
+		return nil, fmt.Errorf("%w: segment of %d bytes", ErrCorrupt, segLen)
+	}
+	seg := make([]byte, segLen)
+	if _, err := io.ReadFull(b.br, seg); err != nil {
+		return nil, fmt.Errorf("%w: segment body: %v", ErrCorrupt, err)
+	}
+	return seg, nil
+}
+
+// fallbackReader adds ReadByte to a plain io.Reader.
+type fallbackReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func newFallbackReader(r io.Reader) *fallbackReader { return &fallbackReader{r: r} }
+
+func (f *fallbackReader) Read(p []byte) (int, error) { return f.r.Read(p) }
+
+func (f *fallbackReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(f.r, f.one[:]); err != nil {
+		return 0, err
+	}
+	return f.one[0], nil
+}

@@ -1,0 +1,100 @@
+package bos
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFloatStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	var want []float64
+	var buf bytes.Buffer
+	w := NewFloatWriter(&buf, Options{BlockSize: 128})
+	for i := 0; i < 10; i++ {
+		chunk := make([]float64, rng.Intn(300))
+		for j := range chunk {
+			chunk[j] = math.Round(rng.NormFloat64()*1000) / 10
+		}
+		want = append(want, chunk...)
+		if err := w.WriteValues(chunk...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllFloats(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d values want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("value %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFloatStreamMixedSegments(t *testing.T) {
+	// One segment of decimals (scaled path) and one of irrationals (raw
+	// path) in the same stream.
+	var buf bytes.Buffer
+	w := NewFloatWriter(&buf, Options{BlockSize: 4})
+	w.WriteValues(1.5, 2.5, 3.5, 4.5)          // scaled segment
+	w.WriteValues(math.Pi, math.E, 1.0/3.0, 0) // raw segment
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllFloats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2.5, 3.5, 4.5, math.Pi, math.E, 1.0 / 3.0, 0}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("value %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFloatStreamEmptyAndTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFloatWriter(&buf, Options{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllFloats(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %d values err %v", len(got), err)
+	}
+
+	w = NewFloatWriter(&buf, Options{})
+	w.WriteValues(1.5, 2.5)
+	w.Close()
+	full := append([]byte(nil), buf.Bytes()...)
+	for cut := 1; cut < len(full)-1; cut++ {
+		if _, err := ReadAllFloats(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("cut %d accepted", cut)
+		}
+	}
+}
+
+func TestFloatStreamPlainIOReader(t *testing.T) {
+	// A reader without ReadByte exercises the fallback framing.
+	var buf bytes.Buffer
+	w := NewFloatWriter(&buf, Options{})
+	w.WriteValues(7.25, 8.75)
+	w.Close()
+	got, err := ReadAllFloats(onlyReader{&buf})
+	if err != nil || len(got) != 2 || got[0] != 7.25 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+type onlyReader struct{ r *bytes.Buffer }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }

@@ -1,0 +1,65 @@
+package bos
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// Golden format tests: the encoded bytes of fixed inputs are part of the
+// library's compatibility contract. If one of these fails, the on-disk
+// format changed — either revert the change or bump the stream magic and
+// update the goldens deliberately.
+func TestGoldenStreamFormat(t *testing.T) {
+	cases := []struct {
+		name string
+		enc  []byte
+		want string
+	}{
+		{
+			"delta+bosb over the intro series",
+			Compress(nil, []int64{3, 2, 4, 5, 3, 2, 0, 8}, Options{}),
+			"b0510000008008080801030401030a010201455d44",
+		},
+		{
+			"rle+bosb over runs",
+			Compress(nil, []int64{5, 5, 5, 9, 9, 1}, Options{Pipeline: PipelineRLE}),
+			"b051000200800806030301020101040801010170020100",
+		},
+		{
+			"scaled floats, raw pipeline",
+			CompressFloats(nil, []float64{1.5, 2.5, 0.25}, Options{Pipeline: PipelineRaw}),
+			"b0510101008008020303013201017de10101010170",
+		},
+	}
+	for _, c := range cases {
+		if got := hex.EncodeToString(c.enc); got != c.want {
+			t.Errorf("%s:\n  got  %s\n  want %s", c.name, got, c.want)
+		}
+	}
+}
+
+// The goldens above must of course still decode.
+func TestGoldenStreamsDecode(t *testing.T) {
+	intEnc, _ := hex.DecodeString("b0510000008008080801030401030a010201455d44")
+	vals, err := Decompress(intEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 2, 4, 5, 3, 2, 0, 8}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("value %d: got %d want %d", i, vals[i], want[i])
+		}
+	}
+	fEnc, _ := hex.DecodeString("b0510101008008020303013201017de10101010170")
+	fvals, err := DecompressFloats(fEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwant := []float64{1.5, 2.5, 0.25}
+	for i := range fwant {
+		if fvals[i] != fwant[i] {
+			t.Fatalf("float %d: got %v want %v", i, fvals[i], fwant[i])
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package bos
+
+import (
+	"testing"
+
+	"bos/internal/dataset"
+)
+
+// TestIntegrationAllDatasetsAllOptions pushes every evaluation dataset
+// through the public API under every planner/pipeline combination (and the
+// post stages on one pipeline), verifying lossless round trips and that the
+// BOS planners never lose to plain packing by more than stream overhead.
+func TestIntegrationAllDatasetsAllOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep is slow")
+	}
+	for _, d := range dataset.All() {
+		ints := d.Ints(6000)
+		floats := d.Floats(6000)
+		var plainSize int
+		for _, opt := range []Options{
+			{Planner: PlannerNone},
+			{Planner: PlannerBitWidth},
+			{Planner: PlannerMedian},
+			{Planner: PlannerBitWidth, Pipeline: PipelineRaw},
+			{Planner: PlannerBitWidth, Pipeline: PipelineRLE},
+			{Planner: PlannerBitWidth, Post: PostLZ},
+			{Planner: PlannerBitWidth, Post: PostRange},
+		} {
+			enc := Compress(nil, ints, opt)
+			got, err := Decompress(enc)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", d.Abbr, opt, err)
+			}
+			for i := range ints {
+				if got[i] != ints[i] {
+					t.Fatalf("%s %+v: value %d mismatch", d.Abbr, opt, i)
+				}
+			}
+			if opt.Planner == PlannerNone {
+				plainSize = len(enc)
+			}
+			if opt.Planner == PlannerBitWidth && opt.Pipeline == PipelineDelta && opt.Post == PostNone {
+				if len(enc) > plainSize+64 {
+					t.Errorf("%s: BOS-B stream %d bytes exceeds plain %d", d.Abbr, len(enc), plainSize)
+				}
+			}
+
+			fenc := CompressFloats(nil, floats, opt)
+			fgot, err := DecompressFloats(fenc)
+			if err != nil {
+				t.Fatalf("%s floats %+v: %v", d.Abbr, opt, err)
+			}
+			for i := range floats {
+				if fgot[i] != floats[i] {
+					t.Fatalf("%s floats %+v: value %d mismatch", d.Abbr, opt, i)
+				}
+			}
+		}
+		// The stream must describe itself accurately.
+		st, err := Stats(Compress(nil, ints, Options{}))
+		if err != nil {
+			t.Fatalf("%s: stats: %v", d.Abbr, err)
+		}
+		if st.Values != len(ints) {
+			t.Errorf("%s: stats counted %d values", d.Abbr, st.Values)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package bitio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		width uint
+	}{
+		{0, 0}, {0, 1}, {1, 1}, {5, 3}, {255, 8}, {256, 9},
+		{math.MaxUint64, 64}, {1, 64}, {0x8000000000000000, 64},
+		{0xdeadbeef, 32}, {7, 5},
+	}
+	w := NewWriter(64)
+	for _, c := range cases {
+		w.WriteBits(c.v, c.width)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range cases {
+		got, err := r.ReadBits(c.width)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		want := c.v
+		if c.width < 64 {
+			want &= (1 << c.width) - 1
+		}
+		if got != want {
+			t.Errorf("case %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsMasksHighBits(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xff, 4) // only low 4 bits should survive
+	w.WriteBits(0, 4)
+	b := w.Bytes()
+	if b[0] != 0xf0 {
+		t.Errorf("got %#x want 0xf0", b[0])
+	}
+}
+
+func TestSingleBits(t *testing.T) {
+	w := NewWriter(4)
+	pattern := []uint64{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewWriter(8)
+	if w.BitLen() != 0 {
+		t.Fatalf("fresh writer BitLen = %d", w.BitLen())
+	}
+	w.WriteBits(3, 3)
+	if w.BitLen() != 3 {
+		t.Errorf("BitLen = %d want 3", w.BitLen())
+	}
+	w.WriteBits(1, 13)
+	if w.BitLen() != 16 {
+		t.Errorf("BitLen = %d want 16", w.BitLen())
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1 << 35, math.MaxUint64}
+	w := NewWriter(64)
+	w.WriteBit(1) // force unaligned start
+	for _, v := range vals {
+		w.WriteUvarint(v)
+	}
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range vals {
+		got, err := r.ReadUvarint()
+		if err != nil {
+			t.Fatalf("%d: %v", want, err)
+		}
+		if got != want {
+			t.Errorf("got %d want %d", got, want)
+		}
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, -1, 63, -64, math.MaxInt64, math.MinInt64, 12345, -98765}
+	w := NewWriter(64)
+	for _, v := range vals {
+		w.WriteVarint(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range vals {
+		got, err := r.ReadVarint()
+		if err != nil {
+			t.Fatalf("%d: %v", want, err)
+		}
+		if got != want {
+			t.Errorf("got %d want %d", got, want)
+		}
+	}
+}
+
+func TestZigZagProperty(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigZagOrdering(t *testing.T) {
+	// Small absolute values must map to small codes.
+	if ZigZag(0) != 0 || ZigZag(-1) != 1 || ZigZag(1) != 2 || ZigZag(-2) != 3 {
+		t.Errorf("zigzag mapping broken: %d %d %d %d",
+			ZigZag(0), ZigZag(-1), ZigZag(1), ZigZag(-2))
+	}
+}
+
+func TestWidthOf(t *testing.T) {
+	cases := map[uint64]uint{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 255: 8, 256: 9, math.MaxUint64: 64}
+	for v, want := range cases {
+		if got := WidthOf(v); got != want {
+			t.Errorf("WidthOf(%d) = %d want %d", v, got, want)
+		}
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(9); err != ErrUnexpectedEOF {
+		t.Errorf("ReadBits(9) err = %v", err)
+	}
+	if _, err := r.ReadBits(8); err != nil {
+		t.Errorf("ReadBits(8) err = %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Errorf("ReadBit at end err = %v", err)
+	}
+	if _, err := r.ReadUvarint(); err != ErrUnexpectedEOF {
+		t.Errorf("ReadUvarint at end err = %v", err)
+	}
+}
+
+func TestInvalidWidth(t *testing.T) {
+	r := NewReader(make([]byte, 16))
+	if _, err := r.ReadBits(65); err == nil {
+		t.Error("ReadBits(65) should fail")
+	}
+}
+
+func TestUvarintOverflow(t *testing.T) {
+	// Eleven continuation bytes cannot fit in 64 bits.
+	data := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := NewReader(data).ReadUvarint(); err != ErrOverflow {
+		t.Errorf("err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestAlignByte(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(1, 3)
+	w.AlignByte()
+	w.WriteBits(0xab, 8)
+	b := w.Bytes()
+	if len(b) != 2 || b[1] != 0xab {
+		t.Fatalf("bytes = %x", b)
+	}
+	r := NewReader(b)
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.AlignByte()
+	got, err := r.ReadBits(8)
+	if err != nil || got != 0xab {
+		t.Errorf("got %#x err %v", got, err)
+	}
+}
+
+func TestRest(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(5, 3)
+	w.AlignByte()
+	w.WriteBits(0x1234, 16)
+	b := w.Bytes()
+	r := NewReader(b)
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	rest := r.Rest()
+	if len(rest) != 2 || rest[0] != 0x12 || rest[1] != 0x34 {
+		t.Errorf("rest = %x", rest)
+	}
+}
+
+func TestRandomRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(200) + 1
+		vals := make([]uint64, n)
+		widths := make([]uint, n)
+		w := NewWriter(n)
+		for i := range vals {
+			widths[i] = uint(rng.Intn(65))
+			vals[i] = rng.Uint64()
+			if widths[i] < 64 {
+				vals[i] &= (1 << widths[i]) - 1
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			got, err := r.ReadBits(widths[i])
+			if err != nil {
+				t.Fatalf("iter %d value %d: %v", iter, i, err)
+			}
+			if got != vals[i] {
+				t.Fatalf("iter %d value %d: got %d want %d (width %d)", iter, i, got, vals[i], widths[i])
+			}
+		}
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		for j := 0; j < 1024; j++ {
+			w.WriteBits(uint64(j), 11)
+		}
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	for j := 0; j < 1024; j++ {
+		w.WriteBits(uint64(j), 11)
+	}
+	data := w.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(data)
+		for j := 0; j < 1024; j++ {
+			if _, err := r.ReadBits(11); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

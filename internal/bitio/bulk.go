@@ -1,0 +1,141 @@
+package bitio
+
+// Bulk fixed-width paths for the hot loops of block packing: same stream
+// layout as repeated WriteBits/ReadBits calls, but with the accumulator kept
+// in a register and bounds checked once per run instead of once per value.
+// Widths above 56 fall back to the scalar path (the accumulator needs
+// width+7 bits of headroom).
+
+const bulkMaxWidth = 56
+
+// WriteBulk appends every value at the given width.
+func (w *Writer) WriteBulk(vals []uint64, width uint) {
+	if width == 0 || len(vals) == 0 {
+		return
+	}
+	if width > bulkMaxWidth {
+		for _, v := range vals {
+			w.WriteBits(v, width)
+		}
+		return
+	}
+	acc, nb := w.cur, w.nbits
+	mask := uint64(1)<<width - 1
+	for _, v := range vals {
+		acc = acc<<width | (v & mask)
+		nb += width
+		for nb >= 8 {
+			nb -= 8
+			w.buf = append(w.buf, byte(acc>>nb))
+		}
+		acc &= 1<<nb - 1 // nb < 8: keep headroom for the next shift
+	}
+	w.cur, w.nbits = acc, nb
+}
+
+// ReadBulk fills out with len(out) consecutive values at the given width.
+func (r *Reader) ReadBulk(out []uint64, width uint) error {
+	if len(out) == 0 {
+		return nil
+	}
+	if width > 64 {
+		return ErrOverflow
+	}
+	need := len(out) * int(width)
+	if r.pos+need > len(r.data)*8 {
+		return ErrUnexpectedEOF
+	}
+	if width == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return nil
+	}
+	if width > bulkMaxWidth {
+		for i := range out {
+			v, err := r.ReadBits(width)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return nil
+	}
+	var acc uint64
+	var nb uint
+	pos := r.pos
+	// Fold in the partial leading byte so the main loop is byte-aligned.
+	if o := uint(pos & 7); o != 0 {
+		acc = uint64(r.data[pos>>3]) & (1<<(8-o) - 1)
+		nb = 8 - o
+		pos += int(nb)
+	}
+	bytePos := pos >> 3
+	mask := uint64(1)<<width - 1
+	for i := range out {
+		for nb < width {
+			acc = acc<<8 | uint64(r.data[bytePos])
+			bytePos++
+			nb += 8
+		}
+		nb -= width
+		out[i] = acc >> nb & mask
+		acc &= 1<<nb - 1
+	}
+	r.pos = bytePos*8 - int(nb)
+	return nil
+}
+
+// ReadBulkInt64 reads len(out) consecutive width-bit offsets and stores
+// base+offset as int64 — the fused frame-of-reference decode loop shared by
+// the block decoders (saves a scratch buffer and a second pass).
+func (r *Reader) ReadBulkInt64(out []int64, width uint, base uint64) error {
+	if len(out) == 0 {
+		return nil
+	}
+	if width > 64 {
+		return ErrOverflow
+	}
+	need := len(out) * int(width)
+	if r.pos+need > len(r.data)*8 {
+		return ErrUnexpectedEOF
+	}
+	if width == 0 {
+		for i := range out {
+			out[i] = int64(base)
+		}
+		return nil
+	}
+	if width > bulkMaxWidth {
+		for i := range out {
+			v, err := r.ReadBits(width)
+			if err != nil {
+				return err
+			}
+			out[i] = int64(base + v)
+		}
+		return nil
+	}
+	var acc uint64
+	var nb uint
+	pos := r.pos
+	if o := uint(pos & 7); o != 0 {
+		acc = uint64(r.data[pos>>3]) & (1<<(8-o) - 1)
+		nb = 8 - o
+		pos += int(nb)
+	}
+	bytePos := pos >> 3
+	mask := uint64(1)<<width - 1
+	for i := range out {
+		for nb < width {
+			acc = acc<<8 | uint64(r.data[bytePos])
+			bytePos++
+			nb += 8
+		}
+		nb -= width
+		out[i] = int64(base + (acc>>nb)&mask)
+		acc &= 1<<nb - 1
+	}
+	r.pos = bytePos*8 - int(nb)
+	return nil
+}

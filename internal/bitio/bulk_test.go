@@ -1,0 +1,111 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBulkMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 300; iter++ {
+		width := uint(rng.Intn(65))
+		n := rng.Intn(200)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64()
+			if width < 64 {
+				vals[i] &= 1<<width - 1
+			}
+		}
+		lead := uint(rng.Intn(8)) // random misalignment
+
+		scalar := NewWriter(64)
+		scalar.WriteBits(1, lead)
+		for _, v := range vals {
+			scalar.WriteBits(v, width)
+		}
+		bulk := NewWriter(64)
+		bulk.WriteBits(1, lead)
+		bulk.WriteBulk(vals, width)
+
+		sb, bb := scalar.Bytes(), bulk.Bytes()
+		if len(sb) != len(bb) {
+			t.Fatalf("iter %d: lengths %d vs %d", iter, len(sb), len(bb))
+		}
+		for i := range sb {
+			if sb[i] != bb[i] {
+				t.Fatalf("iter %d (width %d, lead %d): byte %d: %02x vs %02x",
+					iter, width, lead, i, sb[i], bb[i])
+			}
+		}
+
+		// Bulk read must recover the values from either stream.
+		r := NewReader(bb)
+		if _, err := r.ReadBits(lead); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]uint64, n)
+		if err := r.ReadBulk(got, width); err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("iter %d: value %d: got %d want %d", iter, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestBulkReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xff, 0xff})
+	out := make([]uint64, 3)
+	if err := r.ReadBulk(out, 7); err != ErrUnexpectedEOF {
+		t.Errorf("err = %v", err)
+	}
+	// Position must be untouched after the failed bulk read.
+	if got, err := r.ReadBits(16); err != nil || got != 0xffff {
+		t.Errorf("reader state disturbed: %x %v", got, err)
+	}
+}
+
+func TestBulkZeroWidth(t *testing.T) {
+	r := NewReader(nil)
+	out := []uint64{7, 7}
+	if err := r.ReadBulk(out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 0 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func BenchmarkWriteBulk(b *testing.B) {
+	vals := make([]uint64, 1024)
+	for i := range vals {
+		vals[i] = uint64(i) & 0x7ff
+	}
+	w := NewWriter(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		w.WriteBulk(vals, 11)
+	}
+}
+
+func BenchmarkReadBulk(b *testing.B) {
+	vals := make([]uint64, 1024)
+	for i := range vals {
+		vals[i] = uint64(i) & 0x7ff
+	}
+	w := NewWriter(1 << 16)
+	w.WriteBulk(vals, 11)
+	data := w.Bytes()
+	out := make([]uint64, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(data)
+		if err := r.ReadBulk(out, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package bitpack implements plain frame-of-reference bit-packing (BP), the
+// Definition 1 baseline: a block of values is stored as the minimum value
+// followed by every value's offset from it at a single fixed bit-width
+// ceil(log2(xmax - xmin + 1)).
+//
+// It is deliberately independent of the BOS implementation in internal/core
+// so that the baseline measured in the experiments shares no code with the
+// system under test.
+package bitpack
+
+import (
+	"errors"
+	"fmt"
+
+	"bos/internal/bitio"
+	"bos/internal/codec"
+)
+
+// Packer is the plain bit-packing operator. It satisfies codec.Packer.
+type Packer struct{}
+
+// Name implements codec.Packer.
+func (Packer) Name() string { return "BP" }
+
+// Pack implements codec.Packer: varint count, zigzag-varint minimum, a width
+// byte, then count fixed-width offsets.
+func (Packer) Pack(dst []byte, vals []int64) []byte {
+	w := bitio.NewWriter(len(vals)*2 + 12)
+	w.WriteUvarint(uint64(len(vals)))
+	if len(vals) == 0 {
+		return append(dst, w.Bytes()...)
+	}
+	xmin, xmax := vals[0], vals[0]
+	for _, v := range vals {
+		if v < xmin {
+			xmin = v
+		}
+		if v > xmax {
+			xmax = v
+		}
+	}
+	width := bitio.WidthOf(uint64(xmax) - uint64(xmin))
+	w.WriteVarint(xmin)
+	w.WriteBits(uint64(width), 8)
+	offsets := make([]uint64, len(vals))
+	for i, v := range vals {
+		offsets[i] = uint64(v) - uint64(xmin)
+	}
+	w.WriteBulk(offsets, width)
+	return append(dst, w.Bytes()...)
+}
+
+var errCorrupt = errors.New("bitpack: corrupt block")
+
+// Unpack implements codec.Packer.
+func (Packer) Unpack(src []byte, out []int64) ([]int64, []byte, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: count: %v", errCorrupt, err)
+	}
+	// A width-0 (constant) block packs any count into a few header bytes,
+	// so the count is bounded only by the shared absolute cap.
+	if n64 > codec.MaxBlockLen {
+		return out, nil, fmt.Errorf("%w: implausible count %d", errCorrupt, n64)
+	}
+	n := int(n64)
+	if n == 0 {
+		return out, r.Rest(), nil
+	}
+	xmin, err := r.ReadVarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: xmin: %v", errCorrupt, err)
+	}
+	width, err := r.ReadBits(8)
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: width: %v", errCorrupt, err)
+	}
+	if width > 64 {
+		return out, nil, fmt.Errorf("%w: width %d", errCorrupt, width)
+	}
+	base := len(out)
+	out = append(out, make([]int64, n)...)
+	if err := r.ReadBulkInt64(out[base:], uint(width), uint64(xmin)); err != nil {
+		return out[:base], nil, fmt.Errorf("%w: values: %v", errCorrupt, err)
+	}
+	return out, r.Rest(), nil
+}

@@ -1,0 +1,96 @@
+package bitpack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{math.MinInt64, math.MaxInt64},
+		{5, 5, 5},
+		{3, 2, 4, 5, 3, 2, 0, 8},
+		{-100, 100, 0},
+	}
+	var p Packer
+	for _, vals := range cases {
+		enc := p.Pack(nil, vals)
+		got, rest, err := p.Unpack(enc, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", vals, err)
+		}
+		if len(rest) != 0 || len(got) != len(vals) {
+			t.Fatalf("%v: got %d values, %d rest", vals, len(got), len(rest))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("value %d: got %d want %d", i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	var p Packer
+	f := func(vals []int64) bool {
+		enc := p.Pack(nil, vals)
+		got, rest, err := p.Unpack(enc, nil)
+		if err != nil || len(rest) != 0 || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeMatchesDefinition1(t *testing.T) {
+	// 1024 values in [0, 255]: 8 bits each plus a small header.
+	vals := make([]int64, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = int64(rng.Intn(256))
+	}
+	var p Packer
+	enc := p.Pack(nil, vals)
+	if len(enc) < 1024 || len(enc) > 1024+16 {
+		t.Errorf("encoded %d bytes, want ~1024", len(enc))
+	}
+}
+
+func TestCorruptionNeverPanics(t *testing.T) {
+	var p Packer
+	rng := rand.New(rand.NewSource(2))
+	base := p.Pack(nil, []int64{1, 2, 3, 1000, -7})
+	for i := 0; i < 1000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		p.Unpack(cor, nil)
+	}
+}
+
+func TestOutlierAmplification(t *testing.T) {
+	// The motivating pathology: one huge outlier forces every value wide.
+	vals := make([]int64, 1024)
+	for i := range vals {
+		vals[i] = int64(i % 8) // 3 bits
+	}
+	var p Packer
+	small := len(p.Pack(nil, vals))
+	vals[0] = 1 << 40 // 41 bits
+	big := len(p.Pack(nil, vals))
+	if big < small*10 {
+		t.Errorf("outlier did not amplify BP: %d -> %d bytes", small, big)
+	}
+}

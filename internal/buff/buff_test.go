@@ -1,0 +1,95 @@
+package buff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, vals []float64) []byte {
+	t.Helper()
+	var c Codec
+	enc := c.Encode(nil, vals)
+	got, err := c.Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d: got %v want %v", i, got[i], vals[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{0},
+		{1.25, 2.5, 3.75},
+		{0.1, 0.2, 0.3},
+		{-5.5, 1000000.25, 3},
+		{math.Pi, 1.5, math.E}, // raw fallback
+		{math.NaN(), math.Inf(1), 2.5},
+		{7, 7, 7, 7},
+	}
+	for _, vals := range cases {
+		roundTrip(t, vals)
+	}
+}
+
+func TestSparseOutlierSplit(t *testing.T) {
+	// 1% outliers must not inflate the other 99%.
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(100)) / 4 // 0..24.75 at p=2
+	}
+	clean := len(Codec{}.Encode(nil, vals))
+	for i := 0; i < 20; i++ {
+		vals[rng.Intn(len(vals))] = 1e6
+	}
+	dirty := len(Codec{}.Encode(nil, vals))
+	if dirty > clean*2 {
+		t.Errorf("20 outliers blew up BUFF: %d -> %d bytes", clean, dirty)
+	}
+	roundTrip(t, vals)
+}
+
+func TestRawFallbackLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = math.Float64frombits(rng.Uint64())
+	}
+	roundTrip(t, vals)
+}
+
+func TestDecodeCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var c Codec
+	base := c.Encode(nil, []float64{1.5, 2.5, 3.75, 1e6, -2})
+	for i := 0; i < 2000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		c.Decode(cor)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = math.Round(rng.NormFloat64()*10000) / 100
+	}
+	var c Codec
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = c.Encode(buf[:0], vals)
+	}
+}

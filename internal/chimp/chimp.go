@@ -1,0 +1,159 @@
+// Package chimp implements the Chimp float compression of Liakos,
+// Papakonstantinopoulou and Kotidis (VLDB 2022): a Gorilla-style XOR codec
+// with a two-bit flag per value, rounded leading-zero buckets and a cheap
+// path for XORs with few trailing zeros.
+package chimp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"bos/internal/bitio"
+	"bos/internal/codec"
+)
+
+var errCorrupt = errors.New("chimp: corrupt stream")
+
+// leadingRound buckets a leading-zero count into Chimp's 8 representative
+// values.
+var leadingRound = [65]uint8{}
+
+// leadingCode maps a rounded leading-zero count to its 3-bit code, and
+// leadingValue is the inverse.
+var (
+	leadingValue = [8]uint8{0, 8, 12, 16, 18, 20, 22, 24}
+	leadingCode  [65]uint8
+)
+
+func init() {
+	for lz := 0; lz <= 64; lz++ {
+		code := 0
+		for c := len(leadingValue) - 1; c >= 0; c-- {
+			if lz >= int(leadingValue[c]) {
+				code = c
+				break
+			}
+		}
+		leadingCode[lz] = uint8(code)
+		leadingRound[lz] = leadingValue[code]
+	}
+}
+
+// Codec is the Chimp float codec. It satisfies codec.FloatCodec.
+type Codec struct{}
+
+// Name implements codec.FloatCodec.
+func (Codec) Name() string { return "CHIMP" }
+
+// Encode implements codec.FloatCodec.
+func (Codec) Encode(dst []byte, vals []float64) []byte {
+	w := bitio.NewWriter(len(vals)*8 + 16)
+	w.WriteUvarint(uint64(len(vals)))
+	if len(vals) == 0 {
+		return append(dst, w.Bytes()...)
+	}
+	prev := math.Float64bits(vals[0])
+	w.WriteBits(prev, 64)
+	prevLead := uint(255) // impossible: forces flag 11 on first change
+	for _, v := range vals[1:] {
+		cur := math.Float64bits(v)
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.WriteBits(0, 2) // flag 00
+			continue
+		}
+		lead := uint(leadingRound[bits.LeadingZeros64(xor)])
+		trail := uint(bits.TrailingZeros64(xor))
+		if trail > 6 {
+			// Flag 01: center bits only, trailing zeros dropped.
+			center := 64 - lead - trail
+			w.WriteBits(1, 2)
+			w.WriteBits(uint64(leadingCode[lead]), 3)
+			w.WriteBits(uint64(center), 6)
+			w.WriteBits(xor>>trail, center)
+			prevLead = lead
+			continue
+		}
+		if lead == prevLead {
+			w.WriteBits(2, 2) // flag 10: reuse leading count
+			w.WriteBits(xor, 64-lead)
+			continue
+		}
+		w.WriteBits(3, 2) // flag 11: new leading count
+		w.WriteBits(uint64(leadingCode[lead]), 3)
+		w.WriteBits(xor, 64-lead)
+		prevLead = lead
+	}
+	return append(dst, w.Bytes()...)
+}
+
+// Decode implements codec.FloatCodec.
+func (Codec) Decode(src []byte) ([]float64, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", errCorrupt, err)
+	}
+	if n64 > codec.MaxBlockLen {
+		return nil, fmt.Errorf("%w: implausible count %d", errCorrupt, n64)
+	}
+	n := int(n64)
+	out := make([]float64, 0, n)
+	if n == 0 {
+		return out, nil
+	}
+	prev, err := r.ReadBits(64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: first value: %v", errCorrupt, err)
+	}
+	out = append(out, math.Float64frombits(prev))
+	var prevLead uint
+	for i := 1; i < n; i++ {
+		flag, err := r.ReadBits(2)
+		if err != nil {
+			return nil, fmt.Errorf("%w: flag: %v", errCorrupt, err)
+		}
+		switch flag {
+		case 0:
+			// Identical value.
+		case 1:
+			hdr, err := r.ReadBits(9)
+			if err != nil {
+				return nil, fmt.Errorf("%w: header: %v", errCorrupt, err)
+			}
+			lead := uint(leadingValue[hdr>>6])
+			center := uint(hdr & 0x3f)
+			if lead+center > 64 {
+				return nil, fmt.Errorf("%w: window %d+%d", errCorrupt, lead, center)
+			}
+			xor, err := r.ReadBits(center)
+			if err != nil {
+				return nil, fmt.Errorf("%w: xor: %v", errCorrupt, err)
+			}
+			prev ^= xor << (64 - lead - center)
+			prevLead = lead
+		case 2:
+			xor, err := r.ReadBits(64 - prevLead)
+			if err != nil {
+				return nil, fmt.Errorf("%w: xor: %v", errCorrupt, err)
+			}
+			prev ^= xor
+		default:
+			code, err := r.ReadBits(3)
+			if err != nil {
+				return nil, fmt.Errorf("%w: leading code: %v", errCorrupt, err)
+			}
+			prevLead = uint(leadingValue[code])
+			xor, err := r.ReadBits(64 - prevLead)
+			if err != nil {
+				return nil, fmt.Errorf("%w: xor: %v", errCorrupt, err)
+			}
+			prev ^= xor
+		}
+		out = append(out, math.Float64frombits(prev))
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package chimp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bos/internal/gorilla"
+)
+
+func roundTrip(t *testing.T, vals []float64) []byte {
+	t.Helper()
+	var c Codec
+	enc := c.Encode(nil, vals)
+	got, err := c.Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d: got %v want %v", i, got[i], vals[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{0},
+		{-1.5},
+		{5, 5, 5, 5, 5},
+		{1, 2, 4, 8, 16},
+		{3.14159, 2.71828, 1.41421, 0.57721},
+		{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)},
+		{math.MaxFloat64, math.SmallestNonzeroFloat64},
+	}
+	for _, vals := range cases {
+		roundTrip(t, vals)
+	}
+}
+
+func TestLeadingTables(t *testing.T) {
+	// Rounding must never exceed the actual leading-zero count and the
+	// code tables must invert each other.
+	for lz := 0; lz <= 64; lz++ {
+		r := int(leadingRound[lz])
+		if r > lz {
+			t.Errorf("leadingRound[%d] = %d exceeds actual", lz, r)
+		}
+		if int(leadingValue[leadingCode[lz]]) != r {
+			t.Errorf("tables disagree at %d", lz)
+		}
+	}
+}
+
+func TestRoundTripRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 2000)
+	v := -3.0
+	for i := range vals {
+		v += rng.NormFloat64() * 0.1
+		vals[i] = v
+	}
+	roundTrip(t, vals)
+}
+
+func TestRoundTripAdversarialBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = math.Float64frombits(rng.Uint64())
+	}
+	roundTrip(t, vals)
+}
+
+func TestBeatsGorillaOnNoisyLowBits(t *testing.T) {
+	// Chimp's flag-01 path targets XORs with moderate trailing zeros;
+	// on typical sensor-like data it should be at least competitive.
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 4096)
+	v := 20.0
+	for i := range vals {
+		v += rng.NormFloat64() * 0.01
+		vals[i] = math.Round(v*100) / 100
+	}
+	var c Codec
+	var g gorilla.Codec
+	cl := len(c.Encode(nil, vals))
+	gl := len(g.Encode(nil, vals))
+	if cl > gl*3/2 {
+		t.Errorf("chimp %d bytes vs gorilla %d — unexpectedly bad", cl, gl)
+	}
+}
+
+func TestDecodeCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var c Codec
+	base := c.Encode(nil, []float64{1.5, 2.5, 3.75, 1e30, -2})
+	for i := 0; i < 2000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		c.Decode(cor)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, 1024)
+	v := 50.0
+	for i := range vals {
+		v += rng.NormFloat64()
+		vals[i] = v
+	}
+	var c Codec
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = c.Encode(buf[:0], vals)
+	}
+}
+
+func roundTripN(t *testing.T, c CodecN, vals []float64) []byte {
+	t.Helper()
+	enc := c.Encode(nil, vals)
+	got, err := c.Decode(enc)
+	if err != nil {
+		t.Fatalf("%s decode: %v", c.Name(), err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("%s: decoded %d values want %d", c.Name(), len(got), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("%s value %d: got %v want %v", c.Name(), i, got[i], vals[i])
+		}
+	}
+	return enc
+}
+
+func TestChimp128RoundTripBasics(t *testing.T) {
+	c := NewChimp128()
+	cases := [][]float64{
+		nil,
+		{0},
+		{-1.5},
+		{5, 5, 5, 5, 5},
+		{1, 2, 4, 8, 16},
+		{3.14159, 2.71828, 1.41421, 0.57721},
+		{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)},
+		{math.MaxFloat64, math.SmallestNonzeroFloat64},
+	}
+	for _, vals := range cases {
+		roundTripN(t, c, vals)
+	}
+}
+
+func TestChimp128RoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, n := range []int{8, 32} {
+		c := CodecN{N: n}
+		for iter := 0; iter < 20; iter++ {
+			vals := make([]float64, rng.Intn(2000)+1)
+			v := 100.0
+			for i := range vals {
+				v += rng.NormFloat64()
+				vals[i] = math.Round(v*100) / 100
+			}
+			roundTripN(t, c, vals)
+		}
+	}
+}
+
+func TestChimp128BeatsChimpOnPeriodicData(t *testing.T) {
+	// Chimp128's reason to exist: values that recur a few steps apart
+	// (multi-channel interleaving, periodic processes) match an older
+	// stored value exactly, which base Chimp cannot see.
+	// Channels with rich low mantissa bits (decimal fractions), so the
+	// low-bits hash actually distinguishes them, recurring every 4 steps.
+	vals := make([]float64, 8192)
+	channels := []float64{1.1, 220.7, 3300.3, 47.9}
+	for i := range vals {
+		vals[i] = channels[i%4]
+		if i%512 == 0 && i > 0 {
+			channels[i%4] *= 1.001 // occasional level shift
+		}
+	}
+	c128 := len(NewChimp128().Encode(nil, vals))
+	c1 := len(Codec{}.Encode(nil, vals))
+	if c128 >= c1 {
+		t.Errorf("CHIMP128 %d bytes >= CHIMP %d on periodic data", c128, c1)
+	}
+	roundTripN(t, NewChimp128(), vals)
+}
+
+func TestChimp128AdversarialBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	vals := make([]float64, 700)
+	for i := range vals {
+		vals[i] = math.Float64frombits(rng.Uint64())
+	}
+	roundTripN(t, NewChimp128(), vals)
+}
+
+func TestChimp128CorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := NewChimp128()
+	base := c.Encode(nil, []float64{1.5, 2.5, 3.75, 1e30, -2})
+	for i := 0; i < 1500; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		c.Decode(cor)
+	}
+}

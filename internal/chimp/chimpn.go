@@ -1,0 +1,195 @@
+package chimp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"bos/internal/bitio"
+	"bos/internal/codec"
+)
+
+// CodecN is Chimp128 (the paper's "Chimp_N" with N previous values): each
+// value XORs against the most promising of the last N stored values, found
+// through a hash of its low bits, instead of only the immediately preceding
+// one. Flag 00/01 payloads carry the log2(N)-bit index of the reference
+// value. N must be a power of two; 128 reproduces the published variant.
+type CodecN struct {
+	N int
+}
+
+// NewChimp128 returns the published Chimp128 configuration.
+func NewChimp128() CodecN { return CodecN{N: 128} }
+
+func (c CodecN) n() int {
+	if c.N <= 0 {
+		return 128
+	}
+	return c.N
+}
+
+// Name implements codec.FloatCodec.
+func (c CodecN) Name() string { return fmt.Sprintf("CHIMP%d", c.n()) }
+
+// params derives the index width, trailing-zero threshold and hash mask.
+func (c CodecN) params() (idxBits, threshold uint, mask uint64) {
+	idxBits = bitio.WidthOf(uint64(c.n() - 1))
+	threshold = 6 + idxBits
+	mask = uint64(1)<<(threshold+1) - 1
+	return
+}
+
+// Encode implements codec.FloatCodec.
+func (c CodecN) Encode(dst []byte, vals []float64) []byte {
+	w := bitio.NewWriter(len(vals)*8 + 16)
+	w.WriteUvarint(uint64(len(vals)))
+	if len(vals) == 0 {
+		return append(dst, w.Bytes()...)
+	}
+	n := c.n()
+	idxBits, threshold, mask := c.params()
+	stored := make([]uint64, n)
+	indices := make([]int, mask+1)
+	for i := range indices {
+		indices[i] = -1 << 30
+	}
+
+	first := math.Float64bits(vals[0])
+	w.WriteBits(first, 64)
+	stored[0] = first
+	indices[first&mask] = 0
+	cur := 1
+	prevLead := uint(255)
+	for _, v := range vals[1:] {
+		bitsV := math.Float64bits(v)
+		key := bitsV & mask
+		// Choose the reference: the hashed candidate when it is recent
+		// and shares enough low bits, else the previous value.
+		refIdx := (cur - 1) % n
+		xor := stored[refIdx] ^ bitsV
+		if cand := indices[key]; cur-cand < n && cand >= 0 {
+			cXor := stored[cand%n] ^ bitsV
+			if cXor == 0 || uint(bits.TrailingZeros64(cXor)) > threshold {
+				refIdx = cand % n
+				xor = cXor
+			}
+		}
+		switch {
+		case xor == 0:
+			w.WriteBits(0, 2) // flag 00: identical to stored[refIdx]
+			w.WriteBits(uint64(refIdx), idxBits)
+		case uint(bits.TrailingZeros64(xor)) > threshold:
+			// Flag 01: reference index + center bits.
+			lead := uint(leadingRound[bits.LeadingZeros64(xor)])
+			trail := uint(bits.TrailingZeros64(xor))
+			center := 64 - lead - trail
+			w.WriteBits(1, 2)
+			w.WriteBits(uint64(refIdx), idxBits)
+			w.WriteBits(uint64(leadingCode[lead]), 3)
+			w.WriteBits(uint64(center), 6)
+			w.WriteBits(xor>>trail, center)
+			prevLead = lead
+		default:
+			// Previous-value XOR, exactly as base Chimp.
+			xor = stored[(cur-1)%n] ^ bitsV
+			lead := uint(leadingRound[bits.LeadingZeros64(xor)])
+			if lead == prevLead {
+				w.WriteBits(2, 2)
+				w.WriteBits(xor, 64-lead)
+			} else {
+				w.WriteBits(3, 2)
+				w.WriteBits(uint64(leadingCode[lead]), 3)
+				w.WriteBits(xor, 64-lead)
+				prevLead = lead
+			}
+		}
+		stored[cur%n] = bitsV
+		indices[key] = cur
+		cur++
+	}
+	return append(dst, w.Bytes()...)
+}
+
+// Decode implements codec.FloatCodec.
+func (c CodecN) Decode(src []byte) ([]float64, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", errCorrupt, err)
+	}
+	if n64 > codec.MaxBlockLen {
+		return nil, fmt.Errorf("%w: implausible count %d", errCorrupt, n64)
+	}
+	count := int(n64)
+	out := make([]float64, 0, count)
+	if count == 0 {
+		return out, nil
+	}
+	n := c.n()
+	idxBits, _, _ := c.params()
+	stored := make([]uint64, n)
+	first, err := r.ReadBits(64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: first value: %v", errCorrupt, err)
+	}
+	out = append(out, math.Float64frombits(first))
+	stored[0] = first
+	cur := 1
+	var prevLead uint
+	for i := 1; i < count; i++ {
+		flag, err := r.ReadBits(2)
+		if err != nil {
+			return nil, fmt.Errorf("%w: flag: %v", errCorrupt, err)
+		}
+		var bitsV uint64
+		switch flag {
+		case 0:
+			idx, err := r.ReadBits(idxBits)
+			if err != nil {
+				return nil, fmt.Errorf("%w: index: %v", errCorrupt, err)
+			}
+			bitsV = stored[int(idx)%n]
+		case 1:
+			idx, err := r.ReadBits(idxBits)
+			if err != nil {
+				return nil, fmt.Errorf("%w: index: %v", errCorrupt, err)
+			}
+			hdr, err := r.ReadBits(9)
+			if err != nil {
+				return nil, fmt.Errorf("%w: header: %v", errCorrupt, err)
+			}
+			lead := uint(leadingValue[hdr>>6])
+			center := uint(hdr & 0x3f)
+			if lead+center > 64 {
+				return nil, fmt.Errorf("%w: window %d+%d", errCorrupt, lead, center)
+			}
+			xor, err := r.ReadBits(center)
+			if err != nil {
+				return nil, fmt.Errorf("%w: xor: %v", errCorrupt, err)
+			}
+			bitsV = stored[int(idx)%n] ^ xor<<(64-lead-center)
+			prevLead = lead
+		case 2:
+			xor, err := r.ReadBits(64 - prevLead)
+			if err != nil {
+				return nil, fmt.Errorf("%w: xor: %v", errCorrupt, err)
+			}
+			bitsV = stored[(cur-1)%n] ^ xor
+		default:
+			code, err := r.ReadBits(3)
+			if err != nil {
+				return nil, fmt.Errorf("%w: leading code: %v", errCorrupt, err)
+			}
+			prevLead = uint(leadingValue[code])
+			xor, err := r.ReadBits(64 - prevLead)
+			if err != nil {
+				return nil, fmt.Errorf("%w: xor: %v", errCorrupt, err)
+			}
+			bitsV = stored[(cur-1)%n] ^ xor
+		}
+		out = append(out, math.Float64frombits(bitsV))
+		stored[cur%n] = bitsV
+		cur++
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// flatPacker is a trivial Packer used to test Blockwise independently of the
+// real packers: varint count then 8-byte little-endian values.
+type flatPacker struct{}
+
+func (flatPacker) Name() string { return "flat" }
+
+func (flatPacker) Pack(dst []byte, vals []int64) []byte {
+	dst = AppendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		u := uint64(v)
+		dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return dst
+}
+
+func (flatPacker) Unpack(src []byte, out []int64) ([]int64, []byte, error) {
+	n, src, err := ReadUvarint(src)
+	if err != nil {
+		return out, nil, err
+	}
+	if n > uint64(len(src)/8) {
+		return out, nil, errors.New("flat: truncated")
+	}
+	for i := uint64(0); i < n; i++ {
+		u := uint64(src[0]) | uint64(src[1])<<8 | uint64(src[2])<<16 | uint64(src[3])<<24 |
+			uint64(src[4])<<32 | uint64(src[5])<<40 | uint64(src[6])<<48 | uint64(src[7])<<56
+		out = append(out, int64(u))
+		src = src[8:]
+	}
+	return out, src, nil
+}
+
+func TestBlockwiseRoundTrip(t *testing.T) {
+	bw := NewBlockwise(flatPacker{}, 4)
+	cases := [][]int64{nil, {1}, {1, 2, 3, 4}, {1, 2, 3, 4, 5}, make([]int64, 17)}
+	for _, vals := range cases {
+		enc := bw.Encode(nil, vals)
+		got, err := bw.Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", vals, err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("%v: got %d values", vals, len(got))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("value %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestBlockwiseDefaults(t *testing.T) {
+	bw := NewBlockwise(flatPacker{}, 0)
+	if bw.BlockSize != DefaultBlockSize {
+		t.Errorf("block size %d want %d", bw.BlockSize, DefaultBlockSize)
+	}
+	if bw.Name() != "flat" {
+		t.Errorf("name %q", bw.Name())
+	}
+}
+
+func TestBlockwiseTruncated(t *testing.T) {
+	bw := NewBlockwise(flatPacker{}, 4)
+	enc := bw.Encode(nil, []int64{1, 2, 3, 4, 5, 6})
+	if _, err := bw.Decode(enc[:3]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := bw.Decode(nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestUvarintRoundTripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		got, rest, err := ReadUvarint(AppendUvarint(nil, v))
+		return err == nil && got == v && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintEdges(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, math.MaxUint64} {
+		got, _, err := ReadUvarint(AppendUvarint(nil, v))
+		if err != nil || got != v {
+			t.Errorf("%d: got %d err %v", v, got, err)
+		}
+	}
+	if _, _, err := ReadUvarint(nil); err == nil {
+		t.Error("empty varint accepted")
+	}
+	if _, _, err := ReadUvarint([]byte{0x80, 0x80}); err == nil {
+		t.Error("truncated varint accepted")
+	}
+	over := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := ReadUvarint(over); err == nil {
+		t.Error("overflowing varint accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bos/internal/bitio"
+)
+
+// These tests quantify the two storage-layout design choices the paper makes
+// against the PFOR family (Section II-C): positions as a bitmap instead of
+// an index list, and a 1/2-bit prefix code instead of fixed-width tags.
+
+// positionCostBitmap is the paper's Figure 2 bitmap: one bit per value plus
+// a second bit per outlier.
+func positionCostBitmap(n, outliers int) int64 {
+	return int64(n + outliers)
+}
+
+// positionCostIndexList is the PFOR-family alternative: ceil(log2 n) bits
+// per outlier position.
+func positionCostIndexList(n, outliers int) int64 {
+	return int64(outliers) * int64(bitio.WidthOf(uint64(n-1)))
+}
+
+// TestPositionEncodingCrossover pins down where the bitmap beats the index
+// list: with 1024-value blocks the index list costs 10 bits per outlier, so
+// the bitmap wins once more than n/(10-1) ~ 11% of the block is separated —
+// the "in some cases, bitmap could save the index storage" remark in
+// Section II-C.
+func TestPositionEncodingCrossover(t *testing.T) {
+	const n = 1024
+	crossover := -1
+	for k := 0; k <= n; k++ {
+		if positionCostBitmap(n, k) <= positionCostIndexList(n, k) {
+			crossover = k
+			break
+		}
+	}
+	if crossover < n/10 || crossover > n/8 {
+		t.Errorf("bitmap/index crossover at %d outliers, expected ~%d", crossover, n/9)
+	}
+	// Sanity at the extremes.
+	if positionCostBitmap(n, n/2) >= positionCostIndexList(n, n/2) {
+		t.Error("bitmap should win at 50% outliers")
+	}
+	if positionCostBitmap(n, 3) <= positionCostIndexList(n, 3) {
+		t.Error("index list should win at 3 outliers")
+	}
+}
+
+// TestPrefixTagsBeatFixedTags compares the Figure 2 prefix code (center '0',
+// outliers '10'/'11') with a uniform 2-bit tag per value: with outliers in
+// the minority the prefix code approaches half the tag cost.
+func TestPrefixTagsBeatFixedTags(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for iter := 0; iter < 100; iter++ {
+		vals := genSeries(rng)
+		p := PlanBitWidth(vals)
+		if !p.Separated {
+			continue
+		}
+		prefix := int64(p.N + p.NL + p.NU) // Figure 2
+		fixed := int64(2 * p.N)            // uniform 2-bit class tags
+		if prefix > fixed {
+			t.Fatalf("iter %d: prefix code %d bits > fixed %d with nl=%d nu=%d n=%d",
+				iter, prefix, fixed, p.NL, p.NU, p.N)
+		}
+		if p.NL+p.NU < p.N/2 && prefix >= fixed {
+			t.Fatalf("iter %d: minority outliers but no prefix win", iter)
+		}
+	}
+}
+
+// TestHuffmanTagsMatchPrefixForThreeParts confirms the k-parts Huffman tags
+// reduce to the paper's 1/2-bit code whenever the center class dominates, so
+// mode 2 with k=3 and mode 1 agree on tag cost.
+func TestHuffmanTagsMatchPrefixForThreeParts(t *testing.T) {
+	lens := huffmanLengths([]int{900, 60, 64})
+	if lens[0] != 1 || lens[1] != 2 || lens[2] != 2 {
+		t.Errorf("huffman lengths = %v, want [1 2 2]", lens)
+	}
+}
+
+// BenchmarkAblationSeparationStrategies measures planning cost per strategy
+// on the same outlier-rich block, the trade Figure 10b plots.
+func BenchmarkAblationSeparationStrategies(b *testing.B) {
+	rng := rand.New(rand.NewSource(51))
+	vals := make([]int64, 1024)
+	for i := range vals {
+		switch {
+		case rng.Float64() < 0.03:
+			vals[i] = -rng.Int63n(1 << 35)
+		case rng.Float64() < 0.06:
+			vals[i] = rng.Int63n(1 << 35)
+		default:
+			vals[i] = int64(rng.NormFloat64() * 300)
+		}
+	}
+	for _, sep := range []Separation{SeparationNone, SeparationUpperOnly, SeparationMedian, SeparationBitWidth, SeparationValue} {
+		b.Run(sep.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var bits int64
+			for i := 0; i < b.N; i++ {
+				p := PlanFor(vals, sep)
+				bits = p.CostBits
+			}
+			b.ReportMetric(float64(bits)/float64(len(vals)), "bits/value")
+		})
+	}
+}
+
+// BenchmarkAblationTwoSided quantifies what the lower-outlier loop buys over
+// the PFOR-style upper-only regime (the Figure 12 claim) as a metric.
+func BenchmarkAblationTwoSided(b *testing.B) {
+	rng := rand.New(rand.NewSource(52))
+	vals := make([]int64, 1024)
+	for i := range vals {
+		switch {
+		case rng.Float64() < 0.04:
+			vals[i] = rng.Int63n(100) // dropouts far below the band
+		default:
+			vals[i] = 1<<20 + int64(rng.NormFloat64()*200)
+		}
+	}
+	full := PlanBitWidth(vals).CostBits
+	upper := PlanUpperOnly(vals).CostBits
+	b.Run("full-vs-upper-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PlanBitWidth(vals)
+		}
+		b.ReportMetric(float64(upper)/float64(full), "upper/full-cost-ratio")
+	})
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bos/internal/bitio"
+)
+
+// Block stream modes (first byte after the count).
+const (
+	modePlain byte = 0 // plain bit-packing body
+	modeBOS   byte = 1 // three-class outlier separation (Figure 7)
+	modeParts byte = 2 // generalized k-part separation (Figure 14)
+)
+
+// errCorrupt wraps decode failures with a stable prefix.
+var errCorrupt = errors.New("core: corrupt block")
+
+// maxBlockLen caps the declared value count of a block; it mirrors
+// codec.MaxBlockLen (core avoids the import to stay dependency-free).
+const maxBlockLen = 1 << 22
+
+// EncodeBlock packs vals into dst using the given separation strategy and
+// returns the extended slice. The encoder always compares the separated plan
+// against plain bit-packing and emits whichever is smaller, so a BOS block is
+// never larger than the BP block plus the shared header.
+//
+// The layout follows Figure 7 of the paper: block metadata (counts, minima,
+// bit-widths alpha/beta/gamma), the positional bitmap of Figure 2 ('0'
+// center, '10' lower outlier, '11' upper outlier), then all values in
+// original order, each stored relative to its class minimum at its class
+// width.
+func EncodeBlock(dst []byte, vals []int64, sep Separation) []byte {
+	plan := PlanFor(vals, sep)
+	return EncodeBlockPlan(dst, vals, &plan)
+}
+
+// PlanFor runs the planner selected by sep over vals.
+func PlanFor(vals []int64, sep Separation) Plan {
+	switch sep {
+	case SeparationValue:
+		return PlanValue(vals)
+	case SeparationBitWidth:
+		return PlanBitWidth(vals)
+	case SeparationMedian:
+		return PlanMedian(vals)
+	case SeparationUpperOnly:
+		return PlanUpperOnly(vals)
+	default:
+		return plainPlan(vals)
+	}
+}
+
+// EncodeBlockPlan packs vals according to an already-computed plan.
+func EncodeBlockPlan(dst []byte, vals []int64, plan *Plan) []byte {
+	w := bitio.NewWriter(len(vals)*2 + 16)
+	w.WriteUvarint(uint64(len(vals)))
+	if len(vals) == 0 {
+		return append(dst, w.Bytes()...)
+	}
+	if !plan.Separated {
+		encodePlain(w, vals, plan)
+	} else {
+		encodeBOS(w, vals, plan)
+	}
+	return append(dst, w.Bytes()...)
+}
+
+func encodePlain(w *bitio.Writer, vals []int64, plan *Plan) {
+	w.WriteBits(uint64(modePlain), 8)
+	w.WriteVarint(plan.Xmin)
+	width := bitio.WidthOf(spread(plan.Xmin, plan.Xmax))
+	w.WriteBits(uint64(width), 8)
+	offsets := make([]uint64, len(vals))
+	for i, v := range vals {
+		offsets[i] = spread(plan.Xmin, v)
+	}
+	w.WriteBulk(offsets, width)
+}
+
+func encodeBOS(w *bitio.Writer, vals []int64, plan *Plan) {
+	w.WriteBits(uint64(modeBOS), 8)
+	w.WriteVarint(plan.Xmin)
+	w.WriteUvarint(uint64(plan.NL))
+	w.WriteUvarint(uint64(plan.NU))
+	// Class minima as non-negative offsets from xmin.
+	if plan.NC() > 0 {
+		w.WriteUvarint(spread(plan.Xmin, plan.MinXc))
+	} else {
+		w.WriteUvarint(0)
+	}
+	if plan.NU > 0 {
+		w.WriteUvarint(spread(plan.Xmin, plan.MinXu))
+	} else {
+		w.WriteUvarint(0)
+	}
+	w.WriteBits(uint64(plan.Alpha), 8)
+	w.WriteBits(uint64(plan.Beta), 8)
+	w.WriteBits(uint64(plan.Gamma), 8)
+
+	// Classify once; the bitmap and value sections reuse the result.
+	classes := make([]class, len(vals))
+	for i, v := range vals {
+		classes[i] = classOf(plan, v)
+	}
+	// Positional bitmap (Figure 2), in original order.
+	for _, c := range classes {
+		switch c {
+		case classCenter:
+			w.WriteBit(0)
+		case classLower:
+			w.WriteBit(1)
+			w.WriteBit(0)
+		default:
+			w.WriteBit(1)
+			w.WriteBit(1)
+		}
+	}
+	// Values in original order, relative to their class minimum; maximal
+	// runs of center values go through the bulk writer.
+	scratch := make([]uint64, 0, len(vals))
+	for i := 0; i < len(vals); {
+		if classes[i] == classCenter {
+			j := i + 1
+			for j < len(vals) && classes[j] == classCenter {
+				j++
+			}
+			scratch = scratch[:0]
+			for k := i; k < j; k++ {
+				scratch = append(scratch, spread(plan.MinXc, vals[k]))
+			}
+			w.WriteBulk(scratch, plan.Beta)
+			i = j
+			continue
+		}
+		if classes[i] == classLower {
+			w.WriteBits(spread(plan.Xmin, vals[i]), plan.Alpha)
+		} else {
+			w.WriteBits(spread(plan.MinXu, vals[i]), plan.Gamma)
+		}
+		i++
+	}
+}
+
+type class int
+
+const (
+	classCenter class = iota
+	classLower
+	classUpper
+)
+
+func classOf(plan *Plan, v int64) class {
+	if plan.NL > 0 && v <= plan.MaxXl {
+		return classLower
+	}
+	if plan.NU > 0 && v >= plan.MinXu {
+		return classUpper
+	}
+	return classCenter
+}
+
+// DecodeBlock decodes one block from the front of src, appends the values to
+// out, and returns the grown slice and the unread remainder. It never panics
+// on malformed input.
+func DecodeBlock(src []byte, out []int64) ([]int64, []byte, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: count: %v", errCorrupt, err)
+	}
+	if n64 > maxBlockLen {
+		// Width-0 bodies pack arbitrarily many values into a few
+		// header bytes, so the count can only be bounded by the
+		// absolute block cap; beyond it is garbage.
+		return out, nil, fmt.Errorf("%w: implausible count %d", errCorrupt, n64)
+	}
+	n := int(n64)
+	if n == 0 {
+		return out, r.Rest(), nil
+	}
+	mode, err := r.ReadBits(8)
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: mode: %v", errCorrupt, err)
+	}
+	switch byte(mode) {
+	case modePlain:
+		return decodePlain(r, n, out)
+	case modeBOS:
+		return decodeBOS(r, n, out)
+	case modeParts:
+		return decodeParts(r, n, out)
+	default:
+		return out, nil, fmt.Errorf("%w: unknown mode %d", errCorrupt, mode)
+	}
+}
+
+func decodePlain(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
+	xmin, err := r.ReadVarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: xmin: %v", errCorrupt, err)
+	}
+	width, err := r.ReadBits(8)
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: width: %v", errCorrupt, err)
+	}
+	if width > 64 {
+		return out, nil, fmt.Errorf("%w: width %d", errCorrupt, width)
+	}
+	base := len(out)
+	out = append(out, make([]int64, n)...)
+	if err := r.ReadBulkInt64(out[base:], uint(width), uint64(xmin)); err != nil {
+		return out[:base], nil, fmt.Errorf("%w: values: %v", errCorrupt, err)
+	}
+	return out, r.Rest(), nil
+}
+
+func decodeBOS(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
+	fail := func(what string, err error) ([]int64, []byte, error) {
+		return out, nil, fmt.Errorf("%w: %s: %v", errCorrupt, what, err)
+	}
+	xmin, err := r.ReadVarint()
+	if err != nil {
+		return fail("xmin", err)
+	}
+	nl64, err := r.ReadUvarint()
+	if err != nil {
+		return fail("nl", err)
+	}
+	nu64, err := r.ReadUvarint()
+	if err != nil {
+		return fail("nu", err)
+	}
+	if nl64+nu64 > uint64(n) {
+		return out, nil, fmt.Errorf("%w: outlier counts %d+%d exceed block size %d", errCorrupt, nl64, nu64, n)
+	}
+	offC, err := r.ReadUvarint()
+	if err != nil {
+		return fail("minXc", err)
+	}
+	offU, err := r.ReadUvarint()
+	if err != nil {
+		return fail("minXu", err)
+	}
+	widths, err := r.ReadBits(24)
+	if err != nil {
+		return fail("widths", err)
+	}
+	alpha := uint(widths >> 16 & 0xff)
+	beta := uint(widths >> 8 & 0xff)
+	gamma := uint(widths & 0xff)
+	if alpha > 64 || beta > 64 || gamma > 64 {
+		return out, nil, fmt.Errorf("%w: widths %d/%d/%d", errCorrupt, alpha, beta, gamma)
+	}
+	minXc := int64(uint64(xmin) + offC)
+	minXu := int64(uint64(xmin) + offU)
+
+	// First pass: the positional bitmap. Its exact length (n + nl + nu
+	// bits) is known from the header, so bounds are checked once and the
+	// inner loop indexes the buffer directly.
+	data, pos := r.Data()
+	if pos+n+int(nl64+nu64) > len(data)*8 {
+		return fail("bitmap", bitio.ErrUnexpectedEOF)
+	}
+	classes := make([]class, n)
+	declared := int(nl64 + nu64)
+	outliers := 0
+	for i := 0; i < n; {
+		// Fast path: an aligned all-zero byte is eight center values
+		// (outliers are rare, so most of the bitmap is zero bytes).
+		if pos&7 == 0 && i+8 <= n && data[pos>>3] == 0 {
+			i += 8 // classes are zero-initialized to classCenter
+			pos += 8
+			continue
+		}
+		if data[pos>>3]>>(7-uint(pos&7))&1 == 0 {
+			pos++
+			i++
+			continue
+		}
+		// An outlier mark consumes a second bit; the bounds check above
+		// only covers the declared outlier count, so more marks than
+		// declared is corruption (and would otherwise overrun).
+		if outliers == declared {
+			return out, nil, fmt.Errorf("%w: bitmap marks more than %d outliers", errCorrupt, declared)
+		}
+		outliers++
+		pos++
+		if data[pos>>3]>>(7-uint(pos&7))&1 == 0 {
+			classes[i] = classLower
+		} else {
+			classes[i] = classUpper
+		}
+		pos++
+		i++
+	}
+	r.SetBitPos(pos)
+	// Second pass: the values in original order. Center values dominate
+	// typical blocks, so maximal runs of them go through the bulk reader;
+	// outliers decode individually.
+	base := len(out)
+	out = append(out, make([]int64, n)...)
+	for i := 0; i < n; {
+		if classes[i] == classCenter {
+			j := i + 1
+			for j < n && classes[j] == classCenter {
+				j++
+			}
+			if err := r.ReadBulkInt64(out[base+i:base+j], beta, uint64(minXc)); err != nil {
+				return out[:base], nil, fmt.Errorf("%w: values %d..%d: %v", errCorrupt, i, j, err)
+			}
+			i = j
+			continue
+		}
+		var vbase uint64
+		var width uint
+		if classes[i] == classLower {
+			vbase, width = uint64(xmin), alpha
+		} else {
+			vbase, width = uint64(minXu), gamma
+		}
+		d, err := r.ReadBits(width)
+		if err != nil {
+			return out[:base], nil, fmt.Errorf("%w: value %d: %v", errCorrupt, i, err)
+		}
+		out[base+i] = int64(vbase + d)
+		i++
+	}
+	return out, r.Rest(), nil
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+var allSeparations = []Separation{
+	SeparationNone, SeparationValue, SeparationBitWidth,
+	SeparationMedian, SeparationUpperOnly,
+}
+
+func roundTrip(t *testing.T, vals []int64, sep Separation) []byte {
+	t.Helper()
+	enc := EncodeBlock(nil, vals, sep)
+	got, rest, err := DecodeBlock(enc, nil)
+	if err != nil {
+		t.Fatalf("%v decode: %v", sep, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%v left %d undecoded bytes", sep, len(rest))
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("%v decoded %d values want %d", sep, len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("%v value %d: got %d want %d", sep, i, got[i], vals[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{42},
+		{math.MinInt64},
+		{math.MaxInt64},
+		{math.MinInt64, math.MaxInt64},
+		{7, 7, 7, 7, 7},
+		{3, 2, 4, 5, 3, 2, 0, 8},
+		{-5, -4, -3, 1000000, -2},
+		Fig1Series,
+	}
+	for _, vals := range cases {
+		for _, sep := range allSeparations {
+			roundTrip(t, vals, sep)
+		}
+	}
+}
+
+func TestRoundTripRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 300; iter++ {
+		vals := genSeries(rng)
+		for _, sep := range allSeparations {
+			roundTrip(t, vals, sep)
+		}
+	}
+}
+
+func TestEncodedSizeMatchesPlan(t *testing.T) {
+	// The payload beyond the small header must match the planned cost:
+	// size_bytes <= ceil(cost/8) + header bound, and a separated block
+	// must never exceed the BP block by more than the header difference.
+	rng := rand.New(rand.NewSource(11))
+	const headerBound = 40 // varints + widths, generous
+	for iter := 0; iter < 200; iter++ {
+		vals := genSeries(rng)
+		for _, sep := range allSeparations {
+			plan := PlanFor(vals, sep)
+			enc := EncodeBlock(nil, vals, sep)
+			maxLen := int(plan.CostBits/8) + headerBound
+			if len(enc) > maxLen {
+				t.Fatalf("iter %d %v: encoded %d bytes, plan cost %d bits (+header)",
+					iter, sep, len(enc), plan.CostBits)
+			}
+			minLen := int(plan.CostBits / 8)
+			if len(enc) < minLen {
+				t.Fatalf("iter %d %v: encoded %d bytes below planned %d bits",
+					iter, sep, len(enc), plan.CostBits)
+			}
+		}
+	}
+}
+
+func TestBOSNeverMuchWorseThanBP(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 200; iter++ {
+		vals := genSeries(rng)
+		bp := EncodeBlock(nil, vals, SeparationNone)
+		for _, sep := range []Separation{SeparationValue, SeparationBitWidth, SeparationMedian} {
+			enc := EncodeBlock(nil, vals, sep)
+			if len(enc) > len(bp)+24 {
+				t.Fatalf("iter %d: %v block %d bytes, BP %d", iter, sep, len(enc), len(bp))
+			}
+		}
+	}
+}
+
+func TestBOSVAndBOSBIdenticalOutput(t *testing.T) {
+	// Figure 10b: "BOS-B shows exactly the same compression ratio as
+	// BOS-V". Equal costs imply equal block sizes.
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		vals := genSeries(rng)
+		v := EncodeBlock(nil, vals, SeparationValue)
+		b := EncodeBlock(nil, vals, SeparationBitWidth)
+		if len(v) != len(b) {
+			t.Fatalf("iter %d: BOS-V %d bytes, BOS-B %d bytes", iter, len(v), len(b))
+		}
+	}
+}
+
+func TestMultipleBlocksSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	var enc []byte
+	var want []int64
+	for b := 0; b < 5; b++ {
+		vals := genSeries(rng)
+		want = append(want, vals...)
+		enc = EncodeBlock(enc, vals, SeparationBitWidth)
+	}
+	var got []int64
+	rest := enc
+	var err error
+	for len(rest) > 0 {
+		got, rest, err = DecodeBlock(rest, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodeEmptyInput(t *testing.T) {
+	if _, _, err := DecodeBlock(nil, nil); err == nil {
+		t.Error("decoding empty input should fail")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	enc := EncodeBlock(nil, Fig1Series, SeparationBitWidth)
+	// Every strict prefix must fail cleanly: payload bits run out before
+	// the final value, so the decoder must report ErrUnexpectedEOF-style
+	// corruption, never panic and never return a full block.
+	for cut := 0; cut < len(enc)-1; cut++ {
+		out, _, err := DecodeBlock(enc[:cut], nil)
+		if err == nil && len(out) == len(Fig1Series) {
+			t.Fatalf("cut %d: truncated block decoded fully", cut)
+		}
+	}
+}
+
+func TestDecodeCorruptedNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	base := EncodeBlock(nil, Fig1Series, SeparationBitWidth)
+	for iter := 0; iter < 2000; iter++ {
+		cor := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		}
+		cor = cor[:rng.Intn(len(cor)+1)]
+		// Must not panic; errors are fine, bogus values are fine.
+		DecodeBlock(cor, nil)
+	}
+	for iter := 0; iter < 2000; iter++ {
+		junk := make([]byte, rng.Intn(64))
+		rng.Read(junk)
+		DecodeBlock(junk, nil)
+	}
+}
+
+func TestDecodeImplausibleCount(t *testing.T) {
+	// A count far beyond the input size must be rejected before any
+	// allocation explosion.
+	enc := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	if _, _, err := DecodeBlock(enc, nil); err == nil {
+		t.Error("implausible count accepted")
+	}
+}
+
+func TestEncodeAppendsToDst(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	enc := EncodeBlock(append([]byte(nil), prefix...), introSeries, SeparationValue)
+	if !bytes.HasPrefix(enc, prefix) {
+		t.Error("EncodeBlock did not append to dst")
+	}
+	got, _, err := DecodeBlock(enc[2:], nil)
+	if err != nil || len(got) != len(introSeries) {
+		t.Fatalf("decode after prefix: %v", err)
+	}
+}
+
+func BenchmarkEncodeBlockBOSB(b *testing.B) { benchEncode(b, SeparationBitWidth) }
+func BenchmarkEncodeBlockBOSM(b *testing.B) { benchEncode(b, SeparationMedian) }
+func BenchmarkEncodeBlockBP(b *testing.B)   { benchEncode(b, SeparationNone) }
+
+func benchEncode(b *testing.B, sep Separation) {
+	rng := rand.New(rand.NewSource(16))
+	vals := make([]int64, 1024)
+	for i := range vals {
+		if rng.Float64() < 0.05 {
+			vals[i] = rng.Int63n(1 << 30)
+		} else {
+			vals[i] = int64(rng.NormFloat64() * 100)
+		}
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = EncodeBlock(buf[:0], vals, sep)
+	}
+}
+
+func BenchmarkDecodeBlock(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	vals := make([]int64, 1024)
+	for i := range vals {
+		if rng.Float64() < 0.05 {
+			vals[i] = rng.Int63n(1 << 30)
+		} else {
+			vals[i] = int64(rng.NormFloat64() * 100)
+		}
+	}
+	enc := EncodeBlock(nil, vals, SeparationBitWidth)
+	out := make([]int64, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, _, err = DecodeBlock(enc, out[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

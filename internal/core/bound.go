@@ -1,0 +1,20 @@
+package core
+
+import "math"
+
+// MedianApproxBoundNormal returns the Proposition 4 bound on BOS-M's
+// approximation ratio for normally distributed data X ~ N(mu, sigma^2),
+// which the paper proves to hold with probability 0.997:
+//
+//	ratio <= 2                      if sigma <= 5/3
+//	ratio <= ceil(log2(3*sigma-1))  otherwise
+//
+// The bound is loose in practice — the empirical ratio measured in
+// TestMedianApproxRatioNormal stays far below it — but it is the theoretical
+// guarantee the paper offers for the linear-time planner.
+func MedianApproxBoundNormal(sigma float64) float64 {
+	if sigma <= 5.0/3.0 {
+		return 2
+	}
+	return math.Ceil(math.Log2(3*sigma - 1))
+}

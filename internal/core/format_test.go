@@ -1,0 +1,52 @@
+package core
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// Golden block-format tests (Figure 7 layout): fixed inputs must encode to
+// fixed bytes. A failure means the block format changed — revise only with a
+// deliberate format version bump.
+func TestGoldenBlockFormat(t *testing.T) {
+	intro := []int64{3, 2, 4, 5, 3, 2, 0, 8}
+	cases := []struct {
+		name string
+		enc  []byte
+		want string
+	}{
+		{"bos block", EncodeBlock(nil, intro, SeparationValue), "0801000101020801020102d2d0"},
+		{"plain block", EncodeBlock(nil, []int64{10, 11, 12, 13}, SeparationNone), "040014021b"},
+		{"parts block", EncodeBlockParts(nil, intro, 3), "0802030003020202010102024d5a88c0"},
+	}
+	for _, c := range cases {
+		if got := hex.EncodeToString(c.enc); got != c.want {
+			t.Errorf("%s:\n  got  %s\n  want %s", c.name, got, c.want)
+		}
+	}
+}
+
+// Dissect the golden BOS block against the Figure 7 layout, field by field,
+// so the golden hex is not just a magic string.
+func TestGoldenBOSBlockLayout(t *testing.T) {
+	enc, _ := hex.DecodeString("0801000101020801020102d2d0")
+	info, rest, err := InspectBlock(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest = %x", rest)
+	}
+	if info.N != 8 || info.Mode != "bos" {
+		t.Fatalf("info = %+v", info)
+	}
+	// Layout: n=8 | mode=1 | xmin=0 | nl=1 | nu=1 | offC=2 | offU=8 |
+	// alpha=1 beta=2 gamma=1 | bitmap 10 0 0 0 0 0 11 (8+2 bits) |
+	// values: 0@1b, 1 0 2 3 1 0 @2b, 0@1b -> the trailing d2d0.
+	if info.Xmin != 0 || info.NL != 1 || info.NU != 1 {
+		t.Fatalf("header fields: %+v", info)
+	}
+	if info.Alpha != 1 || info.Beta != 2 || info.Gamma != 1 {
+		t.Fatalf("widths: %+v", info)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"bos/internal/bitio"
+)
+
+// BlockInfo is the parsed header of one encoded block, for debugging and
+// storage inspection (cmd/bosinspect). It reports what the planner chose
+// without decoding the values.
+type BlockInfo struct {
+	N    int
+	Mode string // "plain", "bos" or "parts"
+
+	// Plain fields.
+	Xmin  int64
+	Width uint
+
+	// BOS fields (Figure 7 header).
+	NL, NU             int
+	MinXc, MinXu       int64
+	Alpha, Beta, Gamma uint
+
+	// Parts fields.
+	K int
+
+	// BodyBytes is the total encoded size of the block.
+	BodyBytes int
+}
+
+// InspectBlock parses the header of the next block in src and returns its
+// description plus the remainder after the whole block. The values are
+// decoded (and discarded) only to find the block boundary.
+func InspectBlock(src []byte) (BlockInfo, []byte, error) {
+	var info BlockInfo
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return info, nil, fmt.Errorf("%w: count: %v", errCorrupt, err)
+	}
+	if n64 > maxBlockLen {
+		return info, nil, fmt.Errorf("%w: implausible count %d", errCorrupt, n64)
+	}
+	info.N = int(n64)
+	if info.N == 0 {
+		info.Mode = "plain"
+		rest := r.Rest()
+		info.BodyBytes = len(src) - len(rest)
+		return info, rest, nil
+	}
+	mode, err := r.ReadBits(8)
+	if err != nil {
+		return info, nil, fmt.Errorf("%w: mode: %v", errCorrupt, err)
+	}
+	switch byte(mode) {
+	case modePlain:
+		info.Mode = "plain"
+		if info.Xmin, err = r.ReadVarint(); err != nil {
+			return info, nil, fmt.Errorf("%w: xmin: %v", errCorrupt, err)
+		}
+		w, err := r.ReadBits(8)
+		if err != nil || w > 64 {
+			return info, nil, fmt.Errorf("%w: width", errCorrupt)
+		}
+		info.Width = uint(w)
+	case modeBOS:
+		info.Mode = "bos"
+		if info.Xmin, err = r.ReadVarint(); err != nil {
+			return info, nil, fmt.Errorf("%w: xmin: %v", errCorrupt, err)
+		}
+		nl, err := r.ReadUvarint()
+		if err != nil {
+			return info, nil, fmt.Errorf("%w: nl: %v", errCorrupt, err)
+		}
+		nu, err := r.ReadUvarint()
+		if err != nil {
+			return info, nil, fmt.Errorf("%w: nu: %v", errCorrupt, err)
+		}
+		if nl+nu > n64 {
+			return info, nil, fmt.Errorf("%w: outlier counts", errCorrupt)
+		}
+		info.NL, info.NU = int(nl), int(nu)
+		offC, err := r.ReadUvarint()
+		if err != nil {
+			return info, nil, fmt.Errorf("%w: minXc: %v", errCorrupt, err)
+		}
+		offU, err := r.ReadUvarint()
+		if err != nil {
+			return info, nil, fmt.Errorf("%w: minXu: %v", errCorrupt, err)
+		}
+		info.MinXc = int64(uint64(info.Xmin) + offC)
+		info.MinXu = int64(uint64(info.Xmin) + offU)
+		widths, err := r.ReadBits(24)
+		if err != nil {
+			return info, nil, fmt.Errorf("%w: widths: %v", errCorrupt, err)
+		}
+		info.Alpha = uint(widths >> 16 & 0xff)
+		info.Beta = uint(widths >> 8 & 0xff)
+		info.Gamma = uint(widths & 0xff)
+	case modeParts:
+		info.Mode = "parts"
+		k, err := r.ReadUvarint()
+		if err != nil || k == 0 || k > 64 {
+			return info, nil, fmt.Errorf("%w: parts k", errCorrupt)
+		}
+		info.K = int(k)
+	default:
+		return info, nil, fmt.Errorf("%w: unknown mode %d", errCorrupt, mode)
+	}
+	// Find the block boundary by decoding (the payload is bit-packed; the
+	// header alone does not determine byte length for parts blocks).
+	_, rest, err := DecodeBlock(src, nil)
+	if err != nil {
+		return info, nil, err
+	}
+	info.BodyBytes = len(src) - len(rest)
+	return info, rest, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInspectBOSBlock(t *testing.T) {
+	enc := EncodeBlock(nil, introSeries, SeparationValue)
+	info, rest, err := InspectBlock(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest = %d bytes", len(rest))
+	}
+	if info.Mode != "bos" || info.N != 8 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.NL != 1 || info.NU != 1 {
+		t.Errorf("nl/nu = %d/%d", info.NL, info.NU)
+	}
+	if info.Alpha != 1 || info.Beta != 2 || info.Gamma != 1 {
+		t.Errorf("widths = %d/%d/%d", info.Alpha, info.Beta, info.Gamma)
+	}
+	if info.Xmin != 0 || info.MinXc != 2 || info.MinXu != 8 {
+		t.Errorf("bounds = %d/%d/%d", info.Xmin, info.MinXc, info.MinXu)
+	}
+	if info.BodyBytes != len(enc) {
+		t.Errorf("body = %d want %d", info.BodyBytes, len(enc))
+	}
+}
+
+func TestInspectPlainBlock(t *testing.T) {
+	enc := EncodeBlock(nil, []int64{10, 11, 12, 13}, SeparationNone)
+	info, _, err := InspectBlock(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode != "plain" || info.Xmin != 10 || info.Width != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestInspectPartsBlock(t *testing.T) {
+	enc := EncodeBlockParts(nil, Fig1Series, 4)
+	info, _, err := InspectBlock(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode != "parts" || info.K != 4 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestInspectSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	var enc []byte
+	for b := 0; b < 5; b++ {
+		enc = EncodeBlock(enc, genSeries(rng), SeparationBitWidth)
+	}
+	blocks := 0
+	rest := enc
+	for len(rest) > 0 {
+		var err error
+		_, rest, err = InspectBlock(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks++
+	}
+	if blocks != 5 {
+		t.Fatalf("inspected %d blocks want 5", blocks)
+	}
+}
+
+func TestInspectCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	base := EncodeBlock(nil, Fig1Series, SeparationBitWidth)
+	for i := 0; i < 1000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		InspectBlock(cor)
+	}
+}

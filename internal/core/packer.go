@@ -1,0 +1,44 @@
+package core
+
+import "fmt"
+
+// Packer adapts a separation strategy to the codec.Packer contract, making
+// BOS a drop-in replacement for the bit-packing operator inside RLE, SPRINTZ,
+// TS2DIFF and any other block codec.
+type Packer struct {
+	Sep Separation
+}
+
+// NewPacker returns a Packer using the given separation strategy.
+func NewPacker(sep Separation) *Packer { return &Packer{Sep: sep} }
+
+// Name implements codec.Packer.
+func (p *Packer) Name() string { return p.Sep.String() }
+
+// Pack implements codec.Packer.
+func (p *Packer) Pack(dst []byte, vals []int64) []byte {
+	return EncodeBlock(dst, vals, p.Sep)
+}
+
+// Unpack implements codec.Packer.
+func (p *Packer) Unpack(src []byte, out []int64) ([]int64, []byte, error) {
+	return DecodeBlock(src, out)
+}
+
+// PartsPacker packs blocks with the k-parts generalization of Figure 14.
+type PartsPacker struct {
+	K int
+}
+
+// Name implements codec.Packer.
+func (p *PartsPacker) Name() string { return fmt.Sprintf("BOS-P%d", p.K) }
+
+// Pack implements codec.Packer.
+func (p *PartsPacker) Pack(dst []byte, vals []int64) []byte {
+	return EncodeBlockParts(dst, vals, p.K)
+}
+
+// Unpack implements codec.Packer.
+func (p *PartsPacker) Unpack(src []byte, out []int64) ([]int64, []byte, error) {
+	return DecodeBlock(src, out)
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bos/internal/bitio"
+	"bos/internal/stats"
+)
+
+// PartsPlan is the generalized separation of Figure 14: the value domain is
+// split into K contiguous classes, each bit-packed at its own width, with a
+// per-value class tag. K == 3 with a dominant center class degenerates to the
+// BOS bitmap of Figure 2 (tag lengths 1/2/2); K == 1 is plain bit-packing.
+//
+// Class boundaries are chosen by dynamic programming over the distinct values
+// to minimize the total value bits; the tag stream then uses a Huffman code
+// over the realized class counts (the DP ignores tag-length differences
+// between candidate partitions, which is the documented approximation).
+type PartsPlan struct {
+	K        int
+	Bases    []int64 // ascending class minima
+	Maxes    []int64 // class maxima
+	Counts   []int
+	Widths   []uint
+	TagLens  []uint
+	CostBits int64 // value bits + tag bits (headers excluded)
+}
+
+// PlanParts partitions vals into at most k contiguous classes. It panics if
+// k < 1; it returns fewer classes than k when there are fewer distinct
+// values.
+func PlanParts(vals []int64, k int) PartsPlan {
+	if k < 1 {
+		panic("core: PlanParts needs k >= 1")
+	}
+	d := stats.NewDistinct(vals)
+	m := len(d.Values)
+	if m == 0 {
+		return PartsPlan{K: 0}
+	}
+	if k > m {
+		k = m
+	}
+
+	// classBits(a, b): value bits for one class covering distinct values
+	// [a, b).
+	countIn := func(a, b int) int {
+		lo := 0
+		if a > 0 {
+			lo = d.CumLE[a-1]
+		}
+		return d.CumLE[b-1] - lo
+	}
+	classBits := func(a, b int) int64 {
+		w := int64(classWidth(spread(d.Values[a], d.Values[b-1])))
+		return int64(countIn(a, b)) * w
+	}
+
+	// dp[c][i]: min value bits for the first i distinct values in c classes.
+	const inf = int64(1) << 62
+	prev := make([]int64, m+1)
+	cur := make([]int64, m+1)
+	choice := make([][]int, k+1)
+	for c := range choice {
+		choice[c] = make([]int, m+1)
+	}
+	for i := 1; i <= m; i++ {
+		prev[i] = classBits(0, i)
+	}
+	for c := 2; c <= k; c++ {
+		cur[0] = inf
+		for i := 1; i <= m; i++ {
+			best, bestA := inf, -1
+			for a := c - 1; a < i; a++ {
+				if prev[a] >= inf {
+					continue
+				}
+				if v := prev[a] + classBits(a, i); v < best {
+					best, bestA = v, a
+				}
+			}
+			cur[i], choice[c][i] = best, bestA
+		}
+		prev, cur = cur, prev
+	}
+
+	// Recover boundaries for exactly k classes.
+	bounds := make([]int, 0, k+1)
+	bounds = append(bounds, m)
+	i := m
+	for c := k; c >= 2; c-- {
+		i = choice[c][i]
+		bounds = append(bounds, i)
+	}
+	bounds = append(bounds, 0)
+	// bounds is descending: m, ..., 0. Reverse it.
+	for l, r := 0, len(bounds)-1; l < r; l, r = l+1, r-1 {
+		bounds[l], bounds[r] = bounds[r], bounds[l]
+	}
+
+	p := PartsPlan{K: k}
+	for c := 0; c < k; c++ {
+		a, b := bounds[c], bounds[c+1]
+		p.Bases = append(p.Bases, d.Values[a])
+		p.Maxes = append(p.Maxes, d.Values[b-1])
+		p.Counts = append(p.Counts, countIn(a, b))
+		if k == 1 {
+			// A single class is plain bit-packing: Definition 1
+			// allows width 0 for a constant block.
+			p.Widths = append(p.Widths, bitio.WidthOf(spread(d.Values[a], d.Values[b-1])))
+		} else {
+			p.Widths = append(p.Widths, classWidth(spread(d.Values[a], d.Values[b-1])))
+		}
+	}
+	p.TagLens = huffmanLengths(p.Counts)
+	for c := 0; c < k; c++ {
+		p.CostBits += int64(p.Counts[c]) * int64(p.Widths[c]+p.TagLens[c])
+	}
+	return p
+}
+
+// huffmanLengths returns Huffman code lengths for the given symbol counts
+// (all counts > 0). One symbol yields length 0 (no tag stream needed).
+func huffmanLengths(counts []int) []uint {
+	k := len(counts)
+	lens := make([]uint, k)
+	if k <= 1 {
+		return lens
+	}
+	// Tiny k: simple O(k^2) Huffman via repeated min-merging of tree
+	// nodes. Each node tracks the set of leaf symbols beneath it.
+	type node struct {
+		weight  int
+		symbols []int
+	}
+	nodes := make([]*node, 0, k)
+	for i, c := range counts {
+		nodes = append(nodes, &node{weight: c, symbols: []int{i}})
+	}
+	for len(nodes) > 1 {
+		// Find the two lightest nodes.
+		a, b := 0, 1
+		if nodes[b].weight < nodes[a].weight {
+			a, b = b, a
+		}
+		for i := 2; i < len(nodes); i++ {
+			switch {
+			case nodes[i].weight < nodes[a].weight:
+				b, a = a, i
+			case nodes[i].weight < nodes[b].weight:
+				b = i
+			}
+		}
+		for _, s := range nodes[a].symbols {
+			lens[s]++
+		}
+		for _, s := range nodes[b].symbols {
+			lens[s]++
+		}
+		merged := &node{
+			weight:  nodes[a].weight + nodes[b].weight,
+			symbols: append(append([]int(nil), nodes[a].symbols...), nodes[b].symbols...),
+		}
+		// Remove a and b (remove the larger index first).
+		if a < b {
+			a, b = b, a
+		}
+		nodes = append(nodes[:a], nodes[a+1:]...)
+		nodes = append(nodes[:b], nodes[b+1:]...)
+		nodes = append(nodes, merged)
+	}
+	return lens
+}
+
+// canonicalCodes assigns canonical Huffman codes to the given lengths.
+// Symbols are ordered by (length, index); codes count upward.
+func canonicalCodes(lens []uint) []uint64 {
+	type sym struct {
+		i int
+		l uint
+	}
+	order := make([]sym, len(lens))
+	for i, l := range lens {
+		order[i] = sym{i, l}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].l != order[b].l {
+			return order[a].l < order[b].l
+		}
+		return order[a].i < order[b].i
+	})
+	codes := make([]uint64, len(lens))
+	var code uint64
+	var prevLen uint
+	for _, s := range order {
+		if s.l == 0 {
+			continue
+		}
+		code <<= s.l - prevLen
+		codes[s.i] = code
+		code++
+		prevLen = s.l
+	}
+	return codes
+}
+
+// EncodeBlockParts packs vals as a k-part block (mode 2) and returns the
+// extended dst.
+func EncodeBlockParts(dst []byte, vals []int64, k int) []byte {
+	plan := PlanParts(vals, k)
+	return EncodeBlockPartsPlan(dst, vals, &plan)
+}
+
+// EncodeBlockPartsPlan packs vals according to an existing k-parts plan.
+func EncodeBlockPartsPlan(dst []byte, vals []int64, plan *PartsPlan) []byte {
+	w := bitio.NewWriter(len(vals)*2 + 16)
+	w.WriteUvarint(uint64(len(vals)))
+	if len(vals) == 0 {
+		return append(dst, w.Bytes()...)
+	}
+	w.WriteBits(uint64(modeParts), 8)
+	w.WriteUvarint(uint64(plan.K))
+	w.WriteVarint(plan.Bases[0])
+	for c := 1; c < plan.K; c++ {
+		w.WriteUvarint(spread(plan.Bases[c-1], plan.Bases[c]))
+	}
+	for c := 0; c < plan.K; c++ {
+		w.WriteBits(uint64(plan.Widths[c]), 8)
+		w.WriteBits(uint64(plan.TagLens[c]), 8)
+	}
+	codes := canonicalCodes(plan.TagLens)
+	classIdx := func(v int64) int {
+		// Largest base <= v.
+		i := sort.Search(plan.K, func(i int) bool { return plan.Bases[i] > v }) - 1
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+	for _, v := range vals {
+		c := classIdx(v)
+		w.WriteBits(codes[c], plan.TagLens[c])
+	}
+	for _, v := range vals {
+		c := classIdx(v)
+		w.WriteBits(spread(plan.Bases[c], v), plan.Widths[c])
+	}
+	return append(dst, w.Bytes()...)
+}
+
+// decodeParts decodes a mode-2 block body.
+func decodeParts(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
+	fail := func(what string, err error) ([]int64, []byte, error) {
+		return out, nil, fmt.Errorf("%w: parts %s: %v", errCorrupt, what, err)
+	}
+	k64, err := r.ReadUvarint()
+	if err != nil {
+		return fail("k", err)
+	}
+	if k64 == 0 || k64 > 64 {
+		return out, nil, fmt.Errorf("%w: parts k=%d", errCorrupt, k64)
+	}
+	k := int(k64)
+	bases := make([]int64, k)
+	bases[0], err = r.ReadVarint()
+	if err != nil {
+		return fail("base", err)
+	}
+	for c := 1; c < k; c++ {
+		d, err := r.ReadUvarint()
+		if err != nil {
+			return fail("base", err)
+		}
+		bases[c] = int64(uint64(bases[c-1]) + d)
+	}
+	widths := make([]uint, k)
+	tagLens := make([]uint, k)
+	for c := 0; c < k; c++ {
+		wv, err := r.ReadBits(8)
+		if err != nil {
+			return fail("width", err)
+		}
+		tv, err := r.ReadBits(8)
+		if err != nil {
+			return fail("taglen", err)
+		}
+		if wv > 64 || tv > 64 {
+			return out, nil, fmt.Errorf("%w: parts width %d taglen %d", errCorrupt, wv, tv)
+		}
+		widths[c], tagLens[c] = uint(wv), uint(tv)
+	}
+	codes := canonicalCodes(tagLens)
+	// Build a (length, code) -> class lookup for bit-serial decoding.
+	type key struct {
+		l uint
+		c uint64
+	}
+	lookup := make(map[key]int, k)
+	maxLen := uint(0)
+	soleClass := -1
+	for c := 0; c < k; c++ {
+		if tagLens[c] == 0 {
+			soleClass = c
+			continue
+		}
+		lookup[key{tagLens[c], codes[c]}] = c
+		if tagLens[c] > maxLen {
+			maxLen = tagLens[c]
+		}
+	}
+	classes := make([]int, n)
+	for i := 0; i < n; i++ {
+		if maxLen == 0 {
+			classes[i] = soleClass
+			continue
+		}
+		var code uint64
+		var l uint
+		found := false
+		for l < maxLen {
+			b, err := r.ReadBit()
+			if err != nil {
+				return fail("tag", err)
+			}
+			code = code<<1 | b
+			l++
+			if c, ok := lookup[key{l, code}]; ok {
+				classes[i] = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			return out, nil, fmt.Errorf("%w: parts: invalid tag code", errCorrupt)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := classes[i]
+		d, err := r.ReadBits(widths[c])
+		if err != nil {
+			return fail(fmt.Sprintf("value %d", i), err)
+		}
+		out = append(out, int64(uint64(bases[c])+d))
+	}
+	return out, r.Rest(), nil
+}

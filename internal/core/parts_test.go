@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPartsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for iter := 0; iter < 100; iter++ {
+		vals := genSeries(rng)
+		for k := 1; k <= 7; k++ {
+			enc := EncodeBlockParts(nil, vals, k)
+			got, rest, err := DecodeBlock(enc, nil)
+			if err != nil {
+				t.Fatalf("iter %d k=%d: %v", iter, k, err)
+			}
+			if len(rest) != 0 || len(got) != len(vals) {
+				t.Fatalf("iter %d k=%d: decoded %d/%d, rest %d", iter, k, len(got), len(vals), len(rest))
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("iter %d k=%d value %d: got %d want %d", iter, k, i, got[i], vals[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPartsPlanOnePartIsBP(t *testing.T) {
+	vals := []int64{3, 2, 4, 5, 3, 2, 0, 8}
+	p := PlanParts(vals, 1)
+	if p.K != 1 {
+		t.Fatalf("k = %d", p.K)
+	}
+	if p.CostBits != plainCost(len(vals), 0, 8) {
+		t.Errorf("1-part cost %d want %d", p.CostBits, plainCost(len(vals), 0, 8))
+	}
+	if p.TagLens[0] != 0 {
+		t.Errorf("1-part tag length %d want 0", p.TagLens[0])
+	}
+}
+
+func TestPartsValueBitsNonIncreasing(t *testing.T) {
+	// More classes can only shrink the pure value bits (the DP objective);
+	// total cost including tags may grow, which is exactly the Figure 14
+	// trade-off.
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 50; iter++ {
+		vals := genSeries(rng)
+		prevValueBits := int64(-1)
+		for k := 1; k <= 7; k++ {
+			p := PlanParts(vals, k)
+			var valueBits int64
+			for c := 0; c < p.K; c++ {
+				valueBits += int64(p.Counts[c]) * int64(p.Widths[c])
+			}
+			if prevValueBits >= 0 && p.K >= k && valueBits > prevValueBits {
+				t.Fatalf("iter %d k=%d: value bits %d grew from %d", iter, k, valueBits, prevValueBits)
+			}
+			prevValueBits = valueBits
+		}
+	}
+}
+
+func TestPartsThreeBeatsOneOnFig1(t *testing.T) {
+	p1 := PlanParts(Fig1Series, 1)
+	p3 := PlanParts(Fig1Series, 3)
+	if p3.CostBits >= p1.CostBits {
+		t.Errorf("3 parts (%d bits) should beat 1 part (%d bits)", p3.CostBits, p1.CostBits)
+	}
+	// The encoded sizes must follow the planned ordering.
+	e1 := EncodeBlockParts(nil, Fig1Series, 1)
+	e3 := EncodeBlockParts(nil, Fig1Series, 3)
+	if len(e3) >= len(e1) {
+		t.Errorf("3-part block %d bytes, 1-part %d", len(e3), len(e1))
+	}
+}
+
+func TestPartsCountsSumToN(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 50; iter++ {
+		vals := genSeries(rng)
+		for k := 1; k <= 5; k++ {
+			p := PlanParts(vals, k)
+			total := 0
+			for _, c := range p.Counts {
+				total += c
+			}
+			if total != len(vals) {
+				t.Fatalf("iter %d k=%d: counts sum %d want %d", iter, k, total, len(vals))
+			}
+			for c := 1; c < p.K; c++ {
+				if p.Bases[c] <= p.Maxes[c-1] {
+					t.Fatalf("iter %d k=%d: classes overlap", iter, k)
+				}
+			}
+		}
+	}
+}
+
+func TestHuffmanLengths(t *testing.T) {
+	cases := []struct {
+		counts []int
+		want   []uint
+	}{
+		{[]int{10}, []uint{0}},
+		{[]int{5, 5}, []uint{1, 1}},
+		{[]int{90, 5, 5}, []uint{1, 2, 2}}, // the paper's bitmap: center 1 bit, outliers 2
+		{[]int{1, 1, 1, 1}, []uint{2, 2, 2, 2}},
+	}
+	for _, c := range cases {
+		got := huffmanLengths(c.counts)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("huffmanLengths(%v) = %v want %v", c.counts, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestHuffmanKraft(t *testing.T) {
+	// Kraft inequality must hold with equality for a Huffman code.
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 100; iter++ {
+		k := rng.Intn(7) + 1
+		counts := make([]int, k)
+		for i := range counts {
+			counts[i] = rng.Intn(1000) + 1
+		}
+		lens := huffmanLengths(counts)
+		if k == 1 {
+			if lens[0] != 0 {
+				t.Fatalf("single symbol len %d", lens[0])
+			}
+			continue
+		}
+		var kraft float64
+		for _, l := range lens {
+			kraft += 1 / float64(uint64(1)<<l)
+		}
+		if kraft < 0.999 || kraft > 1.001 {
+			t.Fatalf("counts %v lens %v kraft %f", counts, lens, kraft)
+		}
+	}
+}
+
+func TestCanonicalCodesPrefixFree(t *testing.T) {
+	lens := []uint{1, 2, 2}
+	codes := canonicalCodes(lens)
+	if codes[0] != 0 || codes[1] != 2 || codes[2] != 3 {
+		t.Errorf("codes = %v", codes)
+	}
+}
+
+func BenchmarkPlanParts(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	vals := make([]int64, 1024)
+	for i := range vals {
+		vals[i] = int64(rng.NormFloat64() * 200)
+	}
+	for _, k := range []int{3, 5, 7} {
+		b.Run("k="+string(rune('0'+k)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				PlanParts(vals, k)
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sort"
+
+	"bos/internal/stats"
+)
+
+// PlanBitWidth implements BOS-B (Algorithm 2): exact bit-width separation.
+// For every candidate lower threshold xl (each distinct value, plus "no lower
+// outliers") it considers only the upper thresholds justified by
+// Propositions 2 and 3:
+//
+//	xu = minXc + 2^beta   (Proposition 2, the beta <= gamma case)
+//	xu = xmax - 2^gamma + 1  (Proposition 3, the beta > gamma case)
+//
+// for every feasible width, instead of every value of X. The propositions
+// guarantee a candidate of one of these two shapes is never worse than any
+// value-shaped solution with the same xl, so PlanBitWidth returns exactly the
+// optimal cost found by PlanValue. O(m log(range) log m).
+func PlanBitWidth(vals []int64) Plan {
+	return planBitWidth(vals, true)
+}
+
+// PlanUpperOnly is the Figure 12 ablation: BOS-B with the lower-outlier loop
+// disabled, i.e. only upper outliers may be separated (the PFOR regime).
+func PlanUpperOnly(vals []int64) Plan {
+	return planBitWidth(vals, false)
+}
+
+func planBitWidth(vals []int64, withLower bool) Plan {
+	if len(vals) == 0 {
+		return plainPlan(vals)
+	}
+	d := stats.NewDistinct(vals)
+	best := plainPlan(vals)
+	m := len(d.Values)
+	xmax := d.Values[m-1]
+
+	iMax := m - 1
+	if !withLower {
+		iMax = -1
+	}
+	for i := -1; i <= iMax; i++ {
+		if i+1 >= m {
+			// All values would be lower outliers; xu has no room.
+			cand := partitionCost(d, i, m)
+			if better(&cand, &best) {
+				best = cand
+			}
+			continue
+		}
+		minXc := d.Values[i+1]
+		maxWidth := classWidth(spread(minXc, xmax))
+
+		// No upper outliers at all.
+		if cand := partitionCost(d, i, m); i != -1 && better(&cand, &best) {
+			best = cand
+		}
+		// All values above xl are upper outliers (empty center).
+		if cand := partitionCost(d, i, i+1); better(&cand, &best) {
+			best = cand
+		}
+
+		// Proposition 2 candidates: xu = minXc + 2^beta.
+		for beta := uint(0); beta <= maxWidth; beta++ {
+			xu, ok := addCap(minXc, beta, xmax)
+			if !ok {
+				break // xu beyond xmax: no upper outliers, handled above
+			}
+			j := firstGE(d, xu)
+			if cand := partitionCost(d, i, j); better(&cand, &best) {
+				best = cand
+			}
+		}
+		// Proposition 3 candidates: xu = xmax - 2^gamma + 1.
+		for gamma := uint(0); gamma <= maxWidth; gamma++ {
+			xu, ok := subFloor(xmax, gamma, minXc)
+			if !ok {
+				break // xu at or below minXc: empty center, handled above
+			}
+			j := firstGE(d, xu)
+			if j <= i+1 {
+				continue
+			}
+			if cand := partitionCost(d, i, j); better(&cand, &best) {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// firstGE returns the index of the first distinct value >= v (len if none).
+func firstGE(d *stats.Distinct, v int64) int {
+	return sort.Search(len(d.Values), func(i int) bool { return d.Values[i] >= v })
+}
+
+// addCap computes base + 2^w, reporting ok=false when the result exceeds cap.
+// The arithmetic runs in the uint64 spread domain so that it is exact for the
+// full int64 value range.
+func addCap(base int64, w uint, cap int64) (int64, bool) {
+	if w >= 64 {
+		return 0, false
+	}
+	off := uint64(1) << w
+	if off > spread(base, cap) {
+		return 0, false
+	}
+	return int64(uint64(base) + off), true
+}
+
+// subFloor computes top - 2^w + 1, reporting ok=false when the result is at
+// or below floor.
+func subFloor(top int64, w uint, floor int64) (int64, bool) {
+	if w >= 64 {
+		return 0, false
+	}
+	off := uint64(1)<<w - 1
+	if off >= spread(floor, top) {
+		return 0, false
+	}
+	return int64(uint64(top) - off), true
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bos/internal/bitio"
+	"bos/internal/stats"
+)
+
+// maxBuckets bounds the bucket index |beta|; an int64 spread fits in 64 bits.
+const maxBuckets = 65
+
+// PlanMedian implements BOS-M (Algorithm 3): approximate median separation in
+// O(n) time. It finds the median with QuickSelect, divides the values into
+// the bucket counts h(beta) / h(-beta) of Definition 7 (values at distance
+// [2^(beta-1), 2^beta) above / below the median), and evaluates only the
+// symmetric candidates
+//
+//	(xl, xu) = (median - 2^beta, median + 2^beta)
+//
+// for each feasible beta. Unlike the paper's pseudo-code, which estimates the
+// class widths from the thresholds, this implementation tracks per-bucket
+// minima and maxima so each candidate is charged its exact Definition 5 cost;
+// the approximation comes only from the restricted candidate set.
+func PlanMedian(vals []int64) Plan {
+	n := len(vals)
+	if n == 0 {
+		return plainPlan(vals)
+	}
+	med := stats.Median(vals)
+
+	// Bucket accounting. Index 0 is the median bucket; index b in [1,64]
+	// holds values with distance d to the median where
+	// 2^(b-1) <= d < 2^b (above for high, below for low).
+	var (
+		lowCnt, highCnt [maxBuckets]int
+		lowMin, highMin [maxBuckets]int64
+		lowMax, highMax [maxBuckets]int64
+		lowSeen, hiSeen [maxBuckets]bool
+		xmin, xmax      = vals[0], vals[0]
+		medCount        int
+	)
+	for _, v := range vals {
+		if v < xmin {
+			xmin = v
+		}
+		if v > xmax {
+			xmax = v
+		}
+		switch {
+		case v == med:
+			medCount++
+		case v > med:
+			b := int(bitio.WidthOf(spread(med, v)))
+			highCnt[b]++
+			if !hiSeen[b] || v < highMin[b] {
+				highMin[b] = v
+			}
+			if !hiSeen[b] || v > highMax[b] {
+				highMax[b] = v
+			}
+			hiSeen[b] = true
+		default:
+			b := int(bitio.WidthOf(spread(v, med)))
+			lowCnt[b]++
+			if !lowSeen[b] || v < lowMin[b] {
+				lowMin[b] = v
+			}
+			if !lowSeen[b] || v > lowMax[b] {
+				lowMax[b] = v
+			}
+			lowSeen[b] = true
+		}
+	}
+
+	best := plainPlan(vals)
+	maxBeta := int(bitio.WidthOf(spread(xmin, xmax)))
+	if maxBeta >= maxBuckets {
+		maxBeta = maxBuckets - 1
+	}
+
+	// Walk beta downward, accumulating outlier-side aggregates exactly as
+	// Algorithm 3 accumulates nl and nu. At threshold beta the lower
+	// outliers are the values <= med - 2^beta, i.e. buckets b > beta.
+	var (
+		nl, nu       int
+		haveL, haveU bool
+		maxXl, minXu int64
+	)
+	for beta := maxBeta; beta >= 1; beta-- {
+		if b := beta + 1; b < maxBuckets {
+			if lowSeen[b] {
+				nl += lowCnt[b]
+				if !haveL || lowMax[b] > maxXl {
+					maxXl = lowMax[b]
+				}
+				haveL = true
+			}
+			if hiSeen[b] {
+				nu += highCnt[b]
+				if !haveU || highMin[b] < minXu {
+					minXu = highMin[b]
+				}
+				haveU = true
+			}
+		}
+		cand := medianCandidate(n, beta, med, medCount,
+			&lowCnt, &lowMin, &lowMax, &lowSeen,
+			&highCnt, &highMin, &highMax, &hiSeen,
+			nl, nu, haveL, haveU, maxXl, minXu, xmin, xmax)
+		if cand.Separated && better(&cand, &best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// medianCandidate resolves the exact Plan for thresholds
+// (med - 2^beta, med + 2^beta) given the accumulated outlier aggregates.
+func medianCandidate(n, beta int, med int64, medCount int,
+	lowCnt *[maxBuckets]int, lowMin, lowMax *[maxBuckets]int64, lowSeen *[maxBuckets]bool,
+	highCnt *[maxBuckets]int, highMin, highMax *[maxBuckets]int64, hiSeen *[maxBuckets]bool,
+	nl, nu int, haveL, haveU bool, maxXl, minXu, xmin, xmax int64) Plan {
+
+	if nl == 0 && nu == 0 {
+		return Plan{} // nothing separated: the plain baseline wins anyway
+	}
+	p := Plan{N: n, Separated: true, Xmin: xmin, Xmax: xmax}
+	var cost int64
+	if haveL {
+		p.NL = nl
+		p.MaxXl = maxXl
+		p.Alpha = classWidth(spread(xmin, maxXl))
+		cost += int64(nl) * int64(p.Alpha+1)
+	}
+	if haveU {
+		p.NU = nu
+		p.MinXu = minXu
+		p.Gamma = classWidth(spread(minXu, xmax))
+		cost += int64(nu) * int64(p.Gamma+1)
+	}
+	if nc := p.NC(); nc > 0 {
+		// Center bounds: the inner buckets b <= beta on both sides,
+		// plus the median itself when present.
+		minXc, maxXc := med, med
+		haveC := medCount > 0
+		for b := 1; b <= beta && b < maxBuckets; b++ {
+			if lowSeen[b] {
+				if !haveC || lowMin[b] < minXc {
+					minXc = lowMin[b]
+				}
+				if !haveC || lowMax[b] > maxXc {
+					maxXc = lowMax[b]
+				}
+				haveC = true
+			}
+			if hiSeen[b] {
+				if !haveC || highMin[b] < minXc {
+					minXc = highMin[b]
+				}
+				if !haveC || highMax[b] > maxXc {
+					maxXc = highMax[b]
+				}
+				haveC = true
+			}
+		}
+		p.MinXc, p.MaxXc = minXc, maxXc
+		p.Beta = classWidth(spread(minXc, maxXc))
+		cost += int64(nc) * int64(p.Beta)
+	}
+	cost += int64(n)
+	p.CostBits = cost
+	return p
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPlanMedianPaperRoundTripAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for iter := 0; iter < 300; iter++ {
+		vals := genSeries(rng)
+		paper := PlanMedianPaper(vals)
+		exact := PlanMedian(vals)
+		plain := plainPlan(vals)
+		opt := PlanValue(vals)
+		// Both BOS-M variants are bracketed by the optimum and plain BP.
+		if paper.CostBits > plain.CostBits {
+			t.Fatalf("iter %d: paper BOS-M %d worse than plain %d", iter, paper.CostBits, plain.CostBits)
+		}
+		if paper.CostBits < opt.CostBits {
+			t.Fatalf("iter %d: paper BOS-M %d beats the optimum %d", iter, paper.CostBits, opt.CostBits)
+		}
+		// The exact-costing variant never picks a worse plan than the
+		// estimate-based pseudo-code (the ablation claim).
+		if exact.CostBits > paper.CostBits {
+			t.Fatalf("iter %d: exact BOS-M %d worse than paper variant %d", iter, exact.CostBits, paper.CostBits)
+		}
+		// Plans must encode and decode.
+		enc := EncodeBlockPlan(nil, vals, &paper)
+		got, rest, err := DecodeBlock(enc, nil)
+		if err != nil || len(rest) != 0 || len(got) != len(vals) {
+			t.Fatalf("iter %d: decode %v", iter, err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("iter %d: value %d mismatch", iter, i)
+			}
+		}
+	}
+}
+
+func TestPlanMedianPaperIntroExample(t *testing.T) {
+	p := PlanMedianPaper(introSeries)
+	// The estimate-based search still finds a separation on the intro
+	// series, within the [optimal, plain] bracket.
+	if !p.Separated {
+		t.Fatal("paper BOS-M should separate")
+	}
+	if p.CostBits < 24 || p.CostBits > 32 {
+		t.Errorf("cost = %d, want within [24, 32]", p.CostBits)
+	}
+}
+
+func TestPlanMedianPaperEmptyAndConstant(t *testing.T) {
+	if p := PlanMedianPaper(nil); p.Separated {
+		t.Error("separated empty input")
+	}
+	if p := PlanMedianPaper([]int64{7, 7, 7}); p.Separated {
+		t.Error("separated constant input")
+	}
+}

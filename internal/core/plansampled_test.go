@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSampledPlanRoundTripAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for iter := 0; iter < 200; iter++ {
+		vals := genSeries(rng)
+		p := PlanBitWidthSampled(vals, 64)
+		plain := plainPlan(vals)
+		opt := PlanValue(vals)
+		if p.CostBits > plain.CostBits {
+			t.Fatalf("iter %d: sampled %d worse than plain %d", iter, p.CostBits, plain.CostBits)
+		}
+		if p.CostBits < opt.CostBits {
+			t.Fatalf("iter %d: sampled %d beats the optimum %d", iter, p.CostBits, opt.CostBits)
+		}
+		enc := EncodeBlockPlan(nil, vals, &p)
+		got, rest, err := DecodeBlock(enc, nil)
+		if err != nil || len(rest) != 0 || len(got) != len(vals) {
+			t.Fatalf("iter %d: decode %v", iter, err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("iter %d: value %d mismatch", iter, i)
+			}
+		}
+	}
+}
+
+func TestSampledPlanSmallBlockIsExact(t *testing.T) {
+	// Blocks at or below the sample size use the exact planner.
+	p := PlanBitWidthSampled(introSeries, 1024)
+	if p.CostBits != 24 {
+		t.Errorf("cost = %d want 24", p.CostBits)
+	}
+}
+
+func TestSampledPlanQualityOnLargeBlocks(t *testing.T) {
+	// On a large outlier-rich block the sampled plan must capture most of
+	// the separation benefit (the outlier structure is visible in any
+	// stride sample) at a fraction of the planning cost.
+	rng := rand.New(rand.NewSource(81))
+	vals := make([]int64, 64*1024)
+	for i := range vals {
+		switch {
+		case rng.Float64() < 0.02:
+			vals[i] = rng.Int63n(1 << 40)
+		case rng.Float64() < 0.04:
+			vals[i] = -rng.Int63n(1 << 40)
+		default:
+			vals[i] = int64(rng.NormFloat64() * 500)
+		}
+	}
+	startFull := time.Now()
+	full := PlanBitWidth(vals)
+	fullTime := time.Since(startFull)
+	startSampled := time.Now()
+	sampled := PlanBitWidthSampled(vals, 1024)
+	sampledTime := time.Since(startSampled)
+
+	if !sampled.Separated {
+		t.Fatal("sampled plan did not separate")
+	}
+	// Within 10% of the optimal cost (stride sampling blurs the exact
+	// threshold choice; the outlier structure itself always transfers).
+	if float64(sampled.CostBits) > 1.10*float64(full.CostBits) {
+		t.Errorf("sampled cost %d vs full %d (>10%% worse)", sampled.CostBits, full.CostBits)
+	}
+	// And meaningfully cheaper to plan (allow noise: require 2x).
+	if sampledTime*2 > fullTime {
+		t.Logf("sampled planning %v vs full %v — small win on this machine", sampledTime, fullTime)
+	}
+}
+
+func TestSampledPlanEmpty(t *testing.T) {
+	if p := PlanBitWidthSampled(nil, 16); p.Separated {
+		t.Error("separated empty input")
+	}
+}
+
+func BenchmarkPlanSampledVsFull64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(82))
+	vals := make([]int64, 64*1024)
+	for i := range vals {
+		if rng.Float64() < 0.03 {
+			vals[i] = rng.Int63n(1 << 40)
+		} else {
+			vals[i] = int64(rng.NormFloat64() * 500)
+		}
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PlanBitWidth(vals)
+		}
+	})
+	b.Run("sampled-1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PlanBitWidthSampled(vals, 1024)
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package core
+
+import "bos/internal/stats"
+
+// PlanValue implements BOS-V (Algorithm 1): exact value separation. It
+// enumerates every pair of distinct values as the lower and upper thresholds
+// (xl, xu), plus the no-lower / no-upper sentinels, and returns the plan with
+// the minimum storage cost. By Proposition 1 restricting thresholds to values
+// of X preserves optimality. O(m^2) over m distinct values.
+//
+// The returned plan is plain bit-packing when no separation beats
+// Definition 1's cost, mirroring the Cmin initialization in Algorithm 1.
+func PlanValue(vals []int64) Plan {
+	if len(vals) == 0 {
+		return plainPlan(vals)
+	}
+	d := stats.NewDistinct(vals)
+	best := plainPlan(vals)
+	m := len(d.Values)
+	// i indexes the largest lower outlier (-1: none); j indexes the
+	// smallest upper outlier (m: none). Any i < j is a valid partition.
+	for i := -1; i < m; i++ {
+		for j := i + 1; j <= m; j++ {
+			if i == -1 && j == m {
+				continue // no separation: that is the plain baseline
+			}
+			if cand := partitionCost(d, i, j); better(&cand, &best) {
+				best = cand
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,24 @@
+package core
+
+// Fig1Series is a 100-point series shaped like Figure 1 of the paper: values
+// in [465, 935] with the bulk of the mass concentrated in a narrow center
+// band around the median, five lower outliers at or below 620, and four
+// upper outliers at or above 794. It drives the worked-example tests
+// (Examples 1-4) and the quickstart example.
+//
+// The exact values of the paper's series are not published; this series is
+// engineered so that the quantities stated in Example 1 hold: with the
+// thresholds (xl, xu) = (620, 794) there are nl = 5 lower and nu = 4 upper
+// outliers, so the bitmap costs n + nl + nu = 109 bits.
+var Fig1Series = []int64{
+	659, 676, 668, 683, 650, 672, 690, 662, 678, 655,
+	671, 686, 645, 669, 681, 658, 674, 693, 652, 666,
+	465, 680, 661, 688, 673, 648, 677, 664, 685, 656,
+	670, 692, 653, 679, 667, 684, 649, 675, 660, 687,
+	540, 646, 682, 657, 694, 663, 671, 689, 651, 678,
+	935, 665, 680, 647, 691, 668, 674, 654, 686, 659,
+	580, 677, 644, 683, 662, 695, 669, 656, 688, 672,
+	850, 650, 679, 664, 692, 648, 675, 660, 685, 670,
+	620, 653, 690, 667, 681, 600, 673, 658, 694, 663,
+	900, 676, 655, 687, 649, 682, 665, 794, 671, 684,
+}

@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bos/internal/core"
+	"bos/internal/stats"
+	"bos/internal/ts2diff"
+)
+
+func TestAllDatasetsGenerate(t *testing.T) {
+	ds := All()
+	if len(ds) != 12 {
+		t.Fatalf("have %d datasets, want 12", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if seen[d.Abbr] {
+			t.Errorf("duplicate abbreviation %s", d.Abbr)
+		}
+		seen[d.Abbr] = true
+		vals := d.Values(0)
+		if len(vals) != d.N {
+			t.Errorf("%s: generated %d values, want %d", d.Abbr, len(vals), d.N)
+		}
+		ints := d.Ints(1000)
+		if len(ints) != 1000 {
+			t.Errorf("%s: Ints(1000) returned %d", d.Abbr, len(ints))
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	for _, d := range All() {
+		a := d.Ints(500)
+		b := d.Ints(500)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: generation is not deterministic at %d", d.Abbr, i)
+			}
+		}
+	}
+}
+
+func TestByAbbr(t *testing.T) {
+	if d := ByAbbr("TC"); d == nil || d.Name != "TH-Climate" {
+		t.Errorf("ByAbbr(TC) = %v", d)
+	}
+	if d := ByAbbr("nope"); d != nil {
+		t.Errorf("ByAbbr(nope) = %v", d)
+	}
+}
+
+func TestIntegerDatasetsHavePrecisionZero(t *testing.T) {
+	for _, d := range All() {
+		if !d.Float && d.Precision != 0 {
+			t.Errorf("%s: integer dataset with precision %d", d.Abbr, d.Precision)
+		}
+		if d.Float && d.Precision == 0 {
+			t.Errorf("%s: float dataset with precision 0", d.Abbr)
+		}
+	}
+}
+
+func TestShapesMatchFigure8And9(t *testing.T) {
+	// The generators must reproduce the paper's qualitative shapes:
+	// (a) deltas concentrate around zero (Figure 8: normal after TS2DIFF);
+	// (b) BOS-V separates a nonzero but minority share of outliers
+	//     (Figure 9: between a fraction of a percent and ~30%).
+	for _, d := range All() {
+		ints := d.Ints(20000)
+		deltas := ts2diff.Deltas(ints)[1:]
+		s := stats.Summarize(deltas)
+		if s.Std == 0 {
+			t.Errorf("%s: degenerate deltas", d.Abbr)
+			continue
+		}
+		// Outlier share separated by BOS-V over 1024-blocks.
+		nl, nu, n := 0, 0, 0
+		for off := 0; off+1024 <= len(deltas); off += 1024 {
+			p := core.PlanValue(deltas[off : off+1024])
+			nl += p.NL
+			nu += p.NU
+			n += 1024
+		}
+		frac := float64(nl+nu) / float64(n)
+		if frac <= 0 {
+			t.Errorf("%s: BOS-V separated no outliers — dataset has no tail", d.Abbr)
+		}
+		if frac > 0.45 {
+			t.Errorf("%s: BOS-V separated %.0f%% — outliers are not a minority", d.Abbr, frac*100)
+		}
+	}
+}
+
+func TestTHClimateIsSkewed(t *testing.T) {
+	// TH-Climate must have its dense low-outlier cluster (the case where
+	// BOS-M visibly trails BOS-V/B in Figure 10a).
+	d := ByAbbr("TC")
+	vals := d.Ints(20000)
+	low := 0
+	for _, v := range vals {
+		if v <= 50 {
+			low++
+		}
+	}
+	frac := float64(low) / float64(len(vals))
+	if frac < 0.08 || frac > 0.3 {
+		t.Errorf("TC low-cluster fraction %.2f, want ~0.15", frac)
+	}
+}
+
+func TestLoadFileAndOverrides(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "TC.txt")
+	if err := os.WriteFile(path, []byte("# real data\n800\n801\n\n12\n799\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadFile(path, "TH-Climate", "TC", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 4 {
+		t.Fatalf("N = %d", d.N)
+	}
+	ints := d.Ints(6) // cycles past the end
+	want := []int64{800, 801, 12, 799, 800, 801}
+	for i := range want {
+		if ints[i] != want[i] {
+			t.Fatalf("ints = %v", ints)
+		}
+	}
+	ds, err := AllWithOverrides(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		if d.Abbr == "TC" && d.N != 4 {
+			t.Errorf("TC not overridden: N=%d", d.N)
+		}
+		if d.Abbr == "EE" && d.N == 4 {
+			t.Errorf("EE wrongly overridden")
+		}
+	}
+	if _, err := AllWithOverrides(""); err != nil {
+		t.Errorf("empty dir: %v", err)
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadFile(filepath.Join(dir, "missing.txt"), "x", "X", false, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("not-a-number\n"), 0o644)
+	if _, err := LoadFile(bad, "x", "X", false, 0); err == nil {
+		t.Error("bad value accepted")
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	os.WriteFile(empty, []byte("# only comments\n"), 0o644)
+	if _, err := LoadFile(empty, "x", "X", false, 0); err == nil {
+		t.Error("empty file accepted")
+	}
+}

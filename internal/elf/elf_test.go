@@ -1,0 +1,130 @@
+package elf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bos/internal/gorilla"
+)
+
+func roundTrip(t *testing.T, vals []float64) []byte {
+	t.Helper()
+	var c Codec
+	enc := c.Encode(nil, vals)
+	got, err := c.Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d: got %x want %x (%v vs %v)",
+				i, math.Float64bits(got[i]), math.Float64bits(vals[i]), got[i], vals[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{0},
+		{1.25},
+		{0.1, 0.2, 0.3}, // decimals that are not binary fractions
+		{12.34, 56.78, 90.12},
+		{math.Pi, math.E, math.Sqrt2}, // no decimal precision: raw path
+		{math.NaN(), math.Inf(1), -0.0, 7.5},
+		{1e15, -1e15, 0.001},
+	}
+	for _, vals := range cases {
+		roundTrip(t, vals)
+	}
+}
+
+func TestErasureActuallyErases(t *testing.T) {
+	// 0.1 has a long binary mantissa; at p=1 most of it must be erasable.
+	k := erasable(0.1, 1)
+	if k < 0 || k > 20 {
+		t.Errorf("erasable(0.1, 1) = %d, expected a short kept prefix", k)
+	}
+	e := eraseTo(0.1, uint(k))
+	if restore(e, 1) != 0.1 {
+		t.Error("restore failed")
+	}
+	if e == 0.1 {
+		t.Error("nothing was erased")
+	}
+}
+
+func TestBeatsGorillaOnDecimalData(t *testing.T) {
+	// The whole point of Elf: low-precision decimal data has noisy
+	// trailing mantissa bits that ruin Gorilla's XOR but erase cleanly.
+	rng := rand.New(rand.NewSource(10))
+	vals := make([]float64, 4096)
+	v := 20.0
+	for i := range vals {
+		v += rng.NormFloat64()
+		vals[i] = math.Round(v*10) / 10 // one decimal place
+	}
+	var e Codec
+	var g gorilla.Codec
+	el := len(e.Encode(nil, vals))
+	gl := len(g.Encode(nil, vals))
+	if el >= gl {
+		t.Errorf("Elf %d bytes vs Gorilla %d — erasure bought nothing", el, gl)
+	}
+}
+
+func TestRoundTripRandomDecimals(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 30; iter++ {
+		n := rng.Intn(500) + 1
+		p := rng.Intn(4)
+		scale := math.Pow(10, float64(p))
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Round(rng.NormFloat64()*1000*scale) / scale
+		}
+		roundTrip(t, vals)
+	}
+}
+
+func TestRoundTripAdversarialBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = math.Float64frombits(rng.Uint64())
+	}
+	roundTrip(t, vals)
+}
+
+func TestDecodeCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var c Codec
+	base := c.Encode(nil, []float64{1.5, 2.5, 3.75, 1e30, -2})
+	for i := 0; i < 2000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		c.Decode(cor)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	vals := make([]float64, 1024)
+	v := 50.0
+	for i := range vals {
+		v += rng.NormFloat64()
+		vals[i] = math.Round(v*100) / 100
+	}
+	var c Codec
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = c.Encode(buf[:0], vals)
+	}
+}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// tombstone marks a deleted time range of one series. seq is the file
+// sequence number at creation time: only data files with a smaller sequence
+// (i.e. written before the delete) are masked, so inserts made after the
+// delete survive their flush. Compaction applies tombstones and drops them.
+type tombstone struct {
+	series     string
+	minT, maxT int64
+	seq        int
+}
+
+func (ts tombstone) covers(seq int, t int64) bool {
+	return seq < ts.seq && t >= ts.minT && t <= ts.maxT
+}
+
+// DeleteRange removes every stored point of series with minT <= T <= maxT.
+// Points inserted after the delete are unaffected. The delete is durable
+// (WAL) and survives restarts; compaction physically reclaims the space.
+func (e *Engine) DeleteRange(series string, minT, maxT int64) error {
+	if minT > maxT {
+		return fmt.Errorf("engine: empty delete range [%d, %d]", minT, maxT)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	ts := tombstone{series: series, minT: minT, maxT: maxT, seq: e.nextSeq}
+	if e.log != nil {
+		if err := e.log.appendTombstone(ts); err != nil {
+			return err
+		}
+		if e.opt.SyncWAL {
+			if err := e.log.sync(); err != nil {
+				return err
+			}
+		}
+	}
+	// The memtable is newer than any file but older than the delete:
+	// drop matching buffered points directly.
+	if pts := e.mem[series]; len(pts) > 0 {
+		kept := pts[:0]
+		for _, p := range pts {
+			if p.T >= minT && p.T <= maxT {
+				e.memPts--
+				continue
+			}
+			kept = append(kept, p)
+		}
+		e.mem[series] = kept
+	}
+	e.tombs = append(e.tombs, ts)
+	return nil
+}
+
+// masked reports whether a point from the file with the given sequence is
+// hidden by a tombstone.
+func (e *Engine) masked(series string, seq int, t int64) bool {
+	for _, ts := range e.tombs {
+		if ts.series == series && ts.covers(seq, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// tombstonesFor returns the tombstones of one series (engine mutex held).
+func (e *Engine) tombstonesFor(series string) []tombstone {
+	var out []tombstone
+	for _, ts := range e.tombs {
+		if ts.series == series {
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+// WAL record kinds (first payload byte after the record framing).
+const (
+	walInsert    byte = 0
+	walTombstone byte = 1
+)
+
+// appendTombstone writes a durable delete record.
+func (l *wal) appendTombstone(ts tombstone) error {
+	payload := []byte{walTombstone}
+	payload = binary.AppendUvarint(payload, uint64(len(ts.series)))
+	payload = append(payload, ts.series...)
+	payload = binary.AppendVarint(payload, ts.minT)
+	payload = binary.AppendVarint(payload, ts.maxT)
+	payload = binary.AppendUvarint(payload, uint64(ts.seq))
+	return l.appendPayload(payload)
+}
+
+func decodeTombstonePayload(payload []byte) (tombstone, bool) {
+	var ts tombstone
+	nameLen, n := binary.Uvarint(payload)
+	if n <= 0 || uint64(len(payload)-n) < nameLen {
+		return ts, false
+	}
+	payload = payload[n:]
+	ts.series = string(payload[:nameLen])
+	payload = payload[nameLen:]
+	var k int
+	if ts.minT, k = binary.Varint(payload); k <= 0 {
+		return ts, false
+	}
+	payload = payload[k:]
+	if ts.maxT, k = binary.Varint(payload); k <= 0 {
+		return ts, false
+	}
+	payload = payload[k:]
+	seq, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return ts, false
+	}
+	ts.seq = int(seq)
+	return ts, true
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"errors"
+
+	"bos/internal/tsfile"
+)
+
+// Bucket is one downsampled window.
+type Bucket struct {
+	Start    int64 // window start timestamp (inclusive)
+	Count    int
+	Min, Max int64
+	Sum      int64
+}
+
+// Avg returns the window mean.
+func (b Bucket) Avg() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return float64(b.Sum) / float64(b.Count)
+}
+
+// ErrBadWindow reports a non-positive downsampling window.
+var ErrBadWindow = errors.New("engine: window must be positive")
+
+// Downsample aggregates a series into fixed windows of `window` timestamp
+// units over [minT, maxT] — the classic dashboard query. Empty windows are
+// omitted.
+func (e *Engine) Downsample(series string, minT, maxT, window int64) ([]Bucket, error) {
+	if window <= 0 {
+		return nil, ErrBadWindow
+	}
+	pts, err := e.Query(series, minT, maxT)
+	if err != nil {
+		return nil, err
+	}
+	var out []Bucket
+	var cur *Bucket
+	for _, p := range pts {
+		start := minT + (p.T-minT)/window*window
+		if cur == nil || cur.Start != start {
+			out = append(out, Bucket{Start: start, Min: p.V, Max: p.V})
+			cur = &out[len(out)-1]
+		}
+		cur.Count++
+		if p.V < cur.Min {
+			cur.Min = p.V
+		}
+		if p.V > cur.Max {
+			cur.Max = p.V
+		}
+		cur.Sum += p.V
+	}
+	return out, nil
+}
+
+// DownsampleAvg is a convenience wrapper returning (window start, mean)
+// points, ready to plot.
+func (e *Engine) DownsampleAvg(series string, minT, maxT, window int64) ([]tsfile.Point, error) {
+	buckets, err := e.Downsample(series, minT, maxT, window)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]tsfile.Point, len(buckets))
+	for i, b := range buckets {
+		out[i] = tsfile.Point{T: b.Start, V: int64(b.Avg())}
+	}
+	return out, nil
+}

@@ -1,0 +1,613 @@
+// Package engine implements a small IoT time-series storage engine in the
+// mold of Apache IoTDB, the system the paper deploys BOS into: inserts
+// accumulate in a per-series memtable, flush into immutable TsFile-style
+// block files (internal/tsfile) with BOS as the storage operator, and
+// queries merge the memtable with every on-disk file, newest data winning on
+// timestamp collisions. Compaction folds all files into one.
+//
+// The engine exists to exercise BOS end-to-end in its production role — the
+// write path (plan + pack on flush), the read path (footer-pruned chunk
+// scans) and the background path (compaction re-encodes everything) all run
+// through the packing operator under test.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"bos/internal/tsfile"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// FlushThreshold is the total buffered point count that triggers an
+	// automatic flush (default 16384).
+	FlushThreshold int
+	// File configures the underlying block files (packer, block size).
+	File tsfile.Options
+	// DisableWAL turns off the write-ahead log; inserts buffered in the
+	// memtable are then lost on a crash before flush.
+	DisableWAL bool
+	// SyncWAL fsyncs the log on every insert batch (durable against
+	// machine crashes, not just process crashes). Off by default.
+	SyncWAL bool
+}
+
+func (o Options) flushThreshold() int {
+	if o.FlushThreshold <= 0 {
+		return 16384
+	}
+	return o.FlushThreshold
+}
+
+// Engine is a single-node, single-process storage engine. All methods are
+// safe for concurrent use.
+type Engine struct {
+	mu      sync.RWMutex
+	opt     Options
+	mem     map[string][]tsfile.Point      // integer series buffer
+	memF    map[string][]tsfile.FloatPoint // float series buffer
+	memPts  int                            // total buffered points, both kinds
+	files   []*dataFile                    // ascending sequence = ascending freshness
+	nextSeq int
+	tombs   []tombstone // pending range deletes, applied at query/compaction
+	log     *wal        // nil when Options.DisableWAL
+	closed  bool
+}
+
+// dataFile is one immutable on-disk block file.
+type dataFile struct {
+	path   string
+	seq    int
+	f      *os.File
+	reader *tsfile.Reader
+}
+
+// ErrClosed reports use after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Open opens (or creates) an engine over dir, loading any existing data
+// files.
+func Open(opt Options) (*Engine, error) {
+	if opt.Dir == "" {
+		return nil, errors.New("engine: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	e := &Engine{
+		opt:  opt,
+		mem:  map[string][]tsfile.Point{},
+		memF: map[string][]tsfile.FloatPoint{},
+	}
+	entries, err := filepath.Glob(filepath.Join(opt.Dir, "data-*.tsf"))
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	sort.Strings(entries)
+	for _, path := range entries {
+		df, err := openDataFile(path, opt.File)
+		if err != nil {
+			e.closeFiles()
+			return nil, err
+		}
+		e.files = append(e.files, df)
+		if df.seq >= e.nextSeq {
+			e.nextSeq = df.seq + 1
+		}
+	}
+	if !opt.DisableWAL {
+		// Recover inserts and deletes that never made it into data files.
+		err := replayWAL(opt.Dir,
+			func(series string, pts []tsfile.Point) {
+				e.mem[series] = append(e.mem[series], pts...)
+				e.memPts += len(pts)
+			},
+			func(ts tombstone) {
+				e.tombs = append(e.tombs, ts)
+			},
+			func(series string, pts []tsfile.FloatPoint) {
+				e.memF[series] = append(e.memF[series], pts...)
+				e.memPts += len(pts)
+			})
+		if err != nil {
+			e.closeFiles()
+			return nil, err
+		}
+		if e.log, err = openWAL(opt.Dir); err != nil {
+			e.closeFiles()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func openDataFile(path string, opt tsfile.Options) (*dataFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	r, err := tsfile.OpenReader(f, info.Size(), opt)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("engine: %s: %w", path, err)
+	}
+	var seq int
+	fmt.Sscanf(filepath.Base(path), "data-%06d.tsf", &seq)
+	return &dataFile{path: path, seq: seq, f: f, reader: r}, nil
+}
+
+// Insert adds one point. Out-of-order and duplicate timestamps are accepted;
+// the last write for a timestamp wins.
+func (e *Engine) Insert(series string, t, v int64) error {
+	return e.InsertBatch(series, []tsfile.Point{{T: t, V: v}})
+}
+
+// InsertBatch adds many points to one series.
+func (e *Engine) InsertBatch(series string, pts []tsfile.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if len(e.memF[series]) > 0 {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q has float points", ErrSeriesKind, series)
+	}
+	if e.log != nil {
+		if err := e.log.append(series, pts); err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		if e.opt.SyncWAL {
+			if err := e.log.sync(); err != nil {
+				e.mu.Unlock()
+				return err
+			}
+		}
+	}
+	e.mem[series] = append(e.mem[series], pts...)
+	e.memPts += len(pts)
+	needFlush := e.memPts >= e.opt.flushThreshold()
+	e.mu.Unlock()
+	if needFlush {
+		return e.Flush()
+	}
+	return nil
+}
+
+// Flush writes the memtable to a new data file. A no-op when empty.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flushLocked()
+}
+
+func (e *Engine) flushLocked() error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.memPts == 0 {
+		return nil
+	}
+	seq := e.nextSeq
+	path := filepath.Join(e.opt.Dir, fmt.Sprintf("data-%06d.tsf", seq))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	w := tsfile.NewWriter(f, e.opt.File)
+	names := make([]string, 0, len(e.mem))
+	for name := range e.mem {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pts := dedupeSort(e.mem[name])
+		if err := w.Append(name, pts); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("engine: flush %s: %w", name, err)
+		}
+	}
+	fnames := make([]string, 0, len(e.memF))
+	for name := range e.memF {
+		fnames = append(fnames, name)
+	}
+	sort.Strings(fnames)
+	for _, name := range fnames {
+		pts := dedupeSortFloat(e.memF[name])
+		if err := w.AppendFloats(name, pts); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("engine: flush %s: %w", name, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("engine: %w", err)
+	}
+	df, err := openDataFile(path, e.opt.File)
+	if err != nil {
+		return err
+	}
+	e.files = append(e.files, df)
+	e.nextSeq = seq + 1
+	e.mem = map[string][]tsfile.Point{}
+	e.memF = map[string][]tsfile.FloatPoint{}
+	e.memPts = 0
+	if e.log != nil {
+		// The memtable is on disk; the log restarts with only the still
+		// pending tombstones (they mask file data until compaction).
+		if err := e.log.reset(); err != nil {
+			return err
+		}
+		for _, ts := range e.tombs {
+			if err := e.log.appendTombstone(ts); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dedupeSort sorts points by time, keeping the last inserted value for each
+// timestamp (stable sort preserves insertion order within equal times).
+func dedupeSort(pts []tsfile.Point) []tsfile.Point {
+	sorted := append([]tsfile.Point(nil), pts...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+	out := sorted[:0]
+	for _, p := range sorted {
+		if len(out) > 0 && out[len(out)-1].T == p.T {
+			out[len(out)-1] = p // last write wins
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Query returns the points of a series in [minT, maxT], in time order,
+// merging every data file and the memtable with newest-wins semantics.
+func (e *Engine) Query(series string, minT, maxT int64) ([]tsfile.Point, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	// Collect sources oldest to newest; later sources override equal
+	// timestamps by overwriting in the merge map pass.
+	merged := map[int64]int64{}
+	var order []int64
+	apply := func(pts []tsfile.Point) {
+		for _, p := range pts {
+			if p.T < minT || p.T > maxT {
+				continue
+			}
+			if _, seen := merged[p.T]; !seen {
+				order = append(order, p.T)
+			}
+			merged[p.T] = p.V
+		}
+	}
+	const full = int64(^uint64(0) >> 1)
+	for _, df := range e.files {
+		pts, err := df.reader.Query(series, minT, maxT, -full-1, full)
+		if err != nil && !errors.Is(err, tsfile.ErrNoSeries) {
+			return nil, err
+		}
+		if len(e.tombs) > 0 {
+			kept := pts[:0]
+			for _, p := range pts {
+				if !e.masked(series, df.seq, p.T) {
+					kept = append(kept, p)
+				}
+			}
+			pts = kept
+		}
+		apply(pts)
+	}
+	apply(dedupeSort(e.mem[series]))
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]tsfile.Point, 0, len(order))
+	for _, t := range order {
+		out = append(out, tsfile.Point{T: t, V: merged[t]})
+	}
+	return out, nil
+}
+
+// Series lists every known series name, sorted.
+func (e *Engine) Series() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	set := map[string]bool{}
+	for _, df := range e.files {
+		for _, s := range df.reader.Series() {
+			set[s] = true
+		}
+	}
+	for s, pts := range e.mem {
+		if len(pts) > 0 {
+			set[s] = true
+		}
+	}
+	for s, pts := range e.memF {
+		if len(pts) > 0 {
+			set[s] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for s := range set {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats summarizes the engine's footprint.
+type Stats struct {
+	Files       int
+	MemPoints   int
+	DiskPoints  int
+	DiskBytes   int64
+	SeriesCount int
+}
+
+// Stats reports the current footprint.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := Stats{Files: len(e.files), MemPoints: e.memPts}
+	set := map[string]bool{}
+	for _, df := range e.files {
+		for _, name := range df.reader.Series() {
+			set[name] = true
+		}
+	}
+	for name, pts := range e.mem {
+		if len(pts) > 0 {
+			set[name] = true
+		}
+	}
+	for name, pts := range e.memF {
+		if len(pts) > 0 {
+			set[name] = true
+		}
+	}
+	s.SeriesCount = len(set)
+	for _, df := range e.files {
+		if info, err := df.f.Stat(); err == nil {
+			s.DiskBytes += info.Size()
+		}
+		for _, name := range df.reader.Series() {
+			chunks, err := df.reader.Chunks(name)
+			if err != nil {
+				continue
+			}
+			for _, c := range chunks {
+				s.DiskPoints += c.Count
+			}
+		}
+	}
+	return s
+}
+
+// Compact merges every data file (and the memtable) into a single new file,
+// dropping overwritten points. Queries observe an atomic switch.
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if err := e.flushLocked(); err != nil {
+		return err
+	}
+	if len(e.files) <= 1 {
+		return nil
+	}
+	// Merge all series across files.
+	seq := e.nextSeq
+	path := filepath.Join(e.opt.Dir, fmt.Sprintf("data-%06d.tsf", seq))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	w := tsfile.NewWriter(f, e.opt.File)
+	names := map[string]bool{}
+	for _, df := range e.files {
+		for _, s := range df.reader.Series() {
+			names[s] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for s := range names {
+		sorted = append(sorted, s)
+	}
+	sort.Strings(sorted)
+	const full = int64(^uint64(0) >> 1)
+	for _, name := range sorted {
+		if e.seriesIsFloat(name) {
+			if err := e.compactFloatSeries(w, name); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return err
+			}
+			continue
+		}
+		merged := map[int64]int64{}
+		var order []int64
+		for _, df := range e.files {
+			pts, err := df.reader.Query(name, -full-1, full, -full-1, full)
+			if err != nil && !errors.Is(err, tsfile.ErrNoSeries) {
+				f.Close()
+				os.Remove(tmp)
+				return err
+			}
+			for _, p := range pts {
+				if e.masked(name, df.seq, p.T) {
+					continue // compaction reclaims deleted ranges
+				}
+				if _, seen := merged[p.T]; !seen {
+					order = append(order, p.T)
+				}
+				merged[p.T] = p.V
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		pts := make([]tsfile.Point, 0, len(order))
+		for _, t := range order {
+			pts = append(pts, tsfile.Point{T: t, V: merged[t]})
+		}
+		if err := w.Append(name, pts); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("engine: compact %s: %w", name, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("engine: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("engine: %w", err)
+	}
+	df, err := openDataFile(path, e.opt.File)
+	if err != nil {
+		return err
+	}
+	old := e.files
+	e.files = []*dataFile{df}
+	e.nextSeq = seq + 1
+	// Tombstones are physically applied now; drop them and their WAL
+	// records.
+	e.tombs = nil
+	if e.log != nil {
+		if err := e.log.reset(); err != nil {
+			return err
+		}
+	}
+	for _, o := range old {
+		o.f.Close()
+		os.Remove(o.path)
+	}
+	return nil
+}
+
+// seriesIsFloat reports whether any data file stores float chunks for the
+// series (engine mutex held).
+func (e *Engine) seriesIsFloat(name string) bool {
+	for _, df := range e.files {
+		chunks, err := df.reader.Chunks(name)
+		if err != nil {
+			continue
+		}
+		for _, c := range chunks {
+			if c.Kind != 0 { // kindScaled or kindRaw
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// compactFloatSeries merges one float series across all files into w.
+func (e *Engine) compactFloatSeries(w *tsfile.Writer, name string) error {
+	const full = int64(^uint64(0) >> 1)
+	merged := map[int64]float64{}
+	var order []int64
+	for _, df := range e.files {
+		pts, err := df.reader.QueryFloats(name, -full-1, full, math.Inf(-1), math.Inf(1))
+		if err != nil && !errors.Is(err, tsfile.ErrNoSeries) {
+			return err
+		}
+		for _, p := range pts {
+			if e.masked(name, df.seq, p.T) {
+				continue
+			}
+			if _, seen := merged[p.T]; !seen {
+				order = append(order, p.T)
+			}
+			merged[p.T] = p.V
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	pts := make([]tsfile.FloatPoint, 0, len(order))
+	for _, t := range order {
+		pts = append(pts, tsfile.FloatPoint{T: t, V: merged[t]})
+	}
+	if err := w.AppendFloats(name, pts); err != nil {
+		return fmt.Errorf("engine: compact %s: %w", name, err)
+	}
+	return nil
+}
+
+func (e *Engine) closeFiles() {
+	for _, df := range e.files {
+		df.f.Close()
+	}
+	e.files = nil
+}
+
+// Close flushes and releases the engine.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	if err := e.flushLocked(); err != nil {
+		return err
+	}
+	e.closeFiles()
+	if e.log != nil {
+		if err := e.log.close(); err != nil {
+			return err
+		}
+		e.log = nil
+	}
+	e.closed = true
+	return nil
+}

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"bos/internal/tsfile"
+)
+
+// Float series live beside integer series: one engine holds both, each
+// series locked to one kind at first insert. Float points flow through the
+// same WAL / memtable / flush / merge / tombstone machinery; on disk they
+// use tsfile's scaled or raw float chunks.
+
+// ErrSeriesKind reports an int operation on a float series or vice versa.
+var ErrSeriesKind = errors.New("engine: series holds the other value kind")
+
+// InsertFloat adds one float point.
+func (e *Engine) InsertFloat(series string, t int64, v float64) error {
+	return e.InsertFloatBatch(series, []tsfile.FloatPoint{{T: t, V: v}})
+}
+
+// InsertFloatBatch adds many float points to one series.
+func (e *Engine) InsertFloatBatch(series string, pts []tsfile.FloatPoint) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if len(e.mem[series]) > 0 {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q has integer points", ErrSeriesKind, series)
+	}
+	if e.log != nil {
+		if err := e.log.appendFloat(series, pts); err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		if e.opt.SyncWAL {
+			if err := e.log.sync(); err != nil {
+				e.mu.Unlock()
+				return err
+			}
+		}
+	}
+	e.memF[series] = append(e.memF[series], pts...)
+	e.memPts += len(pts)
+	needFlush := e.memPts >= e.opt.flushThreshold()
+	e.mu.Unlock()
+	if needFlush {
+		return e.Flush()
+	}
+	return nil
+}
+
+// QueryFloats returns the float points of a series in [minT, maxT], merging
+// files and the memtable with newest-wins semantics and honoring tombstones.
+func (e *Engine) QueryFloats(series string, minT, maxT int64) ([]tsfile.FloatPoint, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	merged := map[int64]float64{}
+	var order []int64
+	apply := func(pts []tsfile.FloatPoint) {
+		for _, p := range pts {
+			if p.T < minT || p.T > maxT {
+				continue
+			}
+			if _, seen := merged[p.T]; !seen {
+				order = append(order, p.T)
+			}
+			merged[p.T] = p.V
+		}
+	}
+	for _, df := range e.files {
+		pts, err := df.reader.QueryFloats(series, minT, maxT, math.Inf(-1), math.Inf(1))
+		if err != nil {
+			if errors.Is(err, tsfile.ErrNoSeries) {
+				continue
+			}
+			return nil, err
+		}
+		if len(e.tombs) > 0 {
+			kept := pts[:0]
+			for _, p := range pts {
+				if !e.masked(series, df.seq, p.T) {
+					kept = append(kept, p)
+				}
+			}
+			pts = kept
+		}
+		apply(pts)
+	}
+	apply(dedupeSortFloat(e.memF[series]))
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]tsfile.FloatPoint, 0, len(order))
+	for _, t := range order {
+		out = append(out, tsfile.FloatPoint{T: t, V: merged[t]})
+	}
+	return out, nil
+}
+
+// dedupeSortFloat mirrors dedupeSort for float points.
+func dedupeSortFloat(pts []tsfile.FloatPoint) []tsfile.FloatPoint {
+	sorted := append([]tsfile.FloatPoint(nil), pts...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+	out := sorted[:0]
+	for _, p := range sorted {
+		if len(out) > 0 && out[len(out)-1].T == p.T {
+			out[len(out)-1] = p
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// walFloat is the WAL record kind for float insert batches.
+const walFloat byte = 2
+
+// appendFloat writes a durable float insert record (values as raw bits).
+func (l *wal) appendFloat(series string, pts []tsfile.FloatPoint) error {
+	payload := make([]byte, 0, 17+len(series)+len(pts)*10)
+	payload = append(payload, walFloat)
+	payload = binary.AppendUvarint(payload, uint64(len(series)))
+	payload = append(payload, series...)
+	payload = binary.AppendUvarint(payload, uint64(len(pts)))
+	for _, p := range pts {
+		payload = binary.AppendVarint(payload, p.T)
+		payload = binary.AppendUvarint(payload, math.Float64bits(p.V))
+	}
+	return l.appendPayload(payload)
+}
+
+func decodeFloatPayload(payload []byte) (string, []tsfile.FloatPoint, bool) {
+	nameLen, n := binary.Uvarint(payload)
+	if n <= 0 || uint64(len(payload)-n) < nameLen {
+		return "", nil, false
+	}
+	payload = payload[n:]
+	name := string(payload[:nameLen])
+	payload = payload[nameLen:]
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return "", nil, false
+	}
+	payload = payload[n:]
+	pts := make([]tsfile.FloatPoint, 0, count)
+	for i := uint64(0); i < count; i++ {
+		t, k := binary.Varint(payload)
+		if k <= 0 {
+			return "", nil, false
+		}
+		payload = payload[k:]
+		bits, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return "", nil, false
+		}
+		payload = payload[k:]
+		pts = append(pts, tsfile.FloatPoint{T: t, V: math.Float64frombits(bits)})
+	}
+	return name, pts, true
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bos/internal/tsfile"
+)
+
+// TestWALRecoversUnflushedInserts simulates a crash: insert without flushing,
+// abandon the engine (no Close), reopen — the data must come back.
+func TestWALRecoversUnflushedInserts(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 500; i++ {
+		if err := e.Insert("s", i, i*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: drop the engine without Flush/Close. The WAL file carries
+	// everything.
+	e.closeFiles()
+	e.log.close()
+
+	e2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got, err := e2.Query("s", 0, 499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("recovered %d points want 500", len(got))
+	}
+	for i, p := range got {
+		if p.T != int64(i) || p.V != int64(i)*7 {
+			t.Fatalf("point %d = %v", i, p)
+		}
+	}
+}
+
+// TestWALTruncatedAfterFlush: a flush must reset the log so replay does not
+// double-apply.
+func TestWALTruncatedAfterFlush(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Insert("s", 1, 10)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 0 {
+		t.Fatalf("wal is %d bytes after flush, want 0", info.Size())
+	}
+	e.Insert("s", 2, 20) // only this should be in the log now
+	series, err := sortedWALSeries(dir)
+	if err != nil || len(series) != 1 {
+		t.Fatalf("wal series = %v err %v", series, err)
+	}
+	e.closeFiles()
+	e.log.close()
+
+	e2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got, err := e2.Query("s", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].V != 10 || got[1].V != 20 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestWALTornTailDropped: a partially written final record (torn write) must
+// be dropped while every preceding record survives.
+func TestWALTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Insert("s", 1, 100)
+	e.Insert("s", 2, 200)
+	e.closeFiles()
+	e.log.close()
+
+	// Tear the last few bytes off the log.
+	path := filepath.Join(dir, walName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got, err := e2.Query("s", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (tsfile.Point{T: 1, V: 100}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestWALCorruptRecordStopsReplay: a bit flip in a record's payload must stop
+// replay at that record without error.
+func TestWALCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Insert("s", 1, 100)
+	e.Insert("s", 2, 200)
+	e.Insert("s", 3, 300)
+	e.closeFiles()
+	e.log.close()
+
+	path := filepath.Join(dir, walName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff // lands in record 2 of 3
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got, err := e2.Query("s", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) >= 3 {
+		t.Fatalf("got %d points, want the prefix before the corruption", len(got))
+	}
+}
+
+// TestDisableWAL: with the log off, unflushed inserts are lost on crash —
+// and no wal file exists.
+func TestDisableWAL(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Insert("s", 1, 100)
+	e.closeFiles() // crash without flush
+
+	if _, err := os.Stat(filepath.Join(dir, walName)); !os.IsNotExist(err) {
+		t.Fatalf("wal file exists with DisableWAL: %v", err)
+	}
+	e2, err := Open(Options{Dir: dir, DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got, err := e2.Query("s", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v without a WAL", got)
+	}
+}
+
+// TestWALSyncOption exercises the fsync path.
+func TestWALSyncOption(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, SyncWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := int64(0); i < 50; i++ {
+		if err := e.Insert("s", i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := e.Query("s", 0, 100)
+	if err != nil || len(got) != 50 {
+		t.Fatalf("got %d err %v", len(got), err)
+	}
+}

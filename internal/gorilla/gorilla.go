@@ -1,0 +1,119 @@
+// Package gorilla implements the Gorilla time-series float compression of
+// Pelkonen et al. (VLDB 2015): successive values are XORed and the non-zero
+// XOR is stored as a (leading-zeros, meaningful-bits) window, reusing the
+// previous window when it still fits.
+package gorilla
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"bos/internal/bitio"
+	"bos/internal/codec"
+)
+
+var errCorrupt = errors.New("gorilla: corrupt stream")
+
+// Codec is the Gorilla XOR float codec. It satisfies codec.FloatCodec.
+type Codec struct{}
+
+// Name implements codec.FloatCodec.
+func (Codec) Name() string { return "GORILLA" }
+
+// Encode implements codec.FloatCodec.
+func (Codec) Encode(dst []byte, vals []float64) []byte {
+	w := bitio.NewWriter(len(vals)*8 + 16)
+	w.WriteUvarint(uint64(len(vals)))
+	if len(vals) == 0 {
+		return append(dst, w.Bytes()...)
+	}
+	prev := math.Float64bits(vals[0])
+	w.WriteBits(prev, 64)
+	prevLead, prevMean := uint(0), uint(0)
+	window := false
+	for _, v := range vals[1:] {
+		cur := math.Float64bits(v)
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		w.WriteBit(1)
+		lead := uint(bits.LeadingZeros64(xor))
+		if lead > 31 {
+			lead = 31
+		}
+		trail := uint(bits.TrailingZeros64(xor))
+		mean := 64 - lead - trail
+		if window && lead >= prevLead && 64-prevLead-prevMean <= trail {
+			// The previous window still covers the meaningful bits.
+			w.WriteBit(0)
+			w.WriteBits(xor>>(64-prevLead-prevMean), prevMean)
+			continue
+		}
+		w.WriteBit(1)
+		w.WriteBits(uint64(lead), 5)
+		w.WriteBits(uint64(mean-1), 6) // mean in [1,64] stored as mean-1
+		w.WriteBits(xor>>trail, mean)
+		prevLead, prevMean, window = lead, mean, true
+	}
+	return append(dst, w.Bytes()...)
+}
+
+// Decode implements codec.FloatCodec.
+func (Codec) Decode(src []byte) ([]float64, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", errCorrupt, err)
+	}
+	if n64 > codec.MaxBlockLen {
+		return nil, fmt.Errorf("%w: implausible count %d", errCorrupt, n64)
+	}
+	n := int(n64)
+	out := make([]float64, 0, n)
+	if n == 0 {
+		return out, nil
+	}
+	prev, err := r.ReadBits(64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: first value: %v", errCorrupt, err)
+	}
+	out = append(out, math.Float64frombits(prev))
+	var prevLead, prevMean uint
+	for i := 1; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("%w: control: %v", errCorrupt, err)
+		}
+		if b == 0 {
+			out = append(out, math.Float64frombits(prev))
+			continue
+		}
+		b, err = r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("%w: control: %v", errCorrupt, err)
+		}
+		if b == 1 {
+			hdr, err := r.ReadBits(11)
+			if err != nil {
+				return nil, fmt.Errorf("%w: window: %v", errCorrupt, err)
+			}
+			prevLead = uint(hdr >> 6)
+			prevMean = uint(hdr&0x3f) + 1
+		}
+		if prevLead+prevMean > 64 {
+			return nil, fmt.Errorf("%w: window %d+%d", errCorrupt, prevLead, prevMean)
+		}
+		xor, err := r.ReadBits(prevMean)
+		if err != nil {
+			return nil, fmt.Errorf("%w: xor bits: %v", errCorrupt, err)
+		}
+		prev ^= xor << (64 - prevLead - prevMean)
+		out = append(out, math.Float64frombits(prev))
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package gorilla
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, vals []float64) []byte {
+	t.Helper()
+	var c Codec
+	enc := c.Encode(nil, vals)
+	got, err := c.Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d: got %v want %v", i, got[i], vals[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{0},
+		{1.5},
+		{1, 1, 1, 1},
+		{1, 2, 3, 4, 5},
+		{3.14159, 2.71828, 1.41421},
+		{math.NaN(), math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1)},
+		{math.MaxFloat64, math.SmallestNonzeroFloat64, -math.MaxFloat64},
+		{12.0, 12.0, 24.0, 15.0, 12.0},
+	}
+	for _, vals := range cases {
+		roundTrip(t, vals)
+	}
+}
+
+func TestNegativeZeroPreserved(t *testing.T) {
+	var c Codec
+	got, err := c.Decode(c.Encode(nil, []float64{math.Copysign(0, -1)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got[0]) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Error("negative zero not preserved")
+	}
+}
+
+func TestRoundTripRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 2000)
+	v := 100.0
+	for i := range vals {
+		v += rng.NormFloat64()
+		vals[i] = v
+	}
+	roundTrip(t, vals)
+}
+
+func TestConstantSeriesCompressesWell(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = 42.5
+	}
+	enc := roundTrip(t, vals)
+	// 1 bit per repeated value plus the 64-bit header.
+	if len(enc) > 160 {
+		t.Errorf("constant series encoded to %d bytes", len(enc))
+	}
+}
+
+func TestSlowlyChangingCompresses(t *testing.T) {
+	// Gorilla's sweet spot: values sharing exponent and high mantissa bits.
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = 1000 + float64(i%7)
+	}
+	enc := roundTrip(t, vals)
+	if len(enc) >= 8*len(vals)/2 {
+		t.Errorf("slow series: %d bytes for %d values — no compression", len(enc), len(vals))
+	}
+}
+
+func TestDecodeCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var c Codec
+	base := c.Encode(nil, []float64{1.5, 2.5, 3.75, 1e30, -2})
+	for i := 0; i < 2000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		c.Decode(cor)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var c Codec
+	enc := c.Encode(nil, []float64{1.5, 2.5, 3.75})
+	for cut := 0; cut < len(enc)-1; cut++ {
+		if got, err := c.Decode(enc[:cut]); err == nil && len(got) == 3 {
+			t.Fatalf("cut %d decoded fully", cut)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 1024)
+	v := 50.0
+	for i := range vals {
+		v += rng.NormFloat64()
+		vals[i] = v
+	}
+	var c Codec
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = c.Encode(buf[:0], vals)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 1024)
+	v := 50.0
+	for i := range vals {
+		v += rng.NormFloat64()
+		vals[i] = v
+	}
+	var c Codec
+	enc := c.Encode(nil, vals)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,480 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"bos/internal/codec"
+	"bos/internal/core"
+	"bos/internal/dataset"
+	"bos/internal/lz"
+	"bos/internal/rangelz"
+	"bos/internal/stats"
+	"bos/internal/transform"
+	"bos/internal/ts2diff"
+)
+
+// Experiments maps experiment ids to their runners, in paper order.
+var Experiments = []struct {
+	ID, Title string
+	Run       func(w io.Writer, cfg Config) error
+}{
+	{"fig8", "Figure 8: value distribution of all datasets after TS2DIFF", Figure8},
+	{"fig9", "Figure 9: percentage of lower and upper outliers separated by BOS-V", Figure9},
+	{"fig10a", "Figure 10a: compression ratio on various datasets", Figure10a},
+	{"fig10b", "Figure 10b: average compression ratio vs compression time", Figure10b},
+	{"fig10c", "Figure 10c: compression and decompression time (ns/value)", Figure10c},
+	{"fig11", "Figure 11: storage and query cost by operator in TS2DIFF", Figure11},
+	{"fig12", "Figure 12: upper+lower vs upper-only outlier separation", Figure12},
+	{"fig13", "Figure 13: combining BOS with LZ4 / 7Z / DCT / FFT", Figure13},
+	{"fig14", "Figure 14: varying the number of divided value parts", Figure14},
+	{"fig15", "Figure 15: compression and decompression time by block size", Figure15},
+}
+
+// Run executes one experiment by id ("all" runs every one).
+func Run(id string, w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	for _, e := range Experiments {
+		if id == "all" || id == e.ID {
+			fmt.Fprintf(w, "=== %s ===\n", e.Title)
+			if err := e.Run(w, cfg); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Fprintln(w)
+			if id == e.ID {
+				return nil
+			}
+		}
+	}
+	if id != "all" {
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+// Figure8 prints the post-TS2DIFF delta histogram of each dataset.
+func Figure8(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	for _, d := range cfg.datasets() {
+		deltas := ts2diff.Deltas(d.Ints(cfg.size(d)))[1:]
+		h := stats.NewHistogram(deltas, 15)
+		s := stats.Summarize(deltas)
+		fmt.Fprintf(w, "%-18s (%s)  mean=%.1f std=%.1f range=[%d,%d]\n",
+			d.Name, d.Abbr, s.Mean, s.Std, s.Min, s.Max)
+		max := 1
+		for _, c := range h.Counts {
+			if c > max {
+				max = c
+			}
+		}
+		for i, c := range h.Counts {
+			lo := float64(h.Min) + float64(i)*h.Width
+			bar := strings.Repeat("#", c*40/max)
+			fmt.Fprintf(w, "  %12.0f | %-40s %d\n", lo, bar, c)
+		}
+	}
+	return nil
+}
+
+// Figure9 reports the share of lower/upper outliers BOS-V separates.
+func Figure9(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(w, "%-18s %10s %10s\n", "Dataset", "Lower(%)", "Upper(%)")
+	for _, d := range cfg.datasets() {
+		deltas := ts2diff.Deltas(d.Ints(cfg.size(d)))[1:]
+		nl, nu, n := 0, 0, 0
+		for off := 0; off+codec.DefaultBlockSize <= len(deltas); off += codec.DefaultBlockSize {
+			p := core.PlanValue(deltas[off : off+codec.DefaultBlockSize])
+			nl += p.NL
+			nu += p.NU
+			n += codec.DefaultBlockSize
+		}
+		fmt.Fprintf(w, "%-18s %10.2f %10.2f\n", d.Name,
+			100*float64(nl)/float64(n), 100*float64(nu)/float64(n))
+	}
+	return nil
+}
+
+// gridCache memoizes the Figure 10 grid per configuration: fig10a/b/c and
+// the summary all need the same measurements, and the grid is the most
+// expensive thing the harness runs.
+var gridCache struct {
+	sync.Mutex
+	key     Config
+	results []Result
+	valid   bool
+}
+
+// gridResults runs the full Figure 10 grid: float codecs on the float view,
+// the three families x eight packers on ints.
+func gridResults(cfg Config) ([]Result, error) {
+	gridCache.Lock()
+	if gridCache.valid && gridCache.key == cfg {
+		res := gridCache.results
+		gridCache.Unlock()
+		return res, nil
+	}
+	gridCache.Unlock()
+	out, err := gridResultsUncached(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gridCache.Lock()
+	gridCache.key, gridCache.results, gridCache.valid = cfg, out, true
+	gridCache.Unlock()
+	return out, nil
+}
+
+func gridResultsUncached(cfg Config) ([]Result, error) {
+	var out []Result
+	for _, d := range cfg.datasets() {
+		n := cfg.size(d)
+		floats := d.Floats(n)
+		for _, fc := range FloatCodecs() {
+			r, err := RunFloat(fc, d.Abbr, floats, cfg.Reps)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+		ints := d.Ints(n)
+		for _, fam := range FamilyNames {
+			for _, pk := range PackerNames {
+				c := FamilyByName(fam, PackerByName(pk))
+				r, err := RunInt(c, d.Abbr, ints, cfg.Reps)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// methodOrder lists the Figure 10 row order.
+func methodOrder() []string {
+	rows := []string{"GORILLA", "CHIMP", "Elf", "BUFF"}
+	for _, fam := range FamilyNames {
+		for _, pk := range PackerNames {
+			rows = append(rows, fam+"+"+pk)
+		}
+	}
+	return rows
+}
+
+// datasetOrder lists the column abbreviations; overrides never change the
+// twelve abbreviations, so the static order is always right.
+func datasetOrder() []string {
+	var cols []string
+	for _, d := range dataset.All() {
+		cols = append(cols, d.Abbr)
+	}
+	return cols
+}
+
+func printGrid(w io.Writer, results []Result, cell func(Result) float64, format string) {
+	byKey := map[string]Result{}
+	for _, r := range results {
+		byKey[r.Method+"|"+r.Dataset] = r
+	}
+	cols := datasetOrder()
+	fmt.Fprintf(w, "%-20s", "Method")
+	for _, c := range cols {
+		fmt.Fprintf(w, "%9s", c)
+	}
+	fmt.Fprintln(w)
+	for _, m := range methodOrder() {
+		fmt.Fprintf(w, "%-20s", m)
+		for _, c := range cols {
+			r, ok := byKey[m+"|"+c]
+			if !ok {
+				fmt.Fprintf(w, "%9s", "-")
+				continue
+			}
+			fmt.Fprintf(w, format, cell(r))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure10a prints the compression ratio grid.
+func Figure10a(w io.Writer, cfg Config) error {
+	results, err := gridResults(cfg.normalized())
+	if err != nil {
+		return err
+	}
+	printGrid(w, results, func(r Result) float64 { return r.Ratio }, "%9.2f")
+	return nil
+}
+
+// Figure10b prints average ratio and compression time per method.
+func Figure10b(w io.Writer, cfg Config) error {
+	results, err := gridResults(cfg.normalized())
+	if err != nil {
+		return err
+	}
+	type agg struct {
+		ratio, comp float64
+		n           int
+	}
+	byMethod := map[string]*agg{}
+	for _, r := range results {
+		a := byMethod[r.Method]
+		if a == nil {
+			a = &agg{}
+			byMethod[r.Method] = a
+		}
+		a.ratio += r.Ratio
+		a.comp += r.CompressNsPerVal
+		a.n++
+	}
+	fmt.Fprintf(w, "%-20s %12s %18s\n", "Method", "AvgRatio", "AvgCompress(ns/v)")
+	for _, m := range methodOrder() {
+		if a := byMethod[m]; a != nil {
+			fmt.Fprintf(w, "%-20s %12.2f %18.1f\n", m, a.ratio/float64(a.n), a.comp/float64(a.n))
+		}
+	}
+	return nil
+}
+
+// Figure10c prints the compression and decompression time grids.
+func Figure10c(w io.Writer, cfg Config) error {
+	results, err := gridResults(cfg.normalized())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "-- compression time (ns/value) --")
+	printGrid(w, results, func(r Result) float64 { return r.CompressNsPerVal }, "%9.0f")
+	fmt.Fprintln(w, "-- decompression time (ns/value) --")
+	printGrid(w, results, func(r Result) float64 { return r.DecompNsPerVal }, "%9.0f")
+	return nil
+}
+
+// ioNsPerByte models the paper's IO cost for Figure 11: a storage device
+// streaming at ~100 MB/s (network or spinning storage, where the paper's
+// "lower IO costs" argument bites) costs about 10 ns/byte.
+const ioNsPerByte = 10.0
+
+// Figure11 reports average storage bytes/value and query time (decompression
+// + modeled IO) per packing operator inside TS2DIFF.
+func Figure11(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	ops := []string{"BOS-B", "BP", "FastPFOR", "NewPFOR", "OptPFOR", "PFOR"}
+	fmt.Fprintf(w, "%-10s %14s %14s %12s %14s\n",
+		"Operator", "Storage(B/v)", "Decomp(ns/v)", "IO(ns/v)", "Query(ns/v)")
+	for _, op := range ops {
+		var bytesPerVal, decomp float64
+		count := 0
+		for _, d := range cfg.datasets() {
+			ints := d.Ints(cfg.size(d))
+			r, err := RunInt(FamilyByName("TS2DIFF", PackerByName(op)), d.Abbr, ints, cfg.Reps)
+			if err != nil {
+				return err
+			}
+			bytesPerVal += float64(r.CompressedBytes) / float64(len(ints))
+			decomp += r.DecompNsPerVal
+			count++
+		}
+		bytesPerVal /= float64(count)
+		decomp /= float64(count)
+		io := bytesPerVal * ioNsPerByte
+		fmt.Fprintf(w, "%-10s %14.2f %14.1f %12.1f %14.1f\n", op, bytesPerVal, decomp, io, decomp+io)
+	}
+	return nil
+}
+
+// Figure12 compares two-sided separation against upper-only separation.
+func Figure12(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(w, "%-18s %16s %16s\n", "Dataset", "Upper+Lower", "UpperOnly")
+	for _, d := range cfg.datasets() {
+		ints := d.Ints(cfg.size(d))
+		full, err := RunInt(FamilyByName("TS2DIFF", PackerByName("BOS-B")), d.Abbr, ints, cfg.Reps)
+		if err != nil {
+			return err
+		}
+		upper, err := RunInt(FamilyByName("TS2DIFF", PackerByName("BOS-U")), d.Abbr, ints, cfg.Reps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-18s %16.2f %16.2f\n", d.Name, full.Ratio, upper.Ratio)
+	}
+	return nil
+}
+
+// byteCompressorCodec adapts a ByteCompressor into an IntCodec over either
+// raw little-endian bytes ("without BOS") or BOS-packed blocks ("with BOS").
+type byteCompressorCodec struct {
+	comp    codec.ByteCompressor
+	withBOS bool
+}
+
+func (b byteCompressorCodec) Name() string {
+	if b.withBOS {
+		return b.comp.Name() + "+BOS"
+	}
+	return b.comp.Name()
+}
+
+func (b byteCompressorCodec) Encode(dst []byte, vals []int64) []byte {
+	var raw []byte
+	if b.withBOS {
+		bw := codec.NewBlockwise(core.NewPacker(core.SeparationBitWidth), 0)
+		raw = bw.Encode(nil, vals)
+	} else {
+		raw = make([]byte, 0, len(vals)*8)
+		for _, v := range vals {
+			raw = append(raw,
+				byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+				byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+		}
+	}
+	return b.comp.Compress(dst, raw)
+}
+
+func (b byteCompressorCodec) Decode(src []byte) ([]int64, error) {
+	raw, err := b.comp.Decompress(src)
+	if err != nil {
+		return nil, err
+	}
+	if b.withBOS {
+		bw := codec.NewBlockwise(core.NewPacker(core.SeparationBitWidth), 0)
+		return bw.Decode(raw)
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("raw length %d not a multiple of 8", len(raw))
+	}
+	out := make([]int64, len(raw)/8)
+	for i := range out {
+		b := raw[i*8:]
+		out[i] = int64(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
+	}
+	return out, nil
+}
+
+// Figure13 measures LZ4 / 7Z / DCT / FFT with and without BOS underneath.
+func Figure13(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	type method struct {
+		name          string
+		with, without codec.IntCodec
+	}
+	methods := []method{
+		{"LZ4", byteCompressorCodec{lz.Compressor{}, true}, byteCompressorCodec{lz.Compressor{}, false}},
+		{"7-Zip", byteCompressorCodec{rangelz.Compressor{}, true}, byteCompressorCodec{rangelz.Compressor{}, false}},
+		{"DCT", transform.New(transform.DCT, PackerByName("BOS-B"), 0), transform.New(transform.DCT, PackerByName("BP"), 0)},
+		{"FFT", transform.New(transform.FFT, PackerByName("BOS-B"), 0), transform.New(transform.FFT, PackerByName("BP"), 0)},
+	}
+	fmt.Fprintf(w, "%-8s %14s %14s %18s %18s\n",
+		"Method", "RatioWithBOS", "RatioWithout", "CompWith(ns/v)", "CompWithout(ns/v)")
+	for _, m := range methods {
+		var ratioW, ratioWo, compW, compWo float64
+		count := 0
+		for _, d := range cfg.datasets() {
+			ints := d.Ints(cfg.size(d))
+			rw, err := RunInt(m.with, d.Abbr, ints, cfg.Reps)
+			if err != nil {
+				return err
+			}
+			rwo, err := RunInt(m.without, d.Abbr, ints, cfg.Reps)
+			if err != nil {
+				return err
+			}
+			ratioW += rw.Ratio
+			ratioWo += rwo.Ratio
+			compW += rw.CompressNsPerVal
+			compWo += rwo.CompressNsPerVal
+			count++
+		}
+		n := float64(count)
+		fmt.Fprintf(w, "%-8s %14.2f %14.2f %18.1f %18.1f\n",
+			m.name, ratioW/n, ratioWo/n, compW/n, compWo/n)
+	}
+	return nil
+}
+
+// Figure14 sweeps the number of divided value parts from 1 to 7.
+func Figure14(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(w, "%-8s %12s %18s\n", "Parts", "AvgRatio", "AvgCompress(ns/v)")
+	for k := 1; k <= 7; k++ {
+		var ratioSum, compSum float64
+		count := 0
+		for _, d := range cfg.datasets() {
+			ints := d.Ints(cfg.size(d))
+			c := FamilyByName("TS2DIFF", &core.PartsPacker{K: k})
+			r, err := RunInt(c, d.Abbr, ints, cfg.Reps)
+			if err != nil {
+				return err
+			}
+			ratioSum += r.Ratio
+			compSum += r.CompressNsPerVal
+			count++
+		}
+		fmt.Fprintf(w, "%-8d %12.2f %18.1f\n", k, ratioSum/float64(count), compSum/float64(count))
+	}
+	return nil
+}
+
+// Figure15 sweeps block size for the three BOS planners.
+func Figure15(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	seps := []string{"BOS-V", "BOS-B", "BOS-M"}
+	fmt.Fprintf(w, "%-10s", "BlockSize")
+	for _, s := range seps {
+		fmt.Fprintf(w, "%14s %14s", s+" comp", s+" dec")
+	}
+	fmt.Fprintln(w, "   (ns/block)")
+	for bs := 64; bs <= 8192; bs *= 2 {
+		fmt.Fprintf(w, "%-10d", bs)
+		for _, s := range seps {
+			var comp, dec float64
+			count := 0
+			for _, d := range cfg.datasets() {
+				// BOS-V is quadratic per block, so this sweep runs
+				// on a bounded sample with a single repetition.
+				n := cfg.size(d)
+				if n > 2*8192 {
+					n = 2 * 8192
+				}
+				deltas := ts2diff.Deltas(d.Ints(n))
+				bw := codec.NewBlockwise(PackerByName(s), bs)
+				r, err := RunInt(bw, d.Abbr, deltas, 1)
+				if err != nil {
+					return err
+				}
+				blocks := (len(deltas) + bs - 1) / bs
+				comp += r.CompressNsPerVal * float64(len(deltas)) / float64(blocks)
+				dec += r.DecompNsPerVal * float64(len(deltas)) / float64(blocks)
+				count++
+			}
+			fmt.Fprintf(w, "%14.0f %14.0f", comp/float64(count), dec/float64(count))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// SortedIDs returns the experiment ids, for CLI help.
+func SortedIDs() []string {
+	ids := make([]string, 0, len(Experiments))
+	for _, e := range Experiments {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ResetGridCache drops the memoized Figure 10 grid, so benchmarks measure
+// real regeneration instead of cache hits.
+func ResetGridCache() {
+	gridCache.Lock()
+	gridCache.valid = false
+	gridCache.results = nil
+	gridCache.Unlock()
+}

@@ -1,0 +1,220 @@
+// Package harness measures compression ratio and speed across the full
+// method grid of the paper's evaluation (Section VIII) and regenerates every
+// table and figure. Each experiment writes a plain-text rendition of the
+// corresponding figure to an io.Writer; cmd/bosbench is the CLI front end and
+// the repository-root benchmarks wrap the same entry points.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"bos/internal/bitpack"
+	"bos/internal/buff"
+	"bos/internal/chimp"
+	"bos/internal/codec"
+	"bos/internal/core"
+	"bos/internal/dataset"
+	"bos/internal/elf"
+	"bos/internal/gorilla"
+	"bos/internal/pfor"
+	"bos/internal/rle"
+	"bos/internal/sprintz"
+	"bos/internal/ts2diff"
+)
+
+// Config tunes experiment cost.
+type Config struct {
+	// Scale multiplies every dataset's default size (clamped to at least
+	// 2048 values). 1.0 reproduces the repository defaults.
+	Scale float64
+	// Reps is how many times each measurement is repeated; the paper uses
+	// 500, the repository default is 3 (timings are means over reps).
+	Reps int
+	// DataDir optionally points at real dataset files (<ABBR>.txt, one
+	// value per line); matching datasets replace their synthetic
+	// stand-ins, so the experiments can be reproduced on the paper's
+	// actual data when it is available.
+	DataDir string
+}
+
+// DefaultConfig is used when a zero Config is supplied.
+var DefaultConfig = Config{Scale: 1.0, Reps: 3}
+
+func (c Config) normalized() Config {
+	if c.Scale <= 0 {
+		c.Scale = DefaultConfig.Scale
+	}
+	if c.Reps <= 0 {
+		c.Reps = DefaultConfig.Reps
+	}
+	return c
+}
+
+// datasets resolves the evaluation datasets, applying DataDir overrides.
+func (c Config) datasets() []*dataset.Dataset {
+	ds, err := dataset.AllWithOverrides(c.DataDir)
+	if err != nil {
+		// A broken override directory should fail loudly, not silently
+		// fall back to synthetic data and "reproduce" the wrong thing.
+		panic("harness: " + err.Error())
+	}
+	return ds
+}
+
+// size returns the scaled value count for a dataset.
+func (c Config) size(d *dataset.Dataset) int {
+	n := int(float64(d.N) * c.Scale)
+	if n < 2048 {
+		n = 2048
+	}
+	if n > d.N*4 {
+		n = d.N * 4
+	}
+	return n
+}
+
+// Result is one (method, dataset) measurement.
+type Result struct {
+	Method, Dataset  string
+	RawBytes         int
+	CompressedBytes  int
+	Ratio            float64
+	CompressNsPerVal float64
+	DecompNsPerVal   float64
+}
+
+// RunInt measures an integer codec on a series.
+func RunInt(c codec.IntCodec, ds string, vals []int64, reps int) (Result, error) {
+	res := Result{Method: c.Name(), Dataset: ds, RawBytes: 8 * len(vals)}
+	var enc []byte
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		enc = c.Encode(enc[:0], vals)
+	}
+	res.CompressNsPerVal = nsPerVal(time.Since(start), reps, len(vals))
+	res.CompressedBytes = len(enc)
+	res.Ratio = ratio(res.RawBytes, len(enc))
+
+	var got []int64
+	var err error
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		got, err = c.Decode(enc)
+		if err != nil {
+			return res, fmt.Errorf("%s on %s: decode: %w", c.Name(), ds, err)
+		}
+	}
+	res.DecompNsPerVal = nsPerVal(time.Since(start), reps, len(vals))
+	if len(got) != len(vals) {
+		return res, fmt.Errorf("%s on %s: decoded %d values, want %d", c.Name(), ds, len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			return res, fmt.Errorf("%s on %s: value %d mismatch", c.Name(), ds, i)
+		}
+	}
+	return res, nil
+}
+
+// RunFloat measures a float codec on a series.
+func RunFloat(c codec.FloatCodec, ds string, vals []float64, reps int) (Result, error) {
+	res := Result{Method: c.Name(), Dataset: ds, RawBytes: 8 * len(vals)}
+	var enc []byte
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		enc = c.Encode(enc[:0], vals)
+	}
+	res.CompressNsPerVal = nsPerVal(time.Since(start), reps, len(vals))
+	res.CompressedBytes = len(enc)
+	res.Ratio = ratio(res.RawBytes, len(enc))
+
+	var got []float64
+	var err error
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		got, err = c.Decode(enc)
+		if err != nil {
+			return res, fmt.Errorf("%s on %s: decode: %w", c.Name(), ds, err)
+		}
+	}
+	res.DecompNsPerVal = nsPerVal(time.Since(start), reps, len(vals))
+	if len(got) != len(vals) {
+		return res, fmt.Errorf("%s on %s: decoded %d values, want %d", c.Name(), ds, len(got), len(vals))
+	}
+	for i := range vals {
+		// Bit-level comparison, treating NaN==NaN (none are generated).
+		if got[i] != vals[i] {
+			return res, fmt.Errorf("%s on %s: value %d mismatch", c.Name(), ds, i)
+		}
+	}
+	return res, nil
+}
+
+func nsPerVal(d time.Duration, reps, n int) float64 {
+	if n == 0 || reps == 0 {
+		return 0
+	}
+	return float64(d.Nanoseconds()) / float64(reps) / float64(n)
+}
+
+func ratio(raw, compressed int) float64 {
+	if compressed == 0 {
+		return 0
+	}
+	return float64(raw) / float64(compressed)
+}
+
+// PackerNames is the paper's packing-operator order for the Figure 10/11
+// tables.
+var PackerNames = []string{"BP", "PFOR", "NewPFOR", "OptPFOR", "FastPFOR", "BOS-V", "BOS-B", "BOS-M"}
+
+// PackerByName builds one packing operator.
+func PackerByName(name string) codec.Packer {
+	switch name {
+	case "BP":
+		return bitpack.Packer{}
+	case "PFOR":
+		return pfor.Packer{}
+	case "NewPFOR":
+		return pfor.NewPFOR{}
+	case "OptPFOR":
+		return pfor.OptPFOR{}
+	case "FastPFOR":
+		return pfor.FastPFOR{}
+	case "SimplePFOR":
+		return pfor.SimplePFOR{}
+	case "BOS-V":
+		return core.NewPacker(core.SeparationValue)
+	case "BOS-B":
+		return core.NewPacker(core.SeparationBitWidth)
+	case "BOS-M":
+		return core.NewPacker(core.SeparationMedian)
+	case "BOS-U":
+		return core.NewPacker(core.SeparationUpperOnly)
+	default:
+		panic("harness: unknown packer " + name)
+	}
+}
+
+// FamilyNames is the paper's outer-codec order.
+var FamilyNames = []string{"RLE", "SPRINTZ", "TS2DIFF"}
+
+// FamilyByName builds an outer codec around a packer.
+func FamilyByName(family string, p codec.Packer) codec.IntCodec {
+	switch family {
+	case "RLE":
+		return rle.New(p, 0)
+	case "SPRINTZ":
+		return sprintz.New(p, 0)
+	case "TS2DIFF":
+		return ts2diff.New(p, 0)
+	default:
+		panic("harness: unknown family " + family)
+	}
+}
+
+// FloatCodecs returns the four float baselines in paper order.
+func FloatCodecs() []codec.FloatCodec {
+	return []codec.FloatCodec{gorilla.Codec{}, chimp.Codec{}, elf.Codec{}, buff.Codec{}}
+}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bos/internal/dataset"
+)
+
+// smallCfg keeps harness tests quick: 2048-value datasets, one repetition.
+var smallCfg = Config{Scale: 0.01, Reps: 1}
+
+func TestRunIntVerifiesRoundTrip(t *testing.T) {
+	d := dataset.ByAbbr("MT")
+	ints := d.Ints(4096)
+	r, err := RunInt(FamilyByName("TS2DIFF", PackerByName("BOS-B")), "MT", ints, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio <= 1 {
+		t.Errorf("TS2DIFF+BOS-B ratio %.2f on MT — expected compression", r.Ratio)
+	}
+	if r.CompressedBytes <= 0 || r.RawBytes != 8*4096 {
+		t.Errorf("sizes: %+v", r)
+	}
+}
+
+func TestRunFloatVerifiesRoundTrip(t *testing.T) {
+	d := dataset.ByAbbr("TF")
+	floats := d.Floats(4096)
+	for _, fc := range FloatCodecs() {
+		r, err := RunFloat(fc, "TF", floats, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Ratio <= 0.5 {
+			t.Errorf("%s ratio %.2f on TF", fc.Name(), r.Ratio)
+		}
+	}
+}
+
+func TestPackerByNameCoversPaperGrid(t *testing.T) {
+	for _, name := range PackerNames {
+		p := PackerByName(name)
+		enc := p.Pack(nil, []int64{1, 2, 3, 100})
+		got, _, err := p.Unpack(enc, nil)
+		if err != nil || len(got) != 4 {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, e := range Experiments {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, smallCfg); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig99", &buf, smallCfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBOSWinsTheGrid(t *testing.T) {
+	// The paper's headline: within every family, BOS-V/B has the best
+	// ratio on every dataset, and BOS-B equals BOS-V exactly.
+	if testing.Short() {
+		t.Skip("grid is slow")
+	}
+	cfg := Config{Scale: 0.05, Reps: 1}
+	for _, d := range dataset.All() {
+		ints := d.Ints(cfg.size(d))
+		for _, fam := range FamilyNames {
+			ratios := map[string]float64{}
+			for _, pk := range PackerNames {
+				r, err := RunInt(FamilyByName(fam, PackerByName(pk)), d.Abbr, ints, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ratios[pk] = r.Ratio
+			}
+			if ratios["BOS-B"] != ratios["BOS-V"] {
+				t.Errorf("%s on %s: BOS-B %.4f != BOS-V %.4f", fam, d.Abbr, ratios["BOS-B"], ratios["BOS-V"])
+			}
+			for _, pk := range []string{"BP", "PFOR", "NewPFOR", "OptPFOR", "FastPFOR"} {
+				if ratios["BOS-B"] < ratios[pk]*0.999 {
+					t.Errorf("%s on %s: BOS-B %.3f loses to %s %.3f",
+						fam, d.Abbr, ratios["BOS-B"], pk, ratios[pk])
+				}
+			}
+		}
+	}
+}
+
+func TestFigure9Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure9(&buf, smallCfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, d := range dataset.All() {
+		if !strings.Contains(out, d.Name) {
+			t.Errorf("figure 9 output missing %s", d.Name)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package lz implements an LZ4-class byte compressor from scratch: greedy
+// LZ77 with a 4-byte hash table over a 64 KiB window, emitting the familiar
+// token / literals / offset / match-length sequence format. It plays the role
+// of LZ4 in the Figure 13 complementarity study (BOS+LZ4 vs LZ4).
+package lz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	minMatch   = 4
+	hashBits   = 16
+	maxOffset  = 65535
+	lastTail   = 5  // final bytes are always literals
+	matchGuard = 12 // matches must not start this close to the end
+)
+
+var errCorrupt = errors.New("lz: corrupt stream")
+
+// Compressor satisfies codec.ByteCompressor.
+type Compressor struct{}
+
+// Name implements codec.ByteCompressor.
+func (Compressor) Name() string { return "LZ4" }
+
+// Compress implements codec.ByteCompressor.
+func (Compressor) Compress(dst, src []byte) []byte { return Compress(dst, src) }
+
+// Decompress implements codec.ByteCompressor.
+func (Compressor) Decompress(src []byte) ([]byte, error) { return Decompress(src) }
+
+func hash4(v uint32) uint32 {
+	return v * 2654435761 >> (32 - hashBits)
+}
+
+// Compress appends the compressed form of src to dst: a varint raw length
+// followed by LZ4-style sequences.
+func Compress(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	var table [1 << hashBits]int32 // position+1 of a recent 4-byte sequence
+	anchor, i := 0, 0
+	limit := len(src) - matchGuard
+	for i < limit {
+		seq := binary.LittleEndian.Uint32(src[i:])
+		h := hash4(seq)
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || i-cand > maxOffset || binary.LittleEndian.Uint32(src[cand:]) != seq {
+			i++
+			continue
+		}
+		// Extend the match forward, leaving the guard tail as literals.
+		mlen := minMatch
+		maxLen := len(src) - lastTail - i
+		for mlen < maxLen && src[cand+mlen] == src[i+mlen] {
+			mlen++
+		}
+		dst = emitSequence(dst, src[anchor:i], i-cand, mlen)
+		i += mlen
+		anchor = i
+	}
+	// Final literals-only sequence.
+	return emitSequence(dst, src[anchor:], 0, 0)
+}
+
+// emitSequence writes one token + literals (+ offset + extended match length
+// when matchLen >= minMatch; matchLen == 0 marks the trailing literals-only
+// sequence).
+func emitSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	token := byte(0)
+	if litLen >= 15 {
+		token = 0xf0
+	} else {
+		token = byte(litLen) << 4
+	}
+	ml := 0
+	if matchLen > 0 {
+		ml = matchLen - minMatch
+		if ml >= 15 {
+			token |= 0x0f
+		} else {
+			token |= byte(ml)
+		}
+	}
+	dst = append(dst, token)
+	dst = appendExtLen(dst, litLen)
+	dst = append(dst, literals...)
+	if matchLen > 0 {
+		dst = append(dst, byte(offset), byte(offset>>8))
+		dst = appendExtLen(dst, ml)
+	}
+	return dst
+}
+
+// appendExtLen writes the 255-run extension bytes for lengths >= 15.
+func appendExtLen(dst []byte, l int) []byte {
+	if l < 15 {
+		return dst
+	}
+	l -= 15
+	for l >= 255 {
+		dst = append(dst, 255)
+		l -= 255
+	}
+	return append(dst, byte(l))
+}
+
+func readExtLen(src []byte, base int) (int, []byte, error) {
+	if base < 15 {
+		return base, src, nil
+	}
+	l := base
+	for {
+		if len(src) == 0 {
+			return 0, nil, fmt.Errorf("%w: truncated length", errCorrupt)
+		}
+		b := src[0]
+		src = src[1:]
+		l += int(b)
+		if l < 0 {
+			return 0, nil, fmt.Errorf("%w: length overflow", errCorrupt)
+		}
+		if b != 255 {
+			return l, src, nil
+		}
+	}
+}
+
+// Decompress inverts Compress.
+func Decompress(src []byte) ([]byte, error) {
+	rawLen, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: header", errCorrupt)
+	}
+	src = src[n:]
+	if rawLen > uint64(len(src))*256+64 {
+		return nil, fmt.Errorf("%w: implausible raw length %d", errCorrupt, rawLen)
+	}
+	out := make([]byte, 0, rawLen)
+	for uint64(len(out)) < rawLen {
+		if len(src) == 0 {
+			return nil, fmt.Errorf("%w: truncated at %d/%d", errCorrupt, len(out), rawLen)
+		}
+		token := src[0]
+		src = src[1:]
+		litLen, rest, err := readExtLen(src, int(token>>4))
+		if err != nil {
+			return nil, err
+		}
+		src = rest
+		if litLen > len(src) {
+			return nil, fmt.Errorf("%w: %d literals with %d bytes left", errCorrupt, litLen, len(src))
+		}
+		out = append(out, src[:litLen]...)
+		src = src[litLen:]
+		if uint64(len(out)) >= rawLen {
+			break // trailing literals-only sequence
+		}
+		if len(src) < 2 {
+			return nil, fmt.Errorf("%w: truncated offset", errCorrupt)
+		}
+		offset := int(src[0]) | int(src[1])<<8
+		src = src[2:]
+		ml, rest, err := readExtLen(src, int(token&0x0f))
+		if err != nil {
+			return nil, err
+		}
+		src = rest
+		matchLen := ml + minMatch
+		if offset == 0 || offset > len(out) {
+			return nil, fmt.Errorf("%w: offset %d at %d", errCorrupt, offset, len(out))
+		}
+		if uint64(len(out)+matchLen) > rawLen {
+			return nil, fmt.Errorf("%w: match overruns output", errCorrupt)
+		}
+		// Byte-by-byte copy: matches may overlap themselves.
+		start := len(out) - offset
+		for k := 0; k < matchLen; k++ {
+			out = append(out, out[start+k])
+		}
+	}
+	if uint64(len(out)) != rawLen {
+		return nil, fmt.Errorf("%w: expanded to %d, want %d", errCorrupt, len(out), rawLen)
+	}
+	return out, nil
+}

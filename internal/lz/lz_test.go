@@ -1,0 +1,129 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	enc := Compress(nil, src)
+	got, err := Decompress(enc)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(src))
+	}
+	return enc
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},
+		[]byte("a"),
+		[]byte("hello, world"),
+		[]byte(strings.Repeat("abcd", 1000)),
+		[]byte(strings.Repeat("a", 100000)),
+		bytes.Repeat([]byte{0, 1, 2, 3, 4, 5, 6, 7}, 512),
+	}
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+func TestCompressesRepetition(t *testing.T) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 500))
+	enc := roundTrip(t, src)
+	if len(enc) > len(src)/10 {
+		t.Errorf("repetitive text: %d -> %d bytes", len(src), len(enc))
+	}
+}
+
+func TestIncompressibleOverheadSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 64*1024)
+	rng.Read(src)
+	enc := roundTrip(t, src)
+	if len(enc) > len(src)+len(src)/100+16 {
+		t.Errorf("random data expanded: %d -> %d", len(src), len(enc))
+	}
+}
+
+func TestOverlappingMatches(t *testing.T) {
+	// RLE-style overlap: offset 1 with long match must replicate correctly.
+	src := append([]byte("x"), bytes.Repeat([]byte("y"), 1000)...)
+	roundTrip(t, src)
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		enc := Compress(nil, src)
+		got, err := Decompress(enc)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructuredBinary(t *testing.T) {
+	// The actual use case: bit-packed blocks with shared headers.
+	rng := rand.New(rand.NewSource(2))
+	var src []byte
+	for b := 0; b < 100; b++ {
+		src = append(src, 0xCA, 0xFE, 8, 0)
+		for i := 0; i < 256; i++ {
+			src = append(src, byte(rng.Intn(16)))
+		}
+	}
+	roundTrip(t, src)
+}
+
+func TestDecompressCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := Compress(nil, []byte(strings.Repeat("hello world ", 100)))
+	for i := 0; i < 3000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		Decompress(cor)
+	}
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	src := []byte(strings.Repeat("abcabcabd", 50))
+	enc := Compress(nil, src)
+	for cut := 0; cut < len(enc)-1; cut++ {
+		if got, err := Decompress(enc[:cut]); err == nil && bytes.Equal(got, src) {
+			t.Fatalf("cut %d decoded fully", cut)
+		}
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	src := []byte(strings.Repeat("sensor=42 temp=17.5 state=OK\n", 2000))
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = Compress(buf[:0], src)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := []byte(strings.Repeat("sensor=42 temp=17.5 state=OK\n", 2000))
+	enc := Compress(nil, src)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package pfor
+
+import (
+	"fmt"
+
+	"bos/internal/bitio"
+)
+
+// FastPFOR chooses b by exact cost minimization and then classifies the
+// exceptions by the width of their high bits: one bucket per distinct high
+// width, each bucket packing its positions and high values at exactly that
+// width. This mirrors the per-width exception pages of Lemire & Boytsov.
+type FastPFOR struct{}
+
+// Name implements codec.Packer.
+func (FastPFOR) Name() string { return "FastPFOR" }
+
+// fastWidth minimizes n*b + sum over exceptions of (idxWidth + width(u)-b),
+// i.e. it charges each exception its actual high-bit width rather than the
+// worst case, using the width histogram.
+func fastWidth(f *frame, n int) uint {
+	iw := int64(idxWidth(n))
+	best, bestCost := f.wmax, int64(n)*int64(f.wmax)
+	for b := uint(0); b < f.wmax; b++ {
+		cost := int64(n) * int64(b)
+		for wv := b + 1; wv <= f.wmax; wv++ {
+			cost += int64(f.hist[wv]) * (iw + int64(wv-b))
+		}
+		// A small per-bucket header charge keeps the estimate honest.
+		for wv := b + 1; wv <= f.wmax; wv++ {
+			if f.hist[wv] > 0 {
+				cost += 16
+			}
+		}
+		if cost < bestCost {
+			best, bestCost = b, cost
+		}
+	}
+	return best
+}
+
+// Pack implements codec.Packer.
+func (FastPFOR) Pack(dst []byte, vals []int64) []byte {
+	f := newFrame(vals)
+	n := len(vals)
+	w := bitio.NewWriter(n*2 + 16)
+	w.WriteUvarint(uint64(n))
+	if n == 0 {
+		return append(dst, w.Bytes()...)
+	}
+	b := fastWidth(f, n)
+	// Bucket the exceptions by the width of their high part.
+	var buckets [65][]int // buckets[h]: indexes whose high bits need h bits
+	nBuckets := 0
+	if b < 64 {
+		limit := uint64(1) << b
+		for i, u := range f.u {
+			if u >= limit {
+				h := bitio.WidthOf(u >> b)
+				if len(buckets[h]) == 0 {
+					nBuckets++
+				}
+				buckets[h] = append(buckets[h], i)
+			}
+		}
+	}
+	w.WriteVarint(f.xmin)
+	w.WriteBits(uint64(b), 8)
+	mask := ^uint64(0)
+	if b < 64 {
+		mask = uint64(1)<<b - 1
+	}
+	for _, u := range f.u {
+		w.WriteBits(u&mask, b)
+	}
+	w.WriteUvarint(uint64(nBuckets))
+	iw := idxWidth(n)
+	for h := 1; h <= 64; h++ {
+		idxs := buckets[h]
+		if len(idxs) == 0 {
+			continue
+		}
+		w.WriteBits(uint64(h), 8)
+		w.WriteUvarint(uint64(len(idxs)))
+		for _, idx := range idxs {
+			w.WriteBits(uint64(idx), iw)
+		}
+		for _, idx := range idxs {
+			w.WriteBits(f.u[idx]>>b, uint(h))
+		}
+	}
+	return append(dst, w.Bytes()...)
+}
+
+// Unpack implements codec.Packer.
+func (FastPFOR) Unpack(src []byte, out []int64) ([]int64, []byte, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: count: %v", errCorrupt, err)
+	}
+	n, err := sanityCount(n64, src)
+	if err != nil {
+		return out, nil, err
+	}
+	if n == 0 {
+		return out, r.Rest(), nil
+	}
+	xmin, err := r.ReadVarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: xmin: %v", errCorrupt, err)
+	}
+	b64, err := r.ReadBits(8)
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: width: %v", errCorrupt, err)
+	}
+	b := uint(b64)
+	if b > 64 {
+		return out, nil, fmt.Errorf("%w: width %d", errCorrupt, b)
+	}
+	base := len(out)
+	out = append(out, make([]int64, n)...)
+	if err := r.ReadBulkInt64(out[base:], b, uint64(xmin)); err != nil {
+		return out[:base], nil, fmt.Errorf("%w: slots: %v", errCorrupt, err)
+	}
+	nBuckets, err := r.ReadUvarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: buckets: %v", errCorrupt, err)
+	}
+	if nBuckets > 64 {
+		return out, nil, fmt.Errorf("%w: %d buckets", errCorrupt, nBuckets)
+	}
+	iw := idxWidth(n)
+	for bk := uint64(0); bk < nBuckets; bk++ {
+		h64, err := r.ReadBits(8)
+		if err != nil {
+			return out, nil, fmt.Errorf("%w: bucket width: %v", errCorrupt, err)
+		}
+		h := uint(h64)
+		if h == 0 || h > 64 || b+h > 64 {
+			return out, nil, fmt.Errorf("%w: bucket width %d (b=%d)", errCorrupt, h, b)
+		}
+		cnt64, err := r.ReadUvarint()
+		if err != nil {
+			return out, nil, fmt.Errorf("%w: bucket count: %v", errCorrupt, err)
+		}
+		if cnt64 > uint64(n) {
+			return out, nil, fmt.Errorf("%w: bucket of %d in block of %d", errCorrupt, cnt64, n)
+		}
+		cnt := int(cnt64)
+		idxs := make([]int, cnt)
+		for k := range idxs {
+			v, err := r.ReadBits(iw)
+			if err != nil {
+				return out, nil, fmt.Errorf("%w: position: %v", errCorrupt, err)
+			}
+			if v >= uint64(n) {
+				return out, nil, fmt.Errorf("%w: position %d out of range", errCorrupt, v)
+			}
+			idxs[k] = int(v)
+		}
+		for _, idx := range idxs {
+			hv, err := r.ReadBits(h)
+			if err != nil {
+				return out, nil, fmt.Errorf("%w: high bits: %v", errCorrupt, err)
+			}
+			out[base+idx] = int64(uint64(out[base+idx]) + hv<<b)
+		}
+	}
+	return out, r.Rest(), nil
+}

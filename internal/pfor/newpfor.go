@@ -1,0 +1,162 @@
+package pfor
+
+import (
+	"fmt"
+
+	"bos/internal/bitio"
+)
+
+// NewPFOR stores the low b bits of every value in its slot and patches
+// exceptions from separately stored high bits and positions, avoiding
+// PFOR's compulsory exceptions. b is the 90th-percentile width.
+type NewPFOR struct{}
+
+// Name implements codec.Packer.
+func (NewPFOR) Name() string { return "NewPFOR" }
+
+// Pack implements codec.Packer.
+func (NewPFOR) Pack(dst []byte, vals []int64) []byte {
+	f := newFrame(vals)
+	b := f.percentileWidth(0.90)
+	return packLowHigh(dst, f, b, "NewPFOR")
+}
+
+// Unpack implements codec.Packer.
+func (NewPFOR) Unpack(src []byte, out []int64) ([]int64, []byte, error) {
+	return unpackLowHigh(src, out)
+}
+
+// OptPFOR uses the same low-bits/high-bits layout as NewPFOR but chooses b by
+// minimizing the exact storage cost over the block's bit-width histogram.
+type OptPFOR struct{}
+
+// Name implements codec.Packer.
+func (OptPFOR) Name() string { return "OptPFOR" }
+
+// Pack implements codec.Packer.
+func (OptPFOR) Pack(dst []byte, vals []int64) []byte {
+	f := newFrame(vals)
+	b := optWidth(f, len(vals))
+	return packLowHigh(dst, f, b, "OptPFOR")
+}
+
+// Unpack implements codec.Packer.
+func (OptPFOR) Unpack(src []byte, out []int64) ([]int64, []byte, error) {
+	return unpackLowHigh(src, out)
+}
+
+// optWidth minimizes n*b + nExc(b)*(idxWidth + (wmax-b)) over all b.
+func optWidth(f *frame, n int) uint {
+	iw := idxWidth(n)
+	best, bestCost := f.wmax, int64(n)*int64(f.wmax)
+	for b := uint(0); b < f.wmax; b++ {
+		nExc := int64(f.exceptions(b))
+		cost := int64(n)*int64(b) + nExc*int64(iw+(f.wmax-b))
+		if cost < bestCost {
+			best, bestCost = b, cost
+		}
+	}
+	return best
+}
+
+// packLowHigh writes the shared NewPFOR/OptPFOR layout: slots hold the low b
+// bits of every offset; exceptions contribute their position (idxWidth bits)
+// and high bits (wmax-b bits) to separate arrays.
+func packLowHigh(dst []byte, f *frame, b uint, _ string) []byte {
+	n := len(f.u)
+	w := bitio.NewWriter(n*2 + 16)
+	w.WriteUvarint(uint64(n))
+	if n == 0 {
+		return append(dst, w.Bytes()...)
+	}
+	var excIdx []int
+	if b < 64 {
+		limit := uint64(1) << b
+		for i, u := range f.u {
+			if u >= limit {
+				excIdx = append(excIdx, i)
+			}
+		}
+	}
+	high := f.wmax - b
+	w.WriteVarint(f.xmin)
+	w.WriteBits(uint64(b), 8)
+	w.WriteBits(uint64(high), 8)
+	w.WriteUvarint(uint64(len(excIdx)))
+	mask := ^uint64(0)
+	if b < 64 {
+		mask = uint64(1)<<b - 1
+	}
+	for _, u := range f.u {
+		w.WriteBits(u&mask, b)
+	}
+	iw := idxWidth(n)
+	for _, idx := range excIdx {
+		w.WriteBits(uint64(idx), iw)
+	}
+	for _, idx := range excIdx {
+		w.WriteBits(f.u[idx]>>b, high)
+	}
+	return append(dst, w.Bytes()...)
+}
+
+// unpackLowHigh decodes the shared NewPFOR/OptPFOR layout.
+func unpackLowHigh(src []byte, out []int64) ([]int64, []byte, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: count: %v", errCorrupt, err)
+	}
+	n, err := sanityCount(n64, src)
+	if err != nil {
+		return out, nil, err
+	}
+	if n == 0 {
+		return out, r.Rest(), nil
+	}
+	xmin, err := r.ReadVarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: xmin: %v", errCorrupt, err)
+	}
+	hdr, err := r.ReadBits(16)
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: widths: %v", errCorrupt, err)
+	}
+	b, high := uint(hdr>>8), uint(hdr&0xff)
+	if b > 64 || high > 64 || b+high > 64 {
+		return out, nil, fmt.Errorf("%w: widths %d/%d", errCorrupt, b, high)
+	}
+	nExc64, err := r.ReadUvarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: nExc: %v", errCorrupt, err)
+	}
+	if nExc64 > uint64(n) {
+		return out, nil, fmt.Errorf("%w: %d exceptions in block of %d", errCorrupt, nExc64, n)
+	}
+	nExc := int(nExc64)
+	base := len(out)
+	out = append(out, make([]int64, n)...)
+	if err := r.ReadBulkInt64(out[base:], b, uint64(xmin)); err != nil {
+		return out[:base], nil, fmt.Errorf("%w: slots: %v", errCorrupt, err)
+	}
+	iw := idxWidth(n)
+	idxs := make([]int, nExc)
+	for k := range idxs {
+		v, err := r.ReadBits(iw)
+		if err != nil {
+			return out, nil, fmt.Errorf("%w: position %d: %v", errCorrupt, k, err)
+		}
+		if v >= uint64(n) {
+			return out, nil, fmt.Errorf("%w: position %d out of range", errCorrupt, v)
+		}
+		idxs[k] = int(v)
+	}
+	for _, idx := range idxs {
+		hv, err := r.ReadBits(high)
+		if err != nil {
+			return out, nil, fmt.Errorf("%w: high bits: %v", errCorrupt, err)
+		}
+		out[base+idx] = int64(uint64(out[base+idx]) + hv<<b)
+	}
+	return out, r.Rest(), nil
+}

@@ -1,0 +1,131 @@
+package pfor
+
+import (
+	"fmt"
+
+	"bos/internal/bitio"
+	"bos/internal/simple8b"
+)
+
+// SimplePFOR stores the low b bits of every value in the slots and compresses
+// the exception stream — position deltas followed by high bits — with
+// Simple-8b, as in Lemire & Boytsov. The byte-aligned Simple-8b section sits
+// after the bit-packed slots.
+type SimplePFOR struct{}
+
+// Name implements codec.Packer.
+func (SimplePFOR) Name() string { return "SimplePFOR" }
+
+// Pack implements codec.Packer.
+func (SimplePFOR) Pack(dst []byte, vals []int64) []byte {
+	f := newFrame(vals)
+	n := len(vals)
+	// Simple-8b holds at most 60-bit values, so the high parts must fit:
+	// b >= wmax - 60.
+	minB := uint(0)
+	if f.wmax > 60 {
+		minB = f.wmax - 60
+	}
+	b := optWidth(f, n)
+	if b < minB {
+		b = minB
+	}
+	w := bitio.NewWriter(n*2 + 16)
+	w.WriteUvarint(uint64(n))
+	if n == 0 {
+		return append(dst, w.Bytes()...)
+	}
+	var excIdx []int
+	if b < 64 {
+		limit := uint64(1) << b
+		for i, u := range f.u {
+			if u >= limit {
+				excIdx = append(excIdx, i)
+			}
+		}
+	}
+	w.WriteVarint(f.xmin)
+	w.WriteBits(uint64(b), 8)
+	mask := ^uint64(0)
+	if b < 64 {
+		mask = uint64(1)<<b - 1
+	}
+	for _, u := range f.u {
+		w.WriteBits(u&mask, b)
+	}
+	w.AlignByte()
+	dst = append(dst, w.Bytes()...)
+
+	// Exception stream: delta-encoded positions then high bits, one
+	// Simple-8b sequence.
+	stream := make([]uint64, 0, 2*len(excIdx))
+	prev := 0
+	for _, idx := range excIdx {
+		stream = append(stream, uint64(idx-prev))
+		prev = idx
+	}
+	for _, idx := range excIdx {
+		stream = append(stream, f.u[idx]>>b)
+	}
+	enc, err := simple8b.Encode(dst, stream)
+	if err != nil {
+		// Unreachable by construction (b >= wmax-60), but fall back
+		// to a full-width re-pack rather than corrupting the stream.
+		panic(fmt.Sprintf("pfor: simple8b rejected exception stream: %v", err))
+	}
+	return enc
+}
+
+// Unpack implements codec.Packer.
+func (SimplePFOR) Unpack(src []byte, out []int64) ([]int64, []byte, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: count: %v", errCorrupt, err)
+	}
+	n, err := sanityCount(n64, src)
+	if err != nil {
+		return out, nil, err
+	}
+	if n == 0 {
+		return out, r.Rest(), nil
+	}
+	xmin, err := r.ReadVarint()
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: xmin: %v", errCorrupt, err)
+	}
+	b64, err := r.ReadBits(8)
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: width: %v", errCorrupt, err)
+	}
+	b := uint(b64)
+	if b > 64 {
+		return out, nil, fmt.Errorf("%w: width %d", errCorrupt, b)
+	}
+	base := len(out)
+	out = append(out, make([]int64, n)...)
+	if err := r.ReadBulkInt64(out[base:], b, uint64(xmin)); err != nil {
+		return out[:base], nil, fmt.Errorf("%w: slots: %v", errCorrupt, err)
+	}
+	stream, rest, err := simple8b.Decode(r.Rest(), nil)
+	if err != nil {
+		return out, nil, fmt.Errorf("%w: exception stream: %v", errCorrupt, err)
+	}
+	if len(stream)%2 != 0 {
+		return out, nil, fmt.Errorf("%w: odd exception stream length %d", errCorrupt, len(stream))
+	}
+	nExc := len(stream) / 2
+	idx := 0
+	for k := 0; k < nExc; k++ {
+		idx += int(stream[k])
+		if idx < 0 || idx >= n {
+			return out, nil, fmt.Errorf("%w: exception position %d out of range", errCorrupt, idx)
+		}
+		hv := stream[nExc+k]
+		if b+bitio.WidthOf(hv) > 64 {
+			return out, nil, fmt.Errorf("%w: exception overflows 64 bits", errCorrupt)
+		}
+		out[base+idx] = int64(uint64(out[base+idx]) + hv<<b)
+	}
+	return out, rest, nil
+}

@@ -1,0 +1,35 @@
+package rangelz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRoundTrip: any input must compress and decompress to itself.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("entropy entropy entropy"))
+	f.Add(bytes.Repeat([]byte{7}, 4000))
+	f.Add([]byte(strings.Repeat("xyzzy", 50)))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		enc := Compress(nil, src)
+		got, err := Decompress(enc)
+		if err != nil {
+			t.Fatalf("decompress own output: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(src))
+		}
+	})
+}
+
+// FuzzDecompress: arbitrary bytes must never panic the decoder.
+func FuzzDecompress(f *testing.F) {
+	f.Add(Compress(nil, []byte("seed corpus for the range decoder")))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		Decompress(data)
+	})
+}

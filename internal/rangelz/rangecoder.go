@@ -1,0 +1,193 @@
+// Package rangelz implements an LZMA-class byte compressor from scratch:
+// an LZSS match finder (hash chains over a 64 KiB window) whose symbol stream
+// is entropy-coded with an adaptive binary range coder, the same
+// dictionary-plus-range-coding recipe as 7-Zip's LZMA. It stands in for 7-Zip
+// in the Figure 13 complementarity study (see the substitution table in
+// DESIGN.md).
+package rangelz
+
+// The range coder is the carry-aware binary coder used by LZMA: 11-bit
+// adaptive probabilities, top-value renormalization at 2^24.
+
+const (
+	probBits = 11
+	probInit = 1 << (probBits - 1) // 0.5
+	moveBits = 5
+	topValue = 1 << 24
+)
+
+type prob = uint16
+
+// rcEncoder is the range encoder. Its first output byte is always the
+// initial zero cache (which absorbs a possible carry), exactly as in LZMA;
+// the decoder skips it.
+type rcEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+func newRCEncoder(dst []byte) *rcEncoder {
+	return &rcEncoder{rng: 0xffffffff, cacheSize: 1, out: dst}
+}
+
+func (e *rcEncoder) shiftLow() {
+	if uint32(e.low) < 0xff000000 || e.low>>32 != 0 {
+		temp := e.cache
+		carry := byte(e.low >> 32)
+		for {
+			e.out = append(e.out, temp+carry)
+			temp = 0xff
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xffffffff
+}
+
+// encodeBit codes one bit under the adaptive probability *p.
+func (e *rcEncoder) encodeBit(p *prob, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (1<<probBits - *p) >> moveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> moveBits
+	}
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// encodeDirect codes width bits at fixed probability 1/2 (no adaptation).
+func (e *rcEncoder) encodeDirect(v uint32, width uint) {
+	for i := int(width) - 1; i >= 0; i-- {
+		e.rng >>= 1
+		bit := v >> uint(i) & 1
+		if bit != 0 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < topValue {
+			e.rng <<= 8
+			e.shiftLow()
+		}
+	}
+}
+
+func (e *rcEncoder) flush() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// rcDecoder is the matching range decoder.
+type rcDecoder struct {
+	rng  uint32
+	code uint32
+	in   []byte
+	pos  int
+}
+
+func newRCDecoder(src []byte) *rcDecoder {
+	d := &rcDecoder{rng: 0xffffffff}
+	d.in = src
+	// The first emitted byte is the initial cache (always 0); skip it and
+	// load 4 code bytes.
+	d.pos = 1
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *rcDecoder) next() byte {
+	if d.pos < len(d.in) {
+		b := d.in[d.pos]
+		d.pos++
+		return b
+	}
+	d.pos++
+	return 0
+}
+
+// overrun reports whether the decoder has read past the input, which only
+// happens on corrupt streams.
+func (d *rcDecoder) overrun() bool { return d.pos > len(d.in)+5 }
+
+func (d *rcDecoder) decodeBit(p *prob) int {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (1<<probBits - *p) >> moveBits
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> moveBits
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return bit
+}
+
+func (d *rcDecoder) decodeDirect(width uint) uint32 {
+	var v uint32
+	for i := 0; i < int(width); i++ {
+		d.rng >>= 1
+		t := (d.code - d.rng) >> 31 // 1 when code < rng
+		if t == 0 {
+			d.code -= d.rng
+		}
+		v = v<<1 | (1 - t)
+		for d.rng < topValue {
+			d.rng <<= 8
+			d.code = d.code<<8 | uint32(d.next())
+		}
+	}
+	return v
+}
+
+// bitTree codes an n-bit symbol MSB-first through a tree of adaptive
+// probabilities, exactly like LZMA's literal and length coders.
+type bitTree struct {
+	probs []prob
+	bits  uint
+}
+
+func newBitTree(bits uint) *bitTree {
+	t := &bitTree{probs: make([]prob, 1<<bits), bits: bits}
+	for i := range t.probs {
+		t.probs[i] = probInit
+	}
+	return t
+}
+
+func (t *bitTree) encode(e *rcEncoder, sym uint32) {
+	node := uint32(1)
+	for i := int(t.bits) - 1; i >= 0; i-- {
+		bit := int(sym >> uint(i) & 1)
+		e.encodeBit(&t.probs[node], bit)
+		node = node<<1 | uint32(bit)
+	}
+}
+
+func (t *bitTree) decode(d *rcDecoder) uint32 {
+	node := uint32(1)
+	for i := 0; i < int(t.bits); i++ {
+		node = node<<1 | uint32(d.decodeBit(&t.probs[node]))
+	}
+	return node - 1<<t.bits
+}

@@ -1,0 +1,155 @@
+package rangelz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	minMatch    = 3
+	maxMatchLen = minMatch + 255 // length fits the 8-bit length tree
+	windowSize  = 1 << 16
+	hashBits    = 15
+	chainDepth  = 32
+)
+
+var errCorrupt = errors.New("rangelz: corrupt stream")
+
+// Compressor satisfies codec.ByteCompressor.
+type Compressor struct{}
+
+// Name implements codec.ByteCompressor.
+func (Compressor) Name() string { return "7Z" }
+
+// Compress implements codec.ByteCompressor.
+func (Compressor) Compress(dst, src []byte) []byte { return Compress(dst, src) }
+
+// Decompress implements codec.ByteCompressor.
+func (Compressor) Decompress(src []byte) ([]byte, error) { return Decompress(src) }
+
+// model bundles the adaptive probabilities shared by encoder and decoder.
+type model struct {
+	isMatch  prob
+	literals *bitTree // 8-bit literal tree
+	length   *bitTree // 8-bit match length tree (len-minMatch)
+}
+
+func newModel() *model {
+	return &model{
+		isMatch:  probInit,
+		literals: newBitTree(8),
+		length:   newBitTree(8),
+	}
+}
+
+func hash3(a, b, c byte) uint32 {
+	return (uint32(a)<<16 | uint32(b)<<8 | uint32(c)) * 2654435761 >> (32 - hashBits)
+}
+
+// Compress appends a varint raw length plus the range-coded LZSS stream.
+func Compress(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	e := newRCEncoder(dst)
+	m := newModel()
+	var head [1 << hashBits]int32 // position+1 of chain head
+	chain := make([]int32, len(src))
+
+	insert := func(i int) {
+		if i+minMatch <= len(src) {
+			h := hash3(src[i], src[i+1], src[i+2])
+			chain[i] = head[h] - 1
+			head[h] = int32(i + 1)
+		}
+	}
+	i := 0
+	for i < len(src) {
+		bestLen, bestDist := 0, 0
+		if i+minMatch <= len(src) {
+			h := hash3(src[i], src[i+1], src[i+2])
+			cand := int(head[h]) - 1
+			for depth := 0; cand >= 0 && depth < chainDepth && i-cand < windowSize; depth++ {
+				l := matchLen(src, cand, i)
+				if l > bestLen {
+					bestLen, bestDist = l, i-cand
+					if l >= maxMatchLen {
+						break
+					}
+				}
+				cand = int(chain[cand]) - 1
+			}
+		}
+		if bestLen >= minMatch {
+			if bestLen > maxMatchLen {
+				bestLen = maxMatchLen
+			}
+			e.encodeBit(&m.isMatch, 1)
+			m.length.encode(e, uint32(bestLen-minMatch))
+			e.encodeDirect(uint32(bestDist-1), 16)
+			for k := 0; k < bestLen; k++ {
+				insert(i + k)
+			}
+			i += bestLen
+		} else {
+			e.encodeBit(&m.isMatch, 0)
+			m.literals.encode(e, uint32(src[i]))
+			insert(i)
+			i++
+		}
+	}
+	return e.flush()
+}
+
+func matchLen(src []byte, cand, i int) int {
+	l := 0
+	max := len(src) - i
+	if max > maxMatchLen {
+		max = maxMatchLen
+	}
+	for l < max && src[cand+l] == src[i+l] {
+		l++
+	}
+	return l
+}
+
+// Decompress inverts Compress.
+func Decompress(src []byte) ([]byte, error) {
+	rawLen, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: header", errCorrupt)
+	}
+	src = src[n:]
+	// The range coder achieves at most ~probBits compression per symbol;
+	// a generous expansion bound still blocks absurd allocations.
+	if rawLen > uint64(len(src))*4096+64 {
+		return nil, fmt.Errorf("%w: implausible raw length %d", errCorrupt, rawLen)
+	}
+	d := newRCDecoder(src)
+	m := newModel()
+	out := make([]byte, 0, rawLen)
+	for uint64(len(out)) < rawLen {
+		if d.overrun() {
+			return nil, fmt.Errorf("%w: truncated stream", errCorrupt)
+		}
+		if d.decodeBit(&m.isMatch) == 0 {
+			out = append(out, byte(m.literals.decode(d)))
+			continue
+		}
+		length := int(m.length.decode(d)) + minMatch
+		dist := int(d.decodeDirect(16)) + 1
+		if dist > len(out) {
+			return nil, fmt.Errorf("%w: distance %d at %d", errCorrupt, dist, len(out))
+		}
+		if uint64(len(out)+length) > rawLen {
+			return nil, fmt.Errorf("%w: match overruns output", errCorrupt)
+		}
+		start := len(out) - dist
+		for k := 0; k < length; k++ {
+			out = append(out, out[start+k])
+		}
+	}
+	return out, nil
+}

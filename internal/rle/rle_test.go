@@ -1,0 +1,134 @@
+package rle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bos/internal/bitpack"
+	"bos/internal/codec"
+	"bos/internal/core"
+	"bos/internal/pfor"
+)
+
+func testPackers() []codec.Packer {
+	return []codec.Packer{
+		bitpack.Packer{},
+		pfor.Packer{},
+		pfor.OptPFOR{},
+		core.NewPacker(core.SeparationBitWidth),
+		core.NewPacker(core.SeparationMedian),
+	}
+}
+
+func roundTrip(t *testing.T, c codec.IntCodec, vals []int64) []byte {
+	t.Helper()
+	enc := c.Encode(nil, vals)
+	got, err := c.Decode(enc)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", c.Name(), err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("%s: decoded %d values want %d", c.Name(), len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("%s: value %d: got %d want %d", c.Name(), i, got[i], vals[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{5, 5, 5, 5, 5, 5},
+		{1, 2, 3},
+		{math.MinInt64, math.MinInt64, math.MaxInt64},
+		{7, 7, -1, -1, -1, 7, 0},
+	}
+	for _, p := range testPackers() {
+		c := New(p, 0)
+		for _, vals := range cases {
+			roundTrip(t, c, vals)
+		}
+	}
+}
+
+func TestHighRepetitionCompresses(t *testing.T) {
+	// RLE's home turf: long runs collapse to a handful of pairs.
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = int64(i / 1000)
+	}
+	c := New(bitpack.Packer{}, 0)
+	enc := roundTrip(t, c, vals)
+	if len(enc) > 200 {
+		t.Errorf("10 runs encoded to %d bytes", len(enc))
+	}
+}
+
+func TestRandomSeriesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range testPackers() {
+		c := New(p, 128)
+		for iter := 0; iter < 40; iter++ {
+			n := rng.Intn(2000)
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = int64(rng.Intn(10)) // repetitive
+			}
+			roundTrip(t, c, vals)
+		}
+	}
+}
+
+func TestBOSBeatsBPWithRunValueOutliers(t *testing.T) {
+	// Run values with outliers: exactly where RLE+BOS should win over
+	// RLE+BP (the packer packs the run-value column).
+	rng := rand.New(rand.NewSource(2))
+	var vals []int64
+	for r := 0; r < 3000; r++ {
+		v := int64(rng.Intn(16))
+		if rng.Float64() < 0.03 {
+			v = rng.Int63n(1 << 40)
+		}
+		run := 1 + rng.Intn(4)
+		for k := 0; k < run; k++ {
+			vals = append(vals, v)
+		}
+	}
+	bp := len(New(bitpack.Packer{}, 0).Encode(nil, vals))
+	bos := len(New(core.NewPacker(core.SeparationBitWidth), 0).Encode(nil, vals))
+	if bos >= bp {
+		t.Errorf("RLE+BOS-B %d bytes, RLE+BP %d — BOS should win", bos, bp)
+	}
+}
+
+func TestDecodeCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := New(core.NewPacker(core.SeparationBitWidth), 0)
+	base := c.Encode(nil, []int64{1, 1, 1, 5, 5, 9, 9, 9, 9})
+	for i := 0; i < 2000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		c.Decode(cor)
+	}
+}
+
+func TestDecodeRejectsBadRunLengths(t *testing.T) {
+	// Encode manually with an overlong run smuggled in: the decoder must
+	// reject rather than over-expand. (Zero-length runs are structurally
+	// unrepresentable: lengths are stored as length-1 varints.)
+	c := New(bitpack.Packer{}, 0)
+	dst := codec.AppendUvarint(nil, 4) // claims 4 values
+	dst = codec.AppendUvarint(dst, 2)  // 2 runs
+	dst = bitpack.Packer{}.Pack(dst, []int64{7, 8})
+	dst = codec.AppendUvarint(dst, 2) // run of 3
+	dst = codec.AppendUvarint(dst, 2) // run of 3: total 6 > 4
+	if _, err := c.Decode(dst); err == nil {
+		t.Error("overlong run lengths accepted")
+	}
+}

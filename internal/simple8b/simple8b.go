@@ -1,0 +1,159 @@
+// Package simple8b implements the Simple-8b word-aligned integer encoding
+// (Anh & Moffat), used by SimplePFOR to compress exception values: each
+// 64-bit word carries a 4-bit selector and up to 60 unsigned integers packed
+// at a uniform width.
+package simple8b
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxValue is the largest encodable value (60 payload bits per word).
+const MaxValue = 1<<60 - 1
+
+// selector table: how many values fit in one word and at what width.
+var selectors = [16]struct {
+	count int
+	width uint
+}{
+	{240, 0}, {120, 0}, {60, 1}, {30, 2}, {20, 3}, {15, 4}, {12, 5}, {10, 6},
+	{8, 7}, {7, 8}, {6, 10}, {5, 12}, {4, 15}, {3, 20}, {2, 30}, {1, 60},
+}
+
+// ErrTooLarge reports a value above MaxValue.
+var ErrTooLarge = errors.New("simple8b: value exceeds 60 bits")
+
+var errCorrupt = errors.New("simple8b: corrupt stream")
+
+// Encode appends vals to dst as a sequence of Simple-8b words preceded by a
+// varint count. All values must be <= MaxValue.
+func Encode(dst []byte, vals []uint64) ([]byte, error) {
+	for _, v := range vals {
+		if v > MaxValue {
+			return dst, fmt.Errorf("%w: %d", ErrTooLarge, v)
+		}
+	}
+	dst = appendUvarint(dst, uint64(len(vals)))
+	for len(vals) > 0 {
+		word, consumed := encodeWord(vals)
+		dst = append(dst,
+			byte(word>>56), byte(word>>48), byte(word>>40), byte(word>>32),
+			byte(word>>24), byte(word>>16), byte(word>>8), byte(word))
+		vals = vals[consumed:]
+	}
+	return dst, nil
+}
+
+// encodeWord greedily picks the densest selector that fits the next run of
+// values and returns the packed word plus how many values it consumed.
+func encodeWord(vals []uint64) (uint64, int) {
+	// Try selectors from densest (240 zeros) to sparsest (1 x 60 bits).
+	for sel, s := range selectors {
+		n := s.count
+		if n > len(vals) {
+			// A partially filled word is only valid for width > 0
+			// selectors; the run-of-zeros selectors need the full
+			// count.
+			if s.width == 0 {
+				continue
+			}
+			n = len(vals)
+		}
+		fits := true
+		for i := 0; i < n; i++ {
+			if s.width == 0 {
+				if vals[i] != 0 {
+					fits = false
+					break
+				}
+			} else if vals[i] >= 1<<s.width {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			continue
+		}
+		word := uint64(sel) << 60
+		if s.width > 0 {
+			for i := 0; i < n; i++ {
+				word |= vals[i] << (uint(i) * s.width)
+			}
+			// Mark unused trailing slots impossible? They decode as
+			// zeros; the stream-level count trims them.
+		}
+		return word, n
+	}
+	// Unreachable: selector 15 always fits one value <= MaxValue.
+	panic("simple8b: no selector fits")
+}
+
+// Decode consumes one Simple-8b sequence from src, appends the values to out
+// and returns the remainder of src.
+func Decode(src []byte, out []uint64) ([]uint64, []byte, error) {
+	n, src, err := readUvarint(src)
+	if err != nil {
+		return out, nil, err
+	}
+	// A word is 8 bytes and decodes to at most 240 values, so anything
+	// beyond 30 values per remaining byte is garbage.
+	if n > uint64(len(src))*30 {
+		return out, nil, fmt.Errorf("%w: implausible count %d", errCorrupt, n)
+	}
+	remaining := int(n)
+	for remaining > 0 {
+		if len(src) < 8 {
+			return out, nil, fmt.Errorf("%w: truncated word", errCorrupt)
+		}
+		word := uint64(src[0])<<56 | uint64(src[1])<<48 | uint64(src[2])<<40 |
+			uint64(src[3])<<32 | uint64(src[4])<<24 | uint64(src[5])<<16 |
+			uint64(src[6])<<8 | uint64(src[7])
+		src = src[8:]
+		s := selectors[word>>60]
+		cnt := s.count
+		if cnt > remaining {
+			cnt = remaining
+		}
+		if s.width == 0 {
+			for i := 0; i < cnt; i++ {
+				out = append(out, 0)
+			}
+		} else {
+			mask := uint64(1)<<s.width - 1
+			for i := 0; i < cnt; i++ {
+				out = append(out, word>>(uint(i)*s.width)&mask)
+			}
+		}
+		remaining -= cnt
+	}
+	return out, src, nil
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func readUvarint(src []byte) (uint64, []byte, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(src); i++ {
+		b := src[i]
+		if shift == 63 && b > 1 {
+			return 0, nil, fmt.Errorf("%w: varint overflow", errCorrupt)
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, src[i+1:], nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, nil, fmt.Errorf("%w: varint overflow", errCorrupt)
+		}
+	}
+	return 0, nil, fmt.Errorf("%w: truncated varint", errCorrupt)
+}

@@ -1,0 +1,140 @@
+package simple8b
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, vals []uint64) {
+	t.Helper()
+	enc, err := Encode(nil, vals)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, rest, err := Decode(enc, nil)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(rest) != 0 || len(got) != len(vals) {
+		t.Fatalf("got %d values, %d rest bytes", len(got), len(rest))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: got %d want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]uint64{
+		nil,
+		{0},
+		{MaxValue},
+		{1, 2, 3, 4, 5},
+		make([]uint64, 240),            // one all-zero word
+		make([]uint64, 300),            // 240 zeros + 60 zeros
+		{0, 0, 0, 1 << 59, 0, 0},       // wide value mid-stream
+		{1, 1 << 10, 1, 1 << 30, 1, 1}, // mixed widths
+	}
+	for _, vals := range cases {
+		roundTrip(t, vals)
+	}
+}
+
+func TestZeroRunCompression(t *testing.T) {
+	// 240 zeros must fit in a single word plus the count varint.
+	vals := make([]uint64, 240)
+	enc, err := Encode(nil, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > 10 {
+		t.Errorf("240 zeros encoded to %d bytes", len(enc))
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	if _, err := Encode(nil, []uint64{MaxValue + 1}); err == nil {
+		t.Error("value above MaxValue accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []uint64) bool {
+		vals := make([]uint64, len(raw))
+		for i, v := range raw {
+			vals[i] = v & MaxValue
+		}
+		enc, err := Encode(nil, vals)
+		if err != nil {
+			return false
+		}
+		got, rest, err := Decode(enc, nil)
+		if err != nil || len(rest) != 0 || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallValuesDense(t *testing.T) {
+	// 600 values < 2 should use width-1 selectors: 10 words = 80 bytes.
+	vals := make([]uint64, 600)
+	for i := range vals {
+		vals[i] = uint64(i % 2)
+	}
+	enc, err := Encode(nil, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > 90 {
+		t.Errorf("600 bits encoded to %d bytes", len(enc))
+	}
+}
+
+func TestDecodeCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]uint64, 100)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1000))
+	}
+	enc, _ := Encode(nil, vals)
+	for i := 0; i < 1000; i++ {
+		cor := append([]byte(nil), enc...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		Decode(cor, nil)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	enc, _ := Encode(nil, []uint64{1, 2, 3, 1 << 40})
+	for cut := 0; cut < len(enc)-1; cut++ {
+		out, _, err := Decode(enc[:cut], nil)
+		if err == nil && len(out) == 4 {
+			t.Fatalf("cut %d decoded fully", cut)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]uint64, 1024)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(64))
+	}
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf, _ = Encode(buf[:0], vals)
+	}
+}

@@ -1,0 +1,156 @@
+package sprintz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bos/internal/bitpack"
+	"bos/internal/codec"
+	"bos/internal/core"
+	"bos/internal/pfor"
+)
+
+func testPackers() []codec.Packer {
+	return []codec.Packer{
+		bitpack.Packer{},
+		pfor.OptPFOR{},
+		pfor.SimplePFOR{},
+		core.NewPacker(core.SeparationBitWidth),
+		core.NewPacker(core.SeparationMedian),
+	}
+}
+
+func roundTrip(t *testing.T, c codec.IntCodec, vals []int64) []byte {
+	t.Helper()
+	enc := c.Encode(nil, vals)
+	got, err := c.Decode(enc)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", c.Name(), err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("%s: decoded %d values want %d", c.Name(), len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("%s: value %d: got %d want %d", c.Name(), i, got[i], vals[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{42},
+		{1, 2, 3, 4, 5},
+		{math.MinInt64, math.MaxInt64, math.MinInt64},
+		{-5, -4, 10000, -3},
+		{9, 9, 9, 9, 9, 9},
+	}
+	for _, p := range testPackers() {
+		c := New(p, 0)
+		for _, vals := range cases {
+			roundTrip(t, c, vals)
+		}
+	}
+}
+
+func TestZeroRunCollapse(t *testing.T) {
+	// A long constant stretch yields all-zero residual blocks, which the
+	// zero-run marker must collapse to a few bytes.
+	vals := make([]int64, 100*1024)
+	for i := range vals {
+		vals[i] = 12345
+	}
+	// Block 0 carries the large first delta (the value itself) and packs
+	// normally; the other 99 blocks are all-zero and must collapse to a
+	// few bytes instead of 99 packed blocks.
+	c := New(bitpack.Packer{}, 0)
+	enc := roundTrip(t, c, vals)
+	oneBlock := len(New(bitpack.Packer{}, 0).Encode(nil, vals[:1024]))
+	if len(enc) > oneBlock+32 {
+		t.Errorf("constant 100k series encoded to %d bytes (first block alone is %d)", len(enc), oneBlock)
+	}
+	// With BOS packing the first block, the lone spike separates too.
+	bos := New(core.NewPacker(core.SeparationBitWidth), 0)
+	if enc := roundTrip(t, bos, vals); len(enc) > 400 {
+		t.Errorf("constant 100k series with BOS encoded to %d bytes", len(enc))
+	}
+}
+
+func TestZeroRunBoundaries(t *testing.T) {
+	// Zero runs that start/stop mid-block exercise the marker logic.
+	c := New(bitpack.Packer{}, 64)
+	vals := make([]int64, 64*5+17)
+	for i := range vals {
+		vals[i] = 7
+	}
+	vals[3] = 9                // non-zero residual in first block
+	vals[64*3+5] = 11          // breaks the middle run
+	vals[len(vals)-1] = 100000 // tail block is partial
+	roundTrip(t, c, vals)
+}
+
+func TestZigzagFoldsNegativeDeltas(t *testing.T) {
+	// Oscillating series produce alternating +/- deltas; zigzag keeps
+	// them small and non-negative, so SPRINTZ+BP stays narrow.
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(i%2) * 3 // deltas alternate +3/-3 -> zigzag 6/5
+	}
+	c := New(bitpack.Packer{}, 0)
+	enc := roundTrip(t, c, vals)
+	if len(enc) > 1800 { // 3 bits/value plus headers
+		t.Errorf("oscillating series: %d bytes — zigzag not effective", len(enc))
+	}
+}
+
+func TestBOSBeatsBPOnSpikyResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 8192)
+	v := int64(0)
+	for i := range vals {
+		if rng.Float64() < 0.02 {
+			v += rng.Int63n(1<<35) - 1<<34 // spike in either direction
+		} else {
+			v += int64(rng.Intn(8)) - 4
+		}
+		vals[i] = v
+	}
+	bp := len(New(bitpack.Packer{}, 0).Encode(nil, vals))
+	bos := len(New(core.NewPacker(core.SeparationBitWidth), 0).Encode(nil, vals))
+	if bos >= bp {
+		t.Errorf("SPRINTZ+BOS-B %d bytes, SPRINTZ+BP %d — BOS should win", bos, bp)
+	}
+}
+
+func TestRandomWalksAllPackers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, p := range testPackers() {
+		c := New(p, 256)
+		for iter := 0; iter < 30; iter++ {
+			n := rng.Intn(3000)
+			vals := make([]int64, n)
+			v := int64(0)
+			for i := range vals {
+				v += int64(rng.NormFloat64() * 50)
+				vals[i] = v
+			}
+			roundTrip(t, c, vals)
+		}
+	}
+}
+
+func TestDecodeCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := New(core.NewPacker(core.SeparationBitWidth), 0)
+	base := c.Encode(nil, []int64{5, 6, 7, 1000, 8, 9})
+	for i := 0; i < 2000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		c.Decode(cor)
+	}
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedianSmall(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int64
+	}{
+		{[]int64{5}, 5},
+		{[]int64{2, 1}, 1},
+		{[]int64{3, 1, 2}, 2},
+		{[]int64{4, 1, 3, 2}, 2},
+		{[]int64{9, 9, 9, 9, 9}, 9},
+		{[]int64{-5, 0, 5}, 0},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %d want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []int64{5, 3, 1, 4, 2}
+	Median(in)
+	want := []int64{5, 3, 1, 4, 2}
+	for i := range in {
+		if in[i] != want[i] {
+			t.Fatalf("input mutated: %v", in)
+		}
+	}
+}
+
+func TestMedianMatchesSortProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		got := Median(vals)
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return got == sorted[(len(sorted)-1)/2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSelectAllRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		n := rng.Intn(100) + 1
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(20) - 10) // many duplicates
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for k := 0; k < n; k++ {
+			work := append([]int64(nil), vals...)
+			if got := QuickSelect(work, k); got != sorted[k] {
+				t.Fatalf("iter %d: QuickSelect(k=%d) = %d want %d", iter, k, got, sorted[k])
+			}
+		}
+	}
+}
+
+func TestQuickSelectSortedInput(t *testing.T) {
+	// Already-sorted input is the classic quadratic trap; median-of-three
+	// must keep it fast and correct.
+	n := 10000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	if got := QuickSelect(vals, n/2); got != int64(n/2) {
+		t.Errorf("got %d want %d", got, n/2)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	d := NewDistinct([]int64{3, 2, 4, 5, 3, 2, 0, 8})
+	wantVals := []int64{0, 2, 3, 4, 5, 8}
+	wantCum := []int{1, 3, 5, 6, 7, 8}
+	if len(d.Values) != len(wantVals) {
+		t.Fatalf("values = %v", d.Values)
+	}
+	for i := range wantVals {
+		if d.Values[i] != wantVals[i] || d.CumLE[i] != wantCum[i] {
+			t.Errorf("i=%d: (%d,%d) want (%d,%d)", i, d.Values[i], d.CumLE[i], wantVals[i], wantCum[i])
+		}
+	}
+	if d.CountLE(3) != 5 || d.CountLT(3) != 3 {
+		t.Errorf("CountLE(3)=%d CountLT(3)=%d", d.CountLE(3), d.CountLT(3))
+	}
+	if d.CountLE(-1) != 0 || d.CountLE(100) != 8 {
+		t.Errorf("boundary counts wrong")
+	}
+	if v, ok := d.MaxLE(7); !ok || v != 5 {
+		t.Errorf("MaxLE(7) = %d,%v", v, ok)
+	}
+	if _, ok := d.MaxLE(-1); ok {
+		t.Error("MaxLE(-1) should not exist")
+	}
+	if v, ok := d.MinGE(6); !ok || v != 8 {
+		t.Errorf("MinGE(6) = %d,%v", v, ok)
+	}
+	if _, ok := d.MinGE(9); ok {
+		t.Error("MinGE(9) should not exist")
+	}
+}
+
+func TestDistinctCountsProperty(t *testing.T) {
+	f := func(vals []int64, probe int64) bool {
+		d := NewDistinct(vals)
+		le, lt := 0, 0
+		for _, v := range vals {
+			if v <= probe {
+				le++
+			}
+			if v < probe {
+				lt++
+			}
+		}
+		return d.CountLE(probe) == le && d.CountLT(probe) == lt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int64{1, 2, 3, 4})
+	if s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Std < 1.1 || s.Std > 1.2 { // sqrt(1.25) ≈ 1.118
+		t.Errorf("std = %f", s.Std)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+		if c != 2 {
+			t.Errorf("counts = %v", h.Counts)
+			break
+		}
+	}
+	if total != 10 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]int64{7, 7, 7}, 4)
+	if h.Counts[0] != 3 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Mode() != 0 {
+		t.Errorf("mode = %d", h.Mode())
+	}
+}
+
+func BenchmarkMedian(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 8192)
+	for i := range vals {
+		vals[i] = rng.Int63()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Median(vals)
+	}
+}
+
+func BenchmarkNewDistinct(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 1024)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(512))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewDistinct(vals)
+	}
+}

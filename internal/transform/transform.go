@@ -1,0 +1,310 @@
+// Package transform implements the lossless frequency-domain pipelines of the
+// Figure 13 complementarity study: a DCT-II and a radix-2 FFT front end whose
+// quantized coefficients act as a predictor, with the exact integer residuals
+// stored alongside. Both coefficient and residual streams are packed by a
+// pluggable codec.Packer, so the study can compare DCT+BP against DCT+BOS
+// (and FFT likewise).
+//
+// Losslessness is guaranteed structurally: the decoder recomputes the same
+// inverse transform from the same stored integer coefficients and adds the
+// stored residual using wrapping arithmetic, so the round trip is exact no
+// matter how the floating-point predictor behaves. (The encoded form is
+// deterministic for a given platform's libm; see DESIGN.md.)
+package transform
+
+import (
+	"fmt"
+	"math"
+
+	"bos/internal/codec"
+)
+
+// Kind selects the frequency transform.
+type Kind int
+
+const (
+	// DCT uses the type-II discrete cosine transform.
+	DCT Kind = iota
+	// FFT uses a radix-2 fast Fourier transform with Hermitian packing.
+	FFT
+)
+
+func (k Kind) String() string {
+	if k == FFT {
+		return "FFT"
+	}
+	return "DCT"
+}
+
+// Codec is a lossless transform codec over a pluggable packer. BlockSize must
+// be a power of two (the FFT requirement); the default is 256.
+type Codec struct {
+	Kind      Kind
+	Packer    codec.Packer
+	BlockSize int
+
+	cosTable []float64 // lazily built DCT basis for BlockSize
+}
+
+// New returns a transform codec (block size defaults to 256 and is rounded
+// down to a power of two).
+func New(kind Kind, p codec.Packer, blockSize int) *Codec {
+	if blockSize <= 0 {
+		blockSize = 256
+	}
+	for blockSize&(blockSize-1) != 0 {
+		blockSize &= blockSize - 1 // clear lowest bit until power of two
+	}
+	return &Codec{Kind: kind, Packer: p, BlockSize: blockSize}
+}
+
+// Name implements codec.IntCodec.
+func (c *Codec) Name() string { return c.Kind.String() + "+" + c.Packer.Name() }
+
+// Block flags.
+const (
+	flagTransform byte = 0
+	flagRaw       byte = 1
+)
+
+// clampRound rounds to int64, clamping to +-2^62 so downstream integer
+// arithmetic cannot overflow.
+func clampRound(x float64) int64 {
+	const lim = float64(1 << 62)
+	if x != x { // NaN guard: deterministic zero
+		return 0
+	}
+	if x >= lim {
+		return 1 << 62
+	}
+	if x <= -lim {
+		return -(1 << 62)
+	}
+	return int64(math.Round(x))
+}
+
+// Encode implements codec.IntCodec.
+func (c *Codec) Encode(dst []byte, vals []int64) []byte {
+	dst = codec.AppendUvarint(dst, uint64(len(vals)))
+	for off := 0; off < len(vals); off += c.BlockSize {
+		end := off + c.BlockSize
+		if end > len(vals) {
+			end = len(vals)
+		}
+		block := vals[off:end]
+		if len(block) != c.BlockSize {
+			// Tail blocks are not a power of two: store raw.
+			dst = append(dst, flagRaw)
+			dst = c.Packer.Pack(dst, block)
+			continue
+		}
+		dst = append(dst, flagTransform)
+		coeffs := c.forward(block)
+		recon := c.inverse(coeffs, len(block))
+		residual := make([]int64, len(block))
+		for i, v := range block {
+			residual[i] = int64(uint64(v) - uint64(recon[i]))
+		}
+		dst = c.Packer.Pack(dst, coeffs)
+		dst = c.Packer.Pack(dst, residual)
+	}
+	return dst
+}
+
+// Decode implements codec.IntCodec.
+func (c *Codec) Decode(src []byte) ([]int64, error) {
+	n64, src, err := codec.ReadUvarint(src)
+	if err != nil {
+		return nil, fmt.Errorf("transform: count: %w", err)
+	}
+	if n64 > uint64(codec.MaxBlockLen)*64 {
+		return nil, fmt.Errorf("transform: implausible count %d", n64)
+	}
+	n := int(n64)
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		if len(src) == 0 {
+			return nil, fmt.Errorf("transform: truncated at %d/%d", len(out), n)
+		}
+		flag := src[0]
+		src = src[1:]
+		switch flag {
+		case flagRaw:
+			before := len(out)
+			out, src, err = c.Packer.Unpack(src, out)
+			if err != nil {
+				return nil, fmt.Errorf("transform: raw block: %w", err)
+			}
+			if len(out) == before {
+				return nil, fmt.Errorf("transform: empty raw block at %d/%d", len(out), n)
+			}
+		case flagTransform:
+			var coeffs, residual []int64
+			coeffs, src, err = c.Packer.Unpack(src, nil)
+			if err != nil {
+				return nil, fmt.Errorf("transform: coefficients: %w", err)
+			}
+			residual, src, err = c.Packer.Unpack(src, nil)
+			if err != nil {
+				return nil, fmt.Errorf("transform: residual: %w", err)
+			}
+			if len(residual) != c.BlockSize || len(coeffs) != c.coeffCount() {
+				return nil, fmt.Errorf("transform: block shape %d/%d", len(coeffs), len(residual))
+			}
+			recon := c.inverse(coeffs, c.BlockSize)
+			for i, r := range residual {
+				out = append(out, int64(uint64(recon[i])+uint64(r)))
+			}
+		default:
+			return nil, fmt.Errorf("transform: unknown block flag %d", flag)
+		}
+		if len(out) > n {
+			return nil, fmt.Errorf("transform: overran %d/%d values", len(out), n)
+		}
+	}
+	return out, nil
+}
+
+// coeffCount is the number of stored integer coefficients per full block.
+func (c *Codec) coeffCount() int {
+	if c.Kind == FFT {
+		return 2 * (c.BlockSize/2 + 1) // Hermitian half-spectrum, re+im
+	}
+	return c.BlockSize
+}
+
+// forward computes the quantized transform of one full block.
+func (c *Codec) forward(block []int64) []int64 {
+	if c.Kind == FFT {
+		return c.forwardFFT(block)
+	}
+	return c.forwardDCT(block)
+}
+
+// inverse reconstructs the integer predictor from quantized coefficients.
+func (c *Codec) inverse(coeffs []int64, n int) []int64 {
+	if c.Kind == FFT {
+		return c.inverseFFT(coeffs, n)
+	}
+	return c.inverseDCT(coeffs, n)
+}
+
+// ---- DCT-II / DCT-III ----
+
+func (c *Codec) basis(n, k int) float64 {
+	N := c.BlockSize
+	if c.cosTable == nil {
+		c.cosTable = make([]float64, N*N)
+		for nn := 0; nn < N; nn++ {
+			for kk := 0; kk < N; kk++ {
+				c.cosTable[nn*N+kk] = math.Cos(math.Pi / float64(N) * (float64(nn) + 0.5) * float64(kk))
+			}
+		}
+	}
+	return c.cosTable[n*c.BlockSize+k]
+}
+
+func (c *Codec) forwardDCT(block []int64) []int64 {
+	N := len(block)
+	coeffs := make([]int64, N)
+	for k := 0; k < N; k++ {
+		var sum float64
+		for n := 0; n < N; n++ {
+			sum += float64(block[n]) * c.basis(n, k)
+		}
+		coeffs[k] = clampRound(sum)
+	}
+	return coeffs
+}
+
+func (c *Codec) inverseDCT(coeffs []int64, n int) []int64 {
+	N := n
+	out := make([]int64, N)
+	inv := 1.0 / float64(N)
+	for i := 0; i < N; i++ {
+		sum := float64(coeffs[0]) * inv
+		for k := 1; k < N && k < len(coeffs); k++ {
+			sum += 2 * inv * float64(coeffs[k]) * c.basis(i, k)
+		}
+		out[i] = clampRound(sum)
+	}
+	return out
+}
+
+// ---- radix-2 FFT ----
+
+// fft performs an in-place iterative radix-2 FFT (inverse when inv is true,
+// without the 1/N scaling).
+func fft(re, im []float64, inv bool) {
+	n := len(re)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inv {
+			ang = -ang
+		}
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			half := length / 2
+			for k := 0; k < half; k++ {
+				i, j := start+k, start+k+half
+				tRe := re[j]*curRe - im[j]*curIm
+				tIm := re[j]*curIm + im[j]*curRe
+				re[j], im[j] = re[i]-tRe, im[i]-tIm
+				re[i], im[i] = re[i]+tRe, im[i]+tIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+}
+
+func (c *Codec) forwardFFT(block []int64) []int64 {
+	N := len(block)
+	re := make([]float64, N)
+	im := make([]float64, N)
+	for i, v := range block {
+		re[i] = float64(v)
+	}
+	fft(re, im, false)
+	half := N/2 + 1
+	coeffs := make([]int64, 2*half)
+	for k := 0; k < half; k++ {
+		coeffs[2*k] = clampRound(re[k])
+		coeffs[2*k+1] = clampRound(im[k])
+	}
+	return coeffs
+}
+
+func (c *Codec) inverseFFT(coeffs []int64, n int) []int64 {
+	N := n
+	re := make([]float64, N)
+	im := make([]float64, N)
+	half := N/2 + 1
+	for k := 0; k < half && 2*k+1 < len(coeffs); k++ {
+		re[k] = float64(coeffs[2*k])
+		im[k] = float64(coeffs[2*k+1])
+		if k > 0 && k < N/2 { // Hermitian mirror
+			re[N-k] = re[k]
+			im[N-k] = -im[k]
+		}
+	}
+	fft(re, im, true)
+	out := make([]int64, N)
+	inv := 1.0 / float64(N)
+	for i := 0; i < N; i++ {
+		out[i] = clampRound(re[i] * inv)
+	}
+	return out
+}

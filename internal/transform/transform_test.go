@@ -1,0 +1,187 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bos/internal/bitpack"
+	"bos/internal/core"
+)
+
+func roundTrip(t *testing.T, c *Codec, vals []int64) []byte {
+	t.Helper()
+	enc := c.Encode(nil, vals)
+	got, err := c.Decode(enc)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", c.Name(), err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("%s: decoded %d values want %d", c.Name(), len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("%s: value %d: got %d want %d", c.Name(), i, got[i], vals[i])
+		}
+	}
+	return enc
+}
+
+func codecs() []*Codec {
+	return []*Codec{
+		New(DCT, bitpack.Packer{}, 0),
+		New(FFT, bitpack.Packer{}, 0),
+		New(DCT, core.NewPacker(core.SeparationBitWidth), 0),
+		New(FFT, core.NewPacker(core.SeparationBitWidth), 0),
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{1, 2, 3},          // tail-only (raw path)
+		make([]int64, 256), // exactly one zero block
+		{math.MinInt64, math.MaxInt64, 0, -1, 5},
+	}
+	for _, c := range codecs() {
+		for _, vals := range cases {
+			roundTrip(t, c, vals)
+		}
+	}
+}
+
+func TestRoundTripSmoothSignal(t *testing.T) {
+	// A smooth sinusoid: the transform's home turf.
+	vals := make([]int64, 1024)
+	for i := range vals {
+		vals[i] = int64(1000*math.Sin(float64(i)/30) + 5000)
+	}
+	for _, c := range codecs() {
+		roundTrip(t, c, vals)
+	}
+}
+
+func TestRoundTripNoisyAndExtreme(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 256*3+17)
+	for i := range vals {
+		switch rng.Intn(10) {
+		case 0:
+			vals[i] = rng.Int63() - rng.Int63()
+		default:
+			vals[i] = int64(rng.NormFloat64() * 100)
+		}
+	}
+	for _, c := range codecs() {
+		roundTrip(t, c, vals)
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 64
+	re := make([]float64, n)
+	im := make([]float64, n)
+	orig := make([]float64, n)
+	for i := range re {
+		orig[i] = rng.NormFloat64() * 10
+		re[i] = orig[i]
+	}
+	fft(re, im, false)
+	for k := 0; k < n; k++ {
+		var wantRe, wantIm float64
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			wantRe += orig[j] * math.Cos(ang)
+			wantIm += orig[j] * math.Sin(ang)
+		}
+		if math.Abs(re[k]-wantRe) > 1e-6*(1+math.Abs(wantRe)) ||
+			math.Abs(im[k]-wantIm) > 1e-6*(1+math.Abs(wantIm)) {
+			t.Fatalf("bin %d: got (%g,%g) want (%g,%g)", k, re[k], im[k], wantRe, wantIm)
+		}
+	}
+}
+
+func TestFFTInverseIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 128
+	re := make([]float64, n)
+	im := make([]float64, n)
+	orig := make([]float64, n)
+	for i := range re {
+		orig[i] = rng.NormFloat64()
+		re[i] = orig[i]
+	}
+	fft(re, im, false)
+	fft(re, im, true)
+	for i := range orig {
+		if math.Abs(re[i]/float64(n)-orig[i]) > 1e-9 {
+			t.Fatalf("index %d: got %g want %g", i, re[i]/float64(n), orig[i])
+		}
+	}
+}
+
+func TestSmoothSignalSmallResiduals(t *testing.T) {
+	// On a smooth signal the DCT residuals must be tiny, so the encoded
+	// size should be far below the raw 8 bytes/value.
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(100000 * math.Sin(float64(i)/100))
+	}
+	c := New(DCT, bitpack.Packer{}, 0)
+	enc := roundTrip(t, c, vals)
+	if len(enc) > len(vals)*4 {
+		t.Errorf("smooth signal: %d bytes for %d values", len(enc), len(vals))
+	}
+}
+
+func TestBlockSizeRounding(t *testing.T) {
+	c := New(FFT, bitpack.Packer{}, 300) // not a power of two
+	if c.BlockSize != 256 {
+		t.Errorf("block size %d want 256", c.BlockSize)
+	}
+	roundTrip(t, c, make([]int64, 700))
+}
+
+func TestDecodeCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := New(DCT, bitpack.Packer{}, 64)
+	vals := make([]int64, 200)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1000))
+	}
+	base := c.Encode(nil, vals)
+	for i := 0; i < 1000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		c.Decode(cor)
+	}
+}
+
+func BenchmarkDCTEncode(b *testing.B) {
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(1000 * math.Sin(float64(i)/50))
+	}
+	c := New(DCT, bitpack.Packer{}, 0)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = c.Encode(buf[:0], vals)
+	}
+}
+
+func BenchmarkFFTEncode(b *testing.B) {
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(1000 * math.Sin(float64(i)/50))
+	}
+	c := New(FFT, bitpack.Packer{}, 0)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = c.Encode(buf[:0], vals)
+	}
+}

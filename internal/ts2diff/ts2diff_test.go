@@ -1,0 +1,143 @@
+package ts2diff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bos/internal/bitpack"
+	"bos/internal/codec"
+	"bos/internal/core"
+	"bos/internal/pfor"
+)
+
+func testPackers() []codec.Packer {
+	return []codec.Packer{
+		bitpack.Packer{},
+		pfor.NewPFOR{},
+		pfor.FastPFOR{},
+		core.NewPacker(core.SeparationBitWidth),
+		core.NewPacker(core.SeparationMedian),
+	}
+}
+
+func roundTrip(t *testing.T, c codec.IntCodec, vals []int64) []byte {
+	t.Helper()
+	enc := c.Encode(nil, vals)
+	got, err := c.Decode(enc)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", c.Name(), err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("%s: decoded %d values want %d", c.Name(), len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("%s: value %d: got %d want %d", c.Name(), i, got[i], vals[i])
+		}
+	}
+	return enc
+}
+
+func TestDeltasInverse(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{5},
+		{1, 2, 3, 4},
+		{math.MinInt64, math.MaxInt64, 0, -1},
+		{100, 90, 95, 105},
+	}
+	for _, vals := range cases {
+		d := Deltas(vals)
+		back := Undeltas(append([]int64(nil), d...))
+		for i := range vals {
+			if back[i] != vals[i] {
+				t.Fatalf("%v: got %v", vals, back)
+			}
+		}
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{42},
+		{1, 2, 3, 4, 5},
+		{math.MinInt64, math.MaxInt64},
+		{-5, -4, 10000, -3},
+	}
+	for _, p := range testPackers() {
+		c := New(p, 0)
+		for _, vals := range cases {
+			roundTrip(t, c, vals)
+		}
+	}
+}
+
+func TestTrendRemoval(t *testing.T) {
+	// A strong linear trend with small noise: deltas are tiny, so
+	// TS2DIFF+BP should compress far below raw width.
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 8192)
+	v := int64(1 << 40)
+	for i := range vals {
+		v += 1000 + int64(rng.Intn(8))
+		vals[i] = v
+	}
+	c := New(bitpack.Packer{}, 0)
+	enc := roundTrip(t, c, vals)
+	if len(enc) > 8192*4 {
+		t.Errorf("trended series: %d bytes — deltas not helping", len(enc))
+	}
+}
+
+func TestBOSBeatsBPOnOutlierDeltas(t *testing.T) {
+	// Sensor resets produce giant deltas: exactly the regime where
+	// TS2DIFF+BOS should beat TS2DIFF+BP (Figure 10a).
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]int64, 8192)
+	v := int64(0)
+	for i := range vals {
+		if rng.Float64() < 0.01 {
+			v = rng.Int63n(1 << 30) // reset jump
+		} else {
+			v += int64(rng.Intn(16)) - 8
+		}
+		vals[i] = v
+	}
+	bp := len(New(bitpack.Packer{}, 0).Encode(nil, vals))
+	bos := len(New(core.NewPacker(core.SeparationBitWidth), 0).Encode(nil, vals))
+	if bos >= bp {
+		t.Errorf("TS2DIFF+BOS-B %d bytes, TS2DIFF+BP %d — BOS should win", bos, bp)
+	}
+}
+
+func TestRandomWalksAllPackers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range testPackers() {
+		c := New(p, 256)
+		for iter := 0; iter < 30; iter++ {
+			n := rng.Intn(3000)
+			vals := make([]int64, n)
+			v := int64(0)
+			for i := range vals {
+				v += int64(rng.NormFloat64() * 50)
+				vals[i] = v
+			}
+			roundTrip(t, c, vals)
+		}
+	}
+}
+
+func TestDecodeCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := New(core.NewPacker(core.SeparationBitWidth), 0)
+	base := c.Encode(nil, []int64{5, 6, 7, 1000, 8, 9})
+	for i := 0; i < 2000; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		c.Decode(cor)
+	}
+}

@@ -1,0 +1,102 @@
+package tsfile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestAggregateMatchesScan(t *testing.T) {
+	file, want := buildFile(t, Options{})
+	r, err := OpenReader(file, file.Size(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for series, pts := range want {
+		ranges := [][2]int64{
+			{pts[0].T, pts[len(pts)-1].T},            // whole series
+			{pts[len(pts)/3].T, pts[2*len(pts)/3].T}, // middle window
+			{pts[0].T - 100, pts[0].T - 1},           // empty window
+			{pts[len(pts)/2].T, pts[len(pts)/2].T},   // single point
+			{pts[10].T, pts[len(pts)-10].T},          // boundary chunks
+		}
+		for _, needSum := range []bool{false, true} {
+			for _, rg := range ranges {
+				got, err := r.Aggregate(series, rg[0], rg[1], needSum)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var exp Aggregate
+				firstMatch := true
+				for _, p := range pts {
+					if p.T < rg[0] || p.T > rg[1] {
+						continue
+					}
+					exp.Count++
+					if firstMatch || p.V < exp.Min {
+						exp.Min = p.V
+					}
+					if firstMatch || p.V > exp.Max {
+						exp.Max = p.V
+					}
+					exp.Sum += p.V
+					firstMatch = false
+				}
+				if got.Count != exp.Count {
+					t.Fatalf("%s %v needSum=%v: count %d want %d", series, rg, needSum, got.Count, exp.Count)
+				}
+				if exp.Count > 0 && (got.Min != exp.Min || got.Max != exp.Max) {
+					t.Fatalf("%s %v: min/max %d/%d want %d/%d", series, rg, got.Min, got.Max, exp.Min, exp.Max)
+				}
+				if needSum && got.Sum != exp.Sum {
+					t.Fatalf("%s %v: sum %d want %d", series, rg, got.Sum, exp.Sum)
+				}
+			}
+		}
+	}
+}
+
+func TestAggregateUnknownSeries(t *testing.T) {
+	file, _ := buildFile(t, Options{})
+	r, err := OpenReader(file, file.Size(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Aggregate("nope", 0, 100, false); err == nil {
+		t.Error("unknown series accepted")
+	}
+}
+
+func BenchmarkAggregatePushdownVsScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{})
+	start := int64(0)
+	for c := 0; c < 32; c++ {
+		pts := makePoints(rng, start, 4096)
+		start = pts[len(pts)-1].T
+		if err := w.Append("s", pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Close()
+	file := bytes.NewReader(buf.Bytes())
+	r, err := OpenReader(file, file.Size(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pushdown", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Aggregate("s", 0, start, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Aggregate("s", 0, start, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

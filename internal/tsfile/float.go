@@ -1,0 +1,199 @@
+package tsfile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"bos/internal/codec"
+	"bos/internal/floatconv"
+)
+
+// Column kinds, recorded per chunk and per series.
+const (
+	kindInt    byte = 0 // int64 values
+	kindScaled byte = 1 // float64 values stored as 10^p-scaled integers
+	kindRaw    byte = 2 // float64 values stored as raw bits (non-decimal data)
+)
+
+// ErrKindMismatch reports mixing integer and float chunks in one series, or
+// querying a series with the wrong typed API.
+var ErrKindMismatch = errors.New("tsfile: series value kind mismatch")
+
+// FloatPoint is one (timestamp, float value) sample.
+type FloatPoint struct {
+	T int64
+	V float64
+}
+
+// AppendFloats adds one chunk of float samples to a series. Decimal data is
+// scaled to integers (keeping all the packing machinery and statistics
+// pruning); non-decimal data falls back to raw bits, losslessly.
+func (w *Writer) AppendFloats(series string, points []FloatPoint) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("tsfile: writer closed")
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	times := make([]int64, len(points))
+	vals := make([]float64, len(points))
+	for i, p := range points {
+		if i > 0 && p.T <= points[i-1].T {
+			return fmt.Errorf("%w: t[%d]=%d after %d", ErrUnsorted, i, p.T, points[i-1].T)
+		}
+		times[i] = p.T
+		vals[i] = p.V
+	}
+	meta := ChunkMeta{
+		Offset: w.off,
+		Count:  len(points),
+		MinT:   times[0],
+		MaxT:   times[len(times)-1],
+	}
+	var body []byte
+	if p, ok := floatconv.DetectPrecision(vals); ok {
+		scaled, err := floatconv.ToScaled(vals, p)
+		if err == nil {
+			meta.Kind = kindScaled
+			meta.Precision = p
+			meta.MinV, meta.MaxV = minMax(scaled)
+			body = encodeFloatChunk(w.opt, kindScaled, p, times, scaled)
+		}
+	}
+	if body == nil {
+		meta.Kind = kindRaw
+		bits := make([]int64, len(vals))
+		for i, v := range vals {
+			bits[i] = int64(math.Float64bits(v))
+		}
+		// Raw chunks carry no orderable statistics; value pruning is
+		// disabled for them via the full-range sentinel.
+		meta.MinV, meta.MaxV = math.MinInt64, math.MaxInt64
+		body = encodeFloatChunk(w.opt, kindRaw, 0, times, bits)
+	}
+	meta.EncodedBytes = len(body)
+	return w.writeChunk(series, meta, body)
+}
+
+func minMax(vals []int64) (lo, hi int64) {
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// encodeFloatChunk mirrors encodeChunk with a kind byte and optional
+// precision before the columns.
+func encodeFloatChunk(opt Options, kind byte, precision int, times, vals []int64) []byte {
+	body := codec.AppendUvarint(nil, uint64(len(vals)))
+	body = append(body, kind)
+	if kind == kindScaled {
+		body = append(body, byte(precision))
+	}
+	body = appendColumns(opt, body, times, vals)
+	return body
+}
+
+// ReadAllFloats returns every float point of a series in time order.
+func (r *Reader) ReadAllFloats(series string) ([]FloatPoint, error) {
+	const full = int64(^uint64(0) >> 1)
+	return r.QueryFloats(series, -full-1, full, math.Inf(-1), math.Inf(1))
+}
+
+// QueryFloats returns the points of a float series with minT <= T <= maxT
+// and minV <= V <= maxV, pruning scaled chunks via their integer statistics.
+func (r *Reader) QueryFloats(series string, minT, maxT int64, minV, maxV float64) ([]FloatPoint, error) {
+	chunks, ok := r.index[series]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSeries, series)
+	}
+	var out []FloatPoint
+	for _, m := range chunks {
+		if m.MaxT < minT || m.MinT > maxT {
+			continue
+		}
+		if m.Kind == kindInt {
+			return nil, fmt.Errorf("%w: %q holds integers; use Query", ErrKindMismatch, series)
+		}
+		if m.Kind == kindScaled {
+			// Prune on the scaled statistics when the float bounds
+			// scale safely.
+			scale := math.Pow(10, float64(m.Precision))
+			if hi := minV * scale; !math.IsInf(hi, 0) && float64(m.MaxV) < hi {
+				continue
+			}
+			if lo := maxV * scale; !math.IsInf(lo, 0) && float64(m.MinV) > lo {
+				continue
+			}
+		}
+		times, vals, err := r.readFloatChunk(m)
+		if err != nil {
+			return nil, err
+		}
+		for i, t := range times {
+			if t < minT || t > maxT {
+				continue
+			}
+			if vals[i] < minV || vals[i] > maxV {
+				continue
+			}
+			out = append(out, FloatPoint{t, vals[i]})
+		}
+	}
+	return out, nil
+}
+
+// readFloatChunk loads and decodes one float chunk.
+func (r *Reader) readFloatChunk(m ChunkMeta) ([]int64, []float64, error) {
+	body, err := r.readChunkBody(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	n64, rest, err := codec.ReadUvarint(body)
+	if err != nil || n64 > codec.MaxBlockLen*64 {
+		return nil, nil, fmt.Errorf("%w: chunk count", ErrCorrupt)
+	}
+	if len(rest) == 0 {
+		return nil, nil, fmt.Errorf("%w: missing kind", ErrCorrupt)
+	}
+	kind := rest[0]
+	rest = rest[1:]
+	precision := 0
+	switch kind {
+	case kindScaled:
+		if len(rest) == 0 {
+			return nil, nil, fmt.Errorf("%w: missing precision", ErrCorrupt)
+		}
+		precision = int(rest[0])
+		rest = rest[1:]
+		if precision > floatconv.MaxPrecision {
+			return nil, nil, fmt.Errorf("%w: precision %d", ErrCorrupt, precision)
+		}
+	case kindRaw:
+	default:
+		return nil, nil, fmt.Errorf("%w: chunk kind %d is not float", ErrKindMismatch, kind)
+	}
+	times, vals, err := decodeColumns(r.opt, rest, int(n64))
+	if err != nil {
+		return nil, nil, err
+	}
+	fvals := make([]float64, len(vals))
+	if kind == kindScaled {
+		copy(fvals, floatconv.FromScaled(vals, precision))
+	} else {
+		for i, v := range vals {
+			fvals[i] = math.Float64frombits(uint64(v))
+		}
+	}
+	return times, fvals, nil
+}

@@ -1,0 +1,78 @@
+package tsfile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Iterator streams the points of one integer series in time order, loading
+// one chunk at a time: memory use is bounded by the chunk size, not the
+// result size, which is what a scan operator inside a query engine needs.
+type Iterator struct {
+	r           *Reader
+	chunks      []ChunkMeta
+	minT, maxT  int64
+	chunkIdx    int
+	times, vals []int64
+	pos         int
+	cur         Point
+	err         error
+	done        bool
+}
+
+// Iter returns an iterator over the series points with minT <= T <= maxT.
+func (r *Reader) Iter(series string, minT, maxT int64) (*Iterator, error) {
+	chunks, ok := r.index[series]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSeries, series)
+	}
+	return &Iterator{r: r, chunks: chunks, minT: minT, maxT: maxT}, nil
+}
+
+// Next advances to the next point; it returns false at the end of the scan
+// or on error (check Err).
+func (it *Iterator) Next() bool {
+	if it.done {
+		return false
+	}
+	for {
+		if it.pos < len(it.times) {
+			t := it.times[it.pos]
+			if t > it.maxT {
+				it.done = true
+				return false
+			}
+			it.cur = Point{T: t, V: it.vals[it.pos]}
+			it.pos++
+			return true
+		}
+		// Load the next overlapping chunk.
+		for {
+			if it.chunkIdx >= len(it.chunks) {
+				it.done = true
+				return false
+			}
+			m := it.chunks[it.chunkIdx]
+			it.chunkIdx++
+			if m.MaxT < it.minT || m.MinT > it.maxT {
+				continue // pruned via footer statistics
+			}
+			times, vals, err := it.r.readChunk(m)
+			if err != nil {
+				it.err = err
+				it.done = true
+				return false
+			}
+			lo := sort.Search(len(times), func(i int) bool { return times[i] >= it.minT })
+			it.times, it.vals = times[lo:], vals[lo:]
+			it.pos = 0
+			break
+		}
+	}
+}
+
+// Point returns the current point after a successful Next.
+func (it *Iterator) Point() Point { return it.cur }
+
+// Err reports the first error the scan hit, if any.
+func (it *Iterator) Err() error { return it.err }

@@ -1,0 +1,133 @@
+package tsfile
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestIteratorMatchesQuery(t *testing.T) {
+	file, want := buildFile(t, Options{})
+	r, err := OpenReader(file, file.Size(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for series, pts := range want {
+		minT := pts[len(pts)/5].T
+		maxT := pts[4*len(pts)/5].T
+		it, err := r.Iter(series, minT, maxT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Point
+		for it.Next() {
+			got = append(got, it.Point())
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+		exp, err := r.Query(series, minT, maxT, -1<<62, 1<<62)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(exp) {
+			t.Fatalf("%s: iterator %d points, query %d", series, len(got), len(exp))
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Fatalf("%s point %d: %v vs %v", series, i, got[i], exp[i])
+			}
+		}
+	}
+}
+
+func TestIteratorEmptyRange(t *testing.T) {
+	file, _ := buildFile(t, Options{})
+	r, err := OpenReader(file, file.Size(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := r.Iter("root.sg.d1.temp", -100, -50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Next() {
+		t.Error("empty range yielded a point")
+	}
+	if it.Err() != nil {
+		t.Error(it.Err())
+	}
+}
+
+func TestIteratorUnknownSeries(t *testing.T) {
+	file, _ := buildFile(t, Options{})
+	r, err := OpenReader(file, file.Size(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Iter("nope", 0, 10); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIteratorExhaustedStaysDone(t *testing.T) {
+	file, want := buildFile(t, Options{})
+	r, _ := OpenReader(file, file.Size(), Options{})
+	series := "root.sg.d2.temp"
+	it, _ := r.Iter(series, 0, 1<<62)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n != len(want[series]) {
+		t.Fatalf("iterated %d want %d", n, len(want[series]))
+	}
+	if it.Next() || it.Next() {
+		t.Error("exhausted iterator yielded again")
+	}
+}
+
+func BenchmarkIterator(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	var buf []byte
+	{
+		var w *Writer
+		bb := &byteBuf{}
+		w = NewWriter(bb, Options{})
+		start := int64(0)
+		for c := 0; c < 8; c++ {
+			pts := makePoints(rng, start, 4096)
+			start = pts[len(pts)-1].T
+			w.Append("s", pts)
+		}
+		w.Close()
+		buf = bb.b
+	}
+	r, err := OpenReader(byteReaderAt(buf), int64(len(buf)), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it, _ := r.Iter("s", 0, 1<<62)
+		for it.Next() {
+		}
+		if it.Err() != nil {
+			b.Fatal(it.Err())
+		}
+	}
+}
+
+type byteBuf struct{ b []byte }
+
+func (bb *byteBuf) Write(p []byte) (int, error) { bb.b = append(bb.b, p...); return len(p), nil }
+
+type byteReaderAt []byte
+
+func (b byteReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(b)) {
+		return 0, errors.New("EOF")
+	}
+	n := copy(p, b[off:])
+	return n, nil
+}

@@ -1,0 +1,227 @@
+package tsfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"bos/internal/codec"
+)
+
+// encodeIndex serializes the footer: series count, then per series its name,
+// chunk count and chunk metadata (offsets and statistics delta-free, all
+// zigzag varints).
+func encodeIndex(order []string, index map[string][]ChunkMeta) []byte {
+	out := codec.AppendUvarint(nil, uint64(len(order)))
+	for _, name := range order {
+		out = codec.AppendUvarint(out, uint64(len(name)))
+		out = append(out, name...)
+		chunks := index[name]
+		out = codec.AppendUvarint(out, uint64(len(chunks)))
+		for _, c := range chunks {
+			out = codec.AppendUvarint(out, uint64(c.Offset))
+			out = codec.AppendUvarint(out, uint64(c.Count))
+			out = codec.AppendUvarint(out, uint64(c.EncodedBytes))
+			out = appendZig(out, c.MinT)
+			out = appendZig(out, c.MaxT)
+			out = appendZig(out, c.MinV)
+			out = appendZig(out, c.MaxV)
+			out = append(out, c.Kind, byte(c.Precision))
+		}
+	}
+	return out
+}
+
+func appendZig(dst []byte, v int64) []byte {
+	return codec.AppendUvarint(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+func readZig(src []byte) (int64, []byte, error) {
+	u, rest, err := codec.ReadUvarint(src)
+	return int64(u>>1) ^ -int64(u&1), rest, err
+}
+
+// Reader opens a file from any io.ReaderAt.
+type Reader struct {
+	r     io.ReaderAt
+	opt   Options
+	index map[string][]ChunkMeta
+	order []string
+}
+
+// OpenReader parses the footer index of a file of the given size. opt must
+// use the same packer family the file was written with.
+func OpenReader(r io.ReaderAt, size int64, opt Options) (*Reader, error) {
+	// Minimum file: header magic, a one-byte empty index, the 8-byte tail.
+	if size < int64(len(magic))+1+8 {
+		return nil, fmt.Errorf("%w: too small", ErrCorrupt)
+	}
+	head := make([]byte, len(magic))
+	if _, err := r.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if string(head) != string(magic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	tail := make([]byte, 8)
+	if _, err := r.ReadAt(tail, size-8); err != nil {
+		return nil, fmt.Errorf("%w: tail: %v", ErrCorrupt, err)
+	}
+	if string(tail[4:]) != string(magic) {
+		return nil, fmt.Errorf("%w: bad tail magic", ErrCorrupt)
+	}
+	idxLen := int64(binary.LittleEndian.Uint32(tail[:4]))
+	if idxLen <= 0 || idxLen > size-8-int64(len(magic)) {
+		return nil, fmt.Errorf("%w: index length %d", ErrCorrupt, idxLen)
+	}
+	idx := make([]byte, idxLen)
+	if _, err := r.ReadAt(idx, size-8-idxLen); err != nil {
+		return nil, fmt.Errorf("%w: index: %v", ErrCorrupt, err)
+	}
+	tr := &Reader{r: r, opt: opt, index: map[string][]ChunkMeta{}}
+	if err := tr.parseIndex(idx, size); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func (r *Reader) parseIndex(idx []byte, size int64) error {
+	nSeries, rest, err := codec.ReadUvarint(idx)
+	if err != nil || nSeries > uint64(len(idx)) {
+		return fmt.Errorf("%w: series count", ErrCorrupt)
+	}
+	for s := uint64(0); s < nSeries; s++ {
+		nameLen, r2, err := codec.ReadUvarint(rest)
+		if err != nil || nameLen > uint64(len(r2)) {
+			return fmt.Errorf("%w: series name", ErrCorrupt)
+		}
+		name := string(r2[:nameLen])
+		rest = r2[nameLen:]
+		nChunks, r3, err := codec.ReadUvarint(rest)
+		if err != nil || nChunks > uint64(len(r3)) {
+			return fmt.Errorf("%w: chunk count", ErrCorrupt)
+		}
+		rest = r3
+		chunks := make([]ChunkMeta, 0, nChunks)
+		for c := uint64(0); c < nChunks; c++ {
+			var m ChunkMeta
+			var u uint64
+			if u, rest, err = codec.ReadUvarint(rest); err != nil {
+				return fmt.Errorf("%w: chunk offset", ErrCorrupt)
+			}
+			m.Offset = int64(u)
+			if u, rest, err = codec.ReadUvarint(rest); err != nil {
+				return fmt.Errorf("%w: chunk size", ErrCorrupt)
+			}
+			m.Count = int(u)
+			if u, rest, err = codec.ReadUvarint(rest); err != nil {
+				return fmt.Errorf("%w: chunk bytes", ErrCorrupt)
+			}
+			m.EncodedBytes = int(u)
+			if m.MinT, rest, err = readZig(rest); err != nil {
+				return fmt.Errorf("%w: chunk minT", ErrCorrupt)
+			}
+			if m.MaxT, rest, err = readZig(rest); err != nil {
+				return fmt.Errorf("%w: chunk maxT", ErrCorrupt)
+			}
+			if m.MinV, rest, err = readZig(rest); err != nil {
+				return fmt.Errorf("%w: chunk minV", ErrCorrupt)
+			}
+			if m.MaxV, rest, err = readZig(rest); err != nil {
+				return fmt.Errorf("%w: chunk maxV", ErrCorrupt)
+			}
+			if len(rest) < 2 {
+				return fmt.Errorf("%w: chunk kind", ErrCorrupt)
+			}
+			m.Kind, m.Precision = rest[0], int(rest[1])
+			rest = rest[2:]
+			if m.Kind > kindRaw {
+				return fmt.Errorf("%w: chunk kind %d", ErrCorrupt, m.Kind)
+			}
+			if m.Offset < int64(len(magic)) || m.Offset >= size {
+				return fmt.Errorf("%w: chunk offset %d", ErrCorrupt, m.Offset)
+			}
+			chunks = append(chunks, m)
+		}
+		r.index[name] = chunks
+		r.order = append(r.order, name)
+	}
+	return nil
+}
+
+// Series lists the series names in file order.
+func (r *Reader) Series() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Chunks exposes the footer metadata of one series.
+func (r *Reader) Chunks(series string) ([]ChunkMeta, error) {
+	chunks, ok := r.index[series]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSeries, series)
+	}
+	return append([]ChunkMeta(nil), chunks...), nil
+}
+
+// readChunkBody loads one chunk's raw body.
+func (r *Reader) readChunkBody(m ChunkMeta) ([]byte, error) {
+	hdr := make([]byte, binary.MaxVarintLen64)
+	n, err := r.r.ReadAt(hdr, m.Offset)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("%w: chunk header: %v", ErrCorrupt, err)
+	}
+	bodyLen, used := binary.Uvarint(hdr[:n])
+	if used <= 0 || bodyLen > 1<<31 {
+		return nil, fmt.Errorf("%w: chunk length", ErrCorrupt)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := r.r.ReadAt(body, m.Offset+int64(used)); err != nil {
+		return nil, fmt.Errorf("%w: chunk body: %v", ErrCorrupt, err)
+	}
+	return body, nil
+}
+
+// readChunk loads and decodes one integer chunk.
+func (r *Reader) readChunk(m ChunkMeta) ([]int64, []int64, error) {
+	body, err := r.readChunkBody(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return decodeChunk(r.opt, body)
+}
+
+// Query returns the points of a series with minT <= T <= maxT and
+// minV <= V <= maxV, in time order, decoding only chunks whose footer
+// statistics overlap the predicate.
+func (r *Reader) Query(series string, minT, maxT, minV, maxV int64) ([]Point, error) {
+	chunks, ok := r.index[series]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSeries, series)
+	}
+	var out []Point
+	for _, m := range chunks {
+		if m.MaxT < minT || m.MinT > maxT || m.MaxV < minV || m.MinV > maxV {
+			continue // pruned without IO beyond the footer
+		}
+		times, vals, err := r.readChunk(m)
+		if err != nil {
+			return nil, err
+		}
+		// Binary-search the time window inside the sorted chunk.
+		lo := sort.Search(len(times), func(i int) bool { return times[i] >= minT })
+		hi := sort.Search(len(times), func(i int) bool { return times[i] > maxT })
+		for i := lo; i < hi; i++ {
+			if vals[i] >= minV && vals[i] <= maxV {
+				out = append(out, Point{times[i], vals[i]})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReadAll returns every point of a series in time order.
+func (r *Reader) ReadAll(series string) ([]Point, error) {
+	const full = int64(^uint64(0) >> 1)
+	return r.Query(series, -full-1, full, -full-1, full)
+}

@@ -1,0 +1,252 @@
+// Package tsfile implements a miniature IoT-native time-series file format
+// in the spirit of Apache TsFile (Zhao et al., VLDB 2024), the system the
+// paper deploys BOS into (Section VII). A file holds many series; each
+// Append call becomes one chunk with a timestamp column (delta + packer) and
+// a value column (packer), plus per-chunk statistics. A footer index maps
+// series to chunks so queries prune by time range and value range before
+// decompressing anything.
+//
+// Layout:
+//
+//	"TSF1"
+//	chunk*           each: varint body length, then body (see chunk.go)
+//	index            per-series chunk directory with statistics
+//	varint indexLen (fixed-width u32) | "TSF1"
+//
+// The format is self-contained and stdlib-only; it exists so the repository
+// can exercise BOS in the role the paper ships it in — the storage operator
+// of a columnar time-series file — including the Figure 11 storage/query
+// trade-off on real file IO.
+package tsfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"bos/internal/codec"
+	"bos/internal/core"
+	"bos/internal/ts2diff"
+)
+
+var (
+	magic = []byte("TSF1")
+
+	// ErrCorrupt reports an unreadable file.
+	ErrCorrupt = errors.New("tsfile: corrupt file")
+	// ErrNoSeries reports a query for an unknown series.
+	ErrNoSeries = errors.New("tsfile: no such series")
+	// ErrUnsorted reports timestamps out of order within an Append.
+	ErrUnsorted = errors.New("tsfile: timestamps must be strictly increasing")
+)
+
+// Point is one (timestamp, value) sample.
+type Point struct {
+	T, V int64
+}
+
+// ChunkMeta describes one chunk in the footer index.
+type ChunkMeta struct {
+	Offset       int64 // file offset of the chunk length prefix
+	Count        int
+	MinT, MaxT   int64
+	MinV, MaxV   int64 // scaled integers for float chunks; full-range for raw
+	EncodedBytes int
+	Kind         byte // kindInt, kindScaled or kindRaw
+	Precision    int  // decimal precision for kindScaled chunks
+}
+
+// Options configures a Writer.
+type Options struct {
+	// Packer packs both columns; nil means BOS-B, the operator the paper
+	// ships in TsFile.
+	Packer codec.Packer
+	// BlockSize is the packing block size inside a chunk (default 1024).
+	BlockSize int
+}
+
+func (o Options) packer() codec.Packer {
+	if o.Packer == nil {
+		return core.NewPacker(core.SeparationBitWidth)
+	}
+	return o.Packer
+}
+
+// Writer builds a file sequentially on any io.Writer.
+type Writer struct {
+	w      io.Writer
+	opt    Options
+	off    int64
+	index  map[string][]ChunkMeta
+	order  []string
+	closed bool
+	err    error
+}
+
+// NewWriter returns a Writer that emits the file onto w.
+func NewWriter(w io.Writer, opt Options) *Writer {
+	tw := &Writer{w: w, opt: opt, index: map[string][]ChunkMeta{}}
+	tw.err = tw.write(magic)
+	return tw
+}
+
+func (w *Writer) write(b []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	n, err := w.w.Write(b)
+	w.off += int64(n)
+	w.err = err
+	return err
+}
+
+// Append adds one chunk of samples to a series. Timestamps must be strictly
+// increasing within the chunk; chunks of one series should be appended in
+// time order for queries to return sorted results.
+func (w *Writer) Append(series string, points []Point) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("tsfile: writer closed")
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	meta := ChunkMeta{
+		Offset: w.off,
+		Count:  len(points),
+		MinT:   points[0].T,
+		MaxT:   points[len(points)-1].T,
+		MinV:   points[0].V,
+		MaxV:   points[0].V,
+	}
+	times := make([]int64, len(points))
+	vals := make([]int64, len(points))
+	for i, p := range points {
+		if i > 0 && p.T <= points[i-1].T {
+			return fmt.Errorf("%w: t[%d]=%d after %d", ErrUnsorted, i, p.T, points[i-1].T)
+		}
+		times[i] = p.T
+		vals[i] = p.V
+		if p.V < meta.MinV {
+			meta.MinV = p.V
+		}
+		if p.V > meta.MaxV {
+			meta.MaxV = p.V
+		}
+	}
+	meta.Kind = kindInt
+	body := encodeChunk(w.opt, times, vals)
+	meta.EncodedBytes = len(body)
+	return w.writeChunk(series, meta, body)
+}
+
+// writeChunk frames one encoded chunk body and records its metadata.
+func (w *Writer) writeChunk(series string, meta ChunkMeta, body []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	if err := w.write(hdr[:n]); err != nil {
+		return err
+	}
+	if err := w.write(body); err != nil {
+		return err
+	}
+	if _, seen := w.index[series]; !seen {
+		w.order = append(w.order, series)
+	}
+	w.index[series] = append(w.index[series], meta)
+	return nil
+}
+
+// Close writes the footer index. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	idx := encodeIndex(w.order, w.index)
+	if err := w.write(idx); err != nil {
+		return err
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[:4], uint32(len(idx)))
+	copy(tail[4:], magic)
+	return w.write(tail[:])
+}
+
+// encodeChunk packs an integer chunk: count, kind byte, then the columns.
+func encodeChunk(opt Options, times, vals []int64) []byte {
+	body := codec.AppendUvarint(nil, uint64(len(vals)))
+	body = append(body, kindInt)
+	return appendColumns(opt, body, times, vals)
+}
+
+// appendColumns packs the two columns — timestamps delta-coded then packed,
+// values packed directly — each framed by a byte-length varint so the
+// decoder can split them.
+func appendColumns(opt Options, body []byte, times, vals []int64) []byte {
+	tc := ts2diff.New(opt.packer(), opt.BlockSize)
+	tcol := tc.Encode(nil, times)
+	body = codec.AppendUvarint(body, uint64(len(tcol)))
+	body = append(body, tcol...)
+	vc := codec.NewBlockwise(opt.packer(), opt.BlockSize)
+	vcol := vc.Encode(nil, vals)
+	body = codec.AppendUvarint(body, uint64(len(vcol)))
+	body = append(body, vcol...)
+	return body
+}
+
+// decodeChunk inverts encodeChunk for integer chunks.
+func decodeChunk(opt Options, body []byte) (times, vals []int64, err error) {
+	n64, rest, err := codec.ReadUvarint(body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: chunk count: %v", ErrCorrupt, err)
+	}
+	if n64 > codec.MaxBlockLen*64 {
+		return nil, nil, fmt.Errorf("%w: chunk of %d points", ErrCorrupt, n64)
+	}
+	if len(rest) == 0 {
+		return nil, nil, fmt.Errorf("%w: missing kind", ErrCorrupt)
+	}
+	kind := rest[0]
+	rest = rest[1:]
+	if kind != kindInt {
+		return nil, nil, fmt.Errorf("%w: chunk kind %d is not integer", ErrKindMismatch, kind)
+	}
+	return decodeColumns(opt, rest, int(n64))
+}
+
+// decodeColumns inverts appendColumns.
+func decodeColumns(opt Options, rest []byte, n int) (times, vals []int64, err error) {
+	readColumn := func(decode func([]byte) ([]int64, error)) ([]int64, error) {
+		clen, r, err := codec.ReadUvarint(rest)
+		if err != nil || clen > uint64(len(r)) {
+			return nil, fmt.Errorf("column frame: %v", err)
+		}
+		col, err := decode(r[:clen])
+		if err != nil {
+			return nil, err
+		}
+		rest = r[clen:]
+		return col, nil
+	}
+	tc := ts2diff.New(opt.packer(), opt.BlockSize)
+	times, err = readColumn(tc.Decode)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: time column: %v", ErrCorrupt, err)
+	}
+	vc := codec.NewBlockwise(opt.packer(), opt.BlockSize)
+	vals, err = readColumn(vc.Decode)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: value column: %v", ErrCorrupt, err)
+	}
+	if len(times) != n || len(vals) != n {
+		return nil, nil, fmt.Errorf("%w: column lengths %d/%d, want %d", ErrCorrupt, len(times), len(vals), n)
+	}
+	return times, vals, nil
+}

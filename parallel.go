@@ -1,0 +1,123 @@
+package bos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// CompressParallel compresses vals with the given options using up to
+// `workers` goroutines (NumCPU when workers <= 0). The output is the same
+// segment stream Writer produces — byte-for-byte identical to the sequential
+// path — so it can be decoded with ReadAll, DecompressParallel, or a Reader.
+//
+// Block planning dominates BOS compression cost (especially PlannerValue),
+// and blocks are independent, so throughput scales near-linearly with cores.
+func CompressParallel(vals []int64, opt Options, workers int) []byte {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	bs := blockSizeOf(opt)
+	nSegs := (len(vals) + bs - 1) / bs
+	if nSegs <= 1 || workers == 1 {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, opt)
+		w.WriteValues(vals...)
+		w.Close()
+		return buf.Bytes()
+	}
+	segs := make([][]byte, nSegs)
+	var wg sync.WaitGroup
+	next := make(chan int, nSegs)
+	for s := 0; s < nSegs; s++ {
+		next <- s
+	}
+	close(next)
+	if workers > nSegs {
+		workers = nSegs
+	}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				lo := s * bs
+				hi := lo + bs
+				if hi > len(vals) {
+					hi = len(vals)
+				}
+				body := Compress(nil, vals[lo:hi], opt)
+				var hdr [binary.MaxVarintLen64]byte
+				n := binary.PutUvarint(hdr[:], uint64(len(body)))
+				segs[s] = append(hdr[:n:n], body...)
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	out := make([]byte, 0, total)
+	for _, s := range segs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// DecompressParallel decodes a segment stream (from Writer or
+// CompressParallel) using up to `workers` goroutines.
+func DecompressParallel(data []byte, workers int) ([]int64, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	// Split the frames sequentially (cheap), decode bodies in parallel.
+	type frame struct {
+		body []byte
+	}
+	var frames []frame
+	rest := data
+	for len(rest) > 0 {
+		segLen, used := binary.Uvarint(rest)
+		if used <= 0 || segLen > uint64(len(rest)-used) {
+			return nil, fmt.Errorf("%w: segment frame", ErrCorrupt)
+		}
+		frames = append(frames, frame{rest[used : used+int(segLen)]})
+		rest = rest[used+int(segLen):]
+	}
+	results := make([][]int64, len(frames))
+	errs := make([]error, len(frames))
+	var wg sync.WaitGroup
+	next := make(chan int, len(frames))
+	for i := range frames {
+		next <- i
+	}
+	close(next)
+	if workers > len(frames) {
+		workers = len(frames)
+	}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = Decompress(frames[i].body)
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for i := range frames {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		total += len(results[i])
+	}
+	out := make([]int64, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
+}

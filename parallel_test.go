@@ -1,0 +1,96 @@
+package bos
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func parallelTestSeries(n int) []int64 {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]int64, n)
+	v := int64(0)
+	for i := range vals {
+		if rng.Float64() < 0.01 {
+			v += rng.Int63n(1 << 30)
+		} else {
+			v += int64(rng.Intn(32)) - 16
+		}
+		vals[i] = v
+	}
+	return vals
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	vals := parallelTestSeries(50_000)
+	opt := Options{Planner: PlannerBitWidth, BlockSize: 1024}
+
+	var seq bytes.Buffer
+	w := NewWriter(&seq, opt)
+	if err := w.WriteValues(vals...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 7} {
+		par := CompressParallel(vals, opt, workers)
+		if !bytes.Equal(par, seq.Bytes()) {
+			t.Fatalf("workers=%d: parallel output differs from sequential (%d vs %d bytes)",
+				workers, len(par), seq.Len())
+		}
+	}
+}
+
+func TestParallelRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 1024, 1025, 30_000} {
+		vals := parallelTestSeries(n)
+		enc := CompressParallel(vals, Options{}, 4)
+		got, err := DecompressParallel(enc, 4)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("n=%d: got %d values", n, len(got))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("n=%d value %d mismatch", n, i)
+			}
+		}
+		// Interop: the sequential reader must accept parallel output.
+		got2, err := ReadAll(bytes.NewReader(enc))
+		if err != nil || len(got2) != len(vals) {
+			t.Fatalf("n=%d: ReadAll on parallel output: %v", n, err)
+		}
+	}
+}
+
+func TestDecompressParallelCorrupt(t *testing.T) {
+	vals := parallelTestSeries(10_000)
+	enc := CompressParallel(vals, Options{}, 4)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 500; i++ {
+		cor := append([]byte(nil), enc...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		DecompressParallel(cor, 4) // must never panic
+	}
+}
+
+func BenchmarkCompressParallel(b *testing.B) {
+	vals := parallelTestSeries(1 << 18)
+	for _, workers := range []int{1, 4} {
+		name := "workers=1"
+		if workers == 4 {
+			name = "workers=4"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(vals) * 8))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				CompressParallel(vals, Options{}, workers)
+			}
+		})
+	}
+}

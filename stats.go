@@ -1,0 +1,95 @@
+package bos
+
+import (
+	"fmt"
+
+	"bos/internal/codec"
+	"bos/internal/core"
+)
+
+// StreamStats summarizes what the compressor did to a stream: which pipeline
+// and post stage it used, how many blocks chose outlier separation versus
+// plain packing, and how many values were separated as lower/upper outliers.
+// It is the programmatic counterpart of cmd/bosinspect.
+type StreamStats struct {
+	Kind      string // "int", "float" (scaled) or "float-raw"
+	Pipeline  Pipeline
+	Post      Post
+	BlockSize int
+
+	Blocks          int
+	BOSBlocks       int
+	PlainBlocks     int
+	PartsBlocks     int
+	Values          int // values carried by the inspected blocks
+	LowerOutliers   int
+	UpperOutliers   int
+	CompressedBytes int
+}
+
+// Stats inspects a stream produced by Compress or CompressFloats without
+// materializing the decoded values (block payloads are still scanned to find
+// boundaries).
+func Stats(src []byte) (StreamStats, error) {
+	var st StreamStats
+	kind, pl, post, bs, rest, err := readHeader(src)
+	if err != nil {
+		return st, err
+	}
+	st.Pipeline, st.Post, st.BlockSize = pl, post, bs
+	st.CompressedBytes = len(src)
+	switch kind {
+	case kindInt:
+		st.Kind = "int"
+	case kindFloat:
+		st.Kind = "float"
+		if _, rest, err = codec.ReadUvarint(rest); err != nil {
+			return st, fmt.Errorf("%w: precision", ErrCorrupt)
+		}
+	case kindFloatRaw:
+		st.Kind = "float-raw"
+		return st, nil // raw payload has no blocks
+	default:
+		return st, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+	}
+	if rest, err = undoPost(rest, post); err != nil {
+		return st, fmt.Errorf("%w: post stage: %v", ErrCorrupt, err)
+	}
+	// Every pipeline starts with the total value count; RLE adds the run
+	// count, and its blocks then carry runs rather than values.
+	total, rest, err := codec.ReadUvarint(rest)
+	if err != nil {
+		return st, fmt.Errorf("%w: count", ErrCorrupt)
+	}
+	expect := total
+	if pl == PipelineRLE {
+		runs, r, err := codec.ReadUvarint(rest)
+		if err != nil {
+			return st, fmt.Errorf("%w: run count", ErrCorrupt)
+		}
+		rest = r
+		expect = runs
+	}
+	var seen uint64
+	for seen < expect {
+		info, r, err := core.InspectBlock(rest)
+		if err != nil {
+			return st, fmt.Errorf("%w: block %d: %v", ErrCorrupt, st.Blocks, err)
+		}
+		st.Blocks++
+		st.Values += info.N
+		switch info.Mode {
+		case "bos":
+			st.BOSBlocks++
+			st.LowerOutliers += info.NL
+			st.UpperOutliers += info.NU
+		case "parts":
+			st.PartsBlocks++
+		default:
+			st.PlainBlocks++
+		}
+		seen += uint64(info.N)
+		rest = r
+	}
+	return st, nil
+}

@@ -1,0 +1,86 @@
+package bos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStatsIntStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	vals := make([]int64, 5000)
+	v := int64(0)
+	for i := range vals {
+		if rng.Float64() < 0.02 {
+			v += rng.Int63n(1<<30) - 1<<29
+		} else {
+			v += int64(rng.Intn(9)) - 4
+		}
+		vals[i] = v
+	}
+	enc := Compress(nil, vals, Options{})
+	st, err := Stats(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != "int" || st.Pipeline != PipelineDelta || st.Post != PostNone {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Blocks != 5 || st.Values != 5000 {
+		t.Fatalf("blocks=%d values=%d", st.Blocks, st.Values)
+	}
+	if st.BOSBlocks == 0 || st.LowerOutliers == 0 || st.UpperOutliers == 0 {
+		t.Fatalf("separation not visible: %+v", st)
+	}
+	if st.CompressedBytes != len(enc) {
+		t.Errorf("bytes = %d want %d", st.CompressedBytes, len(enc))
+	}
+}
+
+func TestStatsPipelinesAndKinds(t *testing.T) {
+	vals := []int64{5, 5, 5, 9, 9, 1}
+	for _, pl := range []Pipeline{PipelineDelta, PipelineRaw, PipelineRLE} {
+		st, err := Stats(Compress(nil, vals, Options{Pipeline: pl}))
+		if err != nil {
+			t.Fatalf("%v: %v", pl, err)
+		}
+		if st.Pipeline != pl || st.Blocks == 0 {
+			t.Fatalf("%v: %+v", pl, st)
+		}
+	}
+	st, err := Stats(CompressFloats(nil, []float64{1.5, 2.5}, Options{}))
+	if err != nil || st.Kind != "float" {
+		t.Fatalf("float stats %+v err %v", st, err)
+	}
+	st, err = Stats(CompressFloats(nil, []float64{1.0 / 3.0}, Options{}))
+	if err != nil || st.Kind != "float-raw" {
+		t.Fatalf("raw stats %+v err %v", st, err)
+	}
+}
+
+func TestStatsPostStage(t *testing.T) {
+	vals := make([]int64, 3000)
+	for i := range vals {
+		vals[i] = int64(i % 7)
+	}
+	st, err := Stats(Compress(nil, vals, Options{Post: PostLZ}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Post != PostLZ || st.Blocks == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStatsCorruptNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	base := Compress(nil, []int64{1, 2, 3, 100000}, Options{})
+	for i := 0; i < 1500; i++ {
+		cor := append([]byte(nil), base...)
+		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
+		cor = cor[:rng.Intn(len(cor)+1)]
+		Stats(cor)
+	}
+	if _, err := Stats(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package bos
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Writer streams int64 values to an io.Writer as a sequence of
+// length-prefixed compressed segments, one per block of Options.BlockSize
+// values. It mirrors the block-file layout BOS uses inside Apache
+// IoTDB/TsFile (Section VII of the paper): each segment is self-contained,
+// so a reader can scan block by block without decoding the whole file.
+type Writer struct {
+	w   io.Writer
+	opt Options
+	buf []int64
+	scr []byte
+	err error
+}
+
+// NewWriter returns a Writer with the given options.
+func NewWriter(w io.Writer, opt Options) *Writer {
+	return &Writer{w: w, opt: opt, buf: make([]int64, 0, blockSizeOf(opt))}
+}
+
+// WriteValues appends values to the stream, emitting full segments as blocks
+// fill up.
+func (w *Writer) WriteValues(vals ...int64) error {
+	if w.err != nil {
+		return w.err
+	}
+	bs := blockSizeOf(w.opt)
+	for len(vals) > 0 {
+		take := bs - len(w.buf)
+		if take > len(vals) {
+			take = len(vals)
+		}
+		w.buf = append(w.buf, vals[:take]...)
+		vals = vals[take:]
+		if len(w.buf) == bs {
+			w.err = w.emit()
+			if w.err != nil {
+				return w.err
+			}
+		}
+	}
+	return nil
+}
+
+// emit writes the buffered values as one segment.
+func (w *Writer) emit() error {
+	seg := Compress(w.scr[:0], w.buf, w.opt)
+	w.scr = seg
+	w.buf = w.buf[:0]
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(seg)))
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(seg)
+	return err
+}
+
+// Flush writes any buffered values as a final (possibly short) segment.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) > 0 {
+		w.err = w.emit()
+	}
+	return w.err
+}
+
+// Close flushes the writer. It does not close the underlying io.Writer.
+func (w *Writer) Close() error { return w.Flush() }
+
+// Reader decodes a stream produced by Writer, one segment at a time.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Next returns the values of the next segment, or io.EOF when the stream is
+// exhausted.
+func (r *Reader) Next() ([]int64, error) {
+	segLen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: segment length: %v", ErrCorrupt, err)
+	}
+	if segLen > 1<<31 {
+		return nil, fmt.Errorf("%w: segment of %d bytes", ErrCorrupt, segLen)
+	}
+	seg := make([]byte, segLen)
+	if _, err := io.ReadFull(r.r, seg); err != nil {
+		return nil, fmt.Errorf("%w: segment body: %v", ErrCorrupt, err)
+	}
+	return Decompress(seg)
+}
+
+// ReadAll drains a stream produced by Writer into one slice.
+func ReadAll(r io.Reader) ([]int64, error) {
+	br := NewReader(r)
+	var out []int64
+	for {
+		vals, err := br.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+}
