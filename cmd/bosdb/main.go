@@ -20,10 +20,8 @@ import (
 	"strconv"
 	"strings"
 
-	"bos/internal/bitpack"
-	"bos/internal/codec"
-	"bos/internal/core"
 	"bos/internal/engine"
+	"bos/internal/packers"
 	"bos/internal/tsfile"
 )
 
@@ -39,7 +37,7 @@ func main() {
 		series  = flag.String("series", "", "series name for -query/-agg")
 		from    = flag.Int64("from", math.MinInt64, "minimum timestamp")
 		to      = flag.Int64("to", math.MaxInt64, "maximum timestamp")
-		packer  = flag.String("packer", "bosb", "packing operator: bosb, bosm, bp")
+		packer  = flag.String("packer", "bosb", "packing operator: "+strings.Join(packers.Names(), ", "))
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -54,16 +52,9 @@ func main() {
 	if modes != 1 {
 		fatal(fmt.Errorf("exactly one of -ingest, -query, -agg, -compact, -stats is required"))
 	}
-	var p codec.Packer
-	switch strings.ToLower(*packer) {
-	case "bosb":
-		p = core.NewPacker(core.SeparationBitWidth)
-	case "bosm":
-		p = core.NewPacker(core.SeparationMedian)
-	case "bp":
-		p = bitpack.Packer{}
-	default:
-		fatal(fmt.Errorf("unknown packer %q", *packer))
+	p, err := packers.ByName(*packer)
+	if err != nil {
+		fatal(err)
 	}
 	e, err := engine.Open(engine.Options{Dir: *dir, File: tsfile.Options{Packer: p}})
 	if err != nil {

@@ -18,9 +18,7 @@ import (
 	"strconv"
 	"strings"
 
-	"bos/internal/bitpack"
-	"bos/internal/codec"
-	"bos/internal/core"
+	"bos/internal/packers"
 	"bos/internal/tsfile"
 )
 
@@ -36,7 +34,7 @@ func main() {
 		to     = flag.Int64("to", math.MaxInt64, "maximum timestamp for -query")
 		minV   = flag.Int64("minv", math.MinInt64, "minimum value for -query")
 		maxV   = flag.Int64("maxv", math.MaxInt64, "maximum value for -query")
-		packer = flag.String("packer", "bosb", "packing operator: bosb, bosv, bosm, bp")
+		packer = flag.String("packer", "bosb", "packing operator: "+strings.Join(packers.Names(), ", "))
 		chunk  = flag.Int("chunk", 4096, "points per chunk when writing")
 	)
 	flag.Parse()
@@ -73,18 +71,9 @@ func main() {
 }
 
 func options(packer string) (tsfile.Options, error) {
-	var p codec.Packer
-	switch strings.ToLower(packer) {
-	case "bosb", "bos-b":
-		p = core.NewPacker(core.SeparationBitWidth)
-	case "bosv", "bos-v":
-		p = core.NewPacker(core.SeparationValue)
-	case "bosm", "bos-m":
-		p = core.NewPacker(core.SeparationMedian)
-	case "bp":
-		p = bitpack.Packer{}
-	default:
-		return tsfile.Options{}, fmt.Errorf("unknown packer %q", packer)
+	p, err := packers.ByName(packer)
+	if err != nil {
+		return tsfile.Options{}, err
 	}
 	return tsfile.Options{Packer: p}, nil
 }

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bos/internal/engine"
+	"bos/internal/server"
+	"bos/internal/tsfile"
+)
+
+// The load generator: an in-process server over the given engine, hammered
+// by concurrent writer and reader clients through real HTTP, so the numbers
+// include the wire format, the group committer and the storage engine — the
+// end-to-end serving cost, not just the packer. Output is one JSON document
+// on stdout; BENCH_server.json in the repo root records the checked-in
+// baseline trajectory.
+
+type benchConfig struct {
+	Packer          string `json:"packer"`
+	Writers         int    `json:"writers"`
+	Readers         int    `json:"readers"`
+	Points          int    `json:"points"`
+	Batch           int    `json:"batch"`
+	Seed            int64  `json:"seed"`
+	SeriesPerWriter int    `json:"series_per_writer"`
+}
+
+type sideReport struct {
+	Requests  int     `json:"requests"`
+	Points    int64   `json:"points,omitempty"`
+	Seconds   float64 `json:"seconds"`
+	PerSec    float64 `json:"per_sec"`
+	PointsSec float64 `json:"points_per_sec,omitempty"`
+	P50Millis float64 `json:"p50_ms"`
+	P90Millis float64 `json:"p90_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	MaxMillis float64 `json:"max_ms"`
+	Errors    int     `json:"errors"`
+}
+
+type benchReport struct {
+	Config  benchConfig `json:"config"`
+	Ingest  sideReport  `json:"ingest"`
+	Query   sideReport  `json:"query"`
+	Storage struct {
+		Files         int     `json:"files"`
+		DiskPoints    int     `json:"disk_points"`
+		DiskBytes     int64   `json:"disk_bytes"`
+		BytesPerPoint float64 `json:"bytes_per_point"`
+		IngestGroups  int64   `json:"ingest_groups"`
+	} `json:"storage"`
+}
+
+func runBench(eng *engine.Engine, cfg benchConfig) error {
+	if cfg.Writers < 1 || cfg.Readers < 0 || cfg.Batch < 1 || cfg.Points < cfg.Writers {
+		return fmt.Errorf("bench: bad config %+v", cfg)
+	}
+	api, err := server.New(server.Options{Engine: eng, PackerName: cfg.Packer})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(api.Handler())
+	defer ts.Close()
+
+	perWriter := cfg.Points / cfg.Writers
+	var writerWG, readerWG sync.WaitGroup
+	writeLat := make([][]time.Duration, cfg.Writers)
+	writeErrs := make([]int, cfg.Writers)
+	done := make(chan struct{})
+
+	start := time.Now()
+	for w := 0; w < cfg.Writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			c := server.NewClient(ts.URL, newBenchHTTPClient())
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			sent := 0
+			for sent < perWriter {
+				n := cfg.Batch
+				if perWriter-sent < n {
+					n = perWriter - sent
+				}
+				series := fmt.Sprintf("root.bench.w%d.s%d", w, rng.Intn(cfg.SeriesPerWriter))
+				pts := make([]tsfile.Point, n)
+				base := int64(sent)
+				for i := range pts {
+					// IoT-shaped values: a wandering center with occasional
+					// spikes, the distribution BOS separates outliers from.
+					v := int64(rng.NormFloat64()*50) + 1000
+					if rng.Intn(100) == 0 {
+						v += int64(rng.Intn(1 << 20))
+					}
+					pts[i] = tsfile.Point{T: base + int64(i), V: v}
+				}
+				t0 := time.Now()
+				_, err := c.Ingest(series, pts)
+				writeLat[w] = append(writeLat[w], time.Since(t0))
+				if err != nil {
+					if writeErrs[w]++; writeErrs[w] > 100 {
+						return // persistent failure; report it, don't spin
+					}
+				} else {
+					sent += n
+				}
+			}
+		}(w)
+	}
+
+	readLat := make([][]time.Duration, cfg.Readers)
+	readErrs := make([]int, cfg.Readers)
+	var readPoints int64
+	var readMu sync.Mutex
+	for r := 0; r < cfg.Readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			c := server.NewClient(ts.URL, newBenchHTTPClient())
+			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(r)))
+			var got int64
+			for {
+				select {
+				case <-done:
+					readMu.Lock()
+					readPoints += got
+					readMu.Unlock()
+					return
+				default:
+				}
+				w := rng.Intn(cfg.Writers)
+				series := fmt.Sprintf("root.bench.w%d.s%d", w, rng.Intn(cfg.SeriesPerWriter))
+				lo := int64(rng.Intn(perWriter + 1))
+				hi := lo + int64(rng.Intn(2048))
+				t0 := time.Now()
+				pts, err := c.Query(series, lo, hi)
+				readLat[r] = append(readLat[r], time.Since(t0))
+				if err != nil {
+					// A 404 is a reader outrunning the writer that will
+					// create the series — an empty result, not a failure.
+					if !strings.Contains(err.Error(), "404") {
+						readErrs[r]++
+					}
+					continue
+				}
+				got += int64(len(pts))
+			}
+		}(r)
+	}
+
+	// Writers drive the run length; readers stop when ingest completes.
+	writerWG.Wait()
+	ingestSeconds := time.Since(start).Seconds()
+	close(done)
+	readerWG.Wait()
+	wallSeconds := time.Since(start).Seconds()
+
+	rep := benchReport{Config: cfg}
+	rep.Ingest = summarize(writeLat, writeErrs, ingestSeconds)
+	rep.Ingest.Points = int64(perWriter * cfg.Writers)
+	rep.Ingest.PointsSec = round3(float64(rep.Ingest.Points) / ingestSeconds)
+	rep.Query = summarize(readLat, readErrs, wallSeconds)
+	rep.Query.Points = readPoints
+
+	if err := eng.Flush(); err != nil {
+		return err
+	}
+	st, err := server.NewClient(ts.URL, newBenchHTTPClient()).Stats()
+	if err != nil {
+		return err
+	}
+	rep.Storage.Files = st.Files
+	rep.Storage.DiskPoints = st.DiskPoints
+	rep.Storage.DiskBytes = st.DiskBytes
+	rep.Storage.BytesPerPoint = st.BytesPerPoint
+	rep.Storage.IngestGroups = st.IngestGroups
+
+	ts.Close()
+	if err := api.Close(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// newBenchHTTPClient returns an HTTP client with a connection pool sized for
+// the bench fan-out.
+func newBenchHTTPClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+}
+
+func summarize(lat [][]time.Duration, errs []int, seconds float64) sideReport {
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := sideReport{Requests: len(all), Seconds: round3(seconds)}
+	for _, e := range errs {
+		rep.Errors += e
+	}
+	if len(all) == 0 {
+		return rep
+	}
+	rep.PerSec = round3(float64(len(all)) / seconds)
+	rep.P50Millis = millis(percentile(all, 50))
+	rep.P90Millis = millis(percentile(all, 90))
+	rep.P99Millis = millis(percentile(all, 99))
+	rep.MaxMillis = millis(all[len(all)-1])
+	return rep
+}
+
+// percentile returns the p-th percentile of sorted durations
+// (nearest-rank method).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func millis(d time.Duration) float64 { return round3(float64(d) / float64(time.Millisecond)) }
+
+func round3(f float64) float64 { return float64(int64(f*1000+0.5)) / 1000 }

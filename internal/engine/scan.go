@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"errors"
+	"math"
+
+	"bos/internal/tsfile"
+)
+
+// Streaming reads for the serving layer: QueryEach delivers a range scan
+// through a callback with memory bounded by the scan page size, not the
+// result size. Internally the merge runs in pages of scanPageSize points;
+// each page holds the engine read lock only while it is being collected, so
+// a slow consumer (a client on a congested connection) cannot stall inserts
+// or flushes for the duration of the whole scan. Each page is a consistent
+// snapshot; a write that lands between pages is observed by later pages only
+// if its timestamp is past the cursor — the same guarantee a paginated HTTP
+// client would get from repeated Query calls.
+
+// scanPageSize is the number of points collected per locked merge pass.
+const scanPageSize = 4096
+
+// QueryEach streams the points of a series in [minT, maxT] in time order,
+// merging files and memtable with newest-wins semantics and honoring
+// tombstones, exactly like Query. fn returning an error aborts the scan and
+// returns that error.
+func (e *Engine) QueryEach(series string, minT, maxT int64, fn func(tsfile.Point) error) error {
+	cursor := minT
+	for {
+		pts, more, err := e.scanPage(series, cursor, maxT, scanPageSize)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			if err := fn(p); err != nil {
+				return err
+			}
+		}
+		if !more || len(pts) == 0 {
+			return nil
+		}
+		last := pts[len(pts)-1].T
+		if last == math.MaxInt64 {
+			return nil
+		}
+		cursor = last + 1
+	}
+}
+
+// fileScan pulls points from one data file's chunk iterator, skipping
+// tombstone-masked points.
+type fileScan struct {
+	it  *tsfile.Iterator
+	seq int
+}
+
+// scanPage collects up to limit merged points starting at minT. more reports
+// whether the merge was cut short by the limit (points past the last one may
+// remain).
+func (e *Engine) scanPage(series string, minT, maxT int64, limit int) ([]tsfile.Point, bool, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, false, ErrClosed
+	}
+	tombs := e.tombstonesFor(series)
+	masked := func(seq int, t int64) bool {
+		for _, ts := range tombs {
+			if ts.covers(seq, t) {
+				return true
+			}
+		}
+		return false
+	}
+	// Sources in ascending freshness: files by position, memtable last.
+	var srcs []*fileScan
+	for _, df := range e.files {
+		it, err := df.reader.Iter(series, minT, maxT)
+		if err != nil {
+			if errors.Is(err, tsfile.ErrNoSeries) {
+				continue
+			}
+			return nil, false, err
+		}
+		srcs = append(srcs, &fileScan{it: it, seq: df.seq})
+	}
+	// advance pulls the next unmasked point from a file source.
+	advance := func(s *fileScan) (tsfile.Point, bool, error) {
+		for s.it.Next() {
+			p := s.it.Point()
+			if masked(s.seq, p.T) {
+				continue
+			}
+			return p, true, nil
+		}
+		return tsfile.Point{}, false, s.it.Err()
+	}
+	heads := make([]tsfile.Point, len(srcs))
+	alive := make([]bool, len(srcs))
+	for i, s := range srcs {
+		p, ok, err := advance(s)
+		if err != nil {
+			return nil, false, err
+		}
+		heads[i], alive[i] = p, ok
+	}
+	mem := dedupeSort(e.mem[series])
+	memPos := 0
+	for memPos < len(mem) && mem[memPos].T < minT {
+		memPos++
+	}
+	var out []tsfile.Point
+	for {
+		// Find the minimum timestamp across live sources; on ties the
+		// freshest source (memtable, then the latest file) wins.
+		best := -1 // index into srcs; len(srcs) stands for the memtable
+		var bestT int64
+		for i := range srcs {
+			if alive[i] && (best == -1 || heads[i].T <= bestT) {
+				// <= : later files are fresher, so they take over ties.
+				best, bestT = i, heads[i].T
+			}
+		}
+		memLive := memPos < len(mem) && mem[memPos].T <= maxT
+		if memLive && (best == -1 || mem[memPos].T <= bestT) {
+			best, bestT = len(srcs), mem[memPos].T
+		}
+		if best == -1 {
+			return out, false, nil
+		}
+		var winner tsfile.Point
+		if best == len(srcs) {
+			winner = mem[memPos]
+			memPos++
+		} else {
+			winner = heads[best]
+		}
+		// Advance every file source sitting on the emitted timestamp, so
+		// overwritten duplicates are consumed without being emitted.
+		for i, s := range srcs {
+			if alive[i] && heads[i].T == bestT {
+				p, ok, err := advance(s)
+				if err != nil {
+					return nil, false, err
+				}
+				heads[i], alive[i] = p, ok
+			}
+		}
+		if memPos < len(mem) && mem[memPos].T == bestT {
+			memPos++
+		}
+		out = append(out, winner)
+		if len(out) >= limit {
+			return out, true, nil
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"math"
+	"sort"
+)
+
+// Per-series statistics: the serving layer's /stats endpoint reports these so
+// operators can see which series dominate memory and disk, and which value
+// kind (int vs float) each series holds.
+
+// SeriesStat summarizes one series' footprint across the memtable and every
+// data file.
+type SeriesStat struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"` // "int" or "float"
+	MemPoints  int    `json:"mem_points"`
+	DiskPoints int    `json:"disk_points"`
+	DiskBytes  int64  `json:"disk_bytes"` // encoded chunk payload bytes
+	Chunks     int    `json:"chunks"`
+	MinT       int64  `json:"min_t"` // meaningful only when the series has points
+	MaxT       int64  `json:"max_t"`
+}
+
+// SeriesStats reports per-series footprints, sorted by name.
+func (e *Engine) SeriesStats() []SeriesStat {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil
+	}
+	stats := map[string]*SeriesStat{}
+	get := func(name string) *SeriesStat {
+		s, ok := stats[name]
+		if !ok {
+			s = &SeriesStat{Name: name, Kind: "int", MinT: math.MaxInt64, MaxT: math.MinInt64}
+			stats[name] = s
+		}
+		return s
+	}
+	for _, df := range e.files {
+		for _, name := range df.reader.Series() {
+			chunks, err := df.reader.Chunks(name)
+			if err != nil {
+				continue
+			}
+			s := get(name)
+			for _, c := range chunks {
+				s.DiskPoints += c.Count
+				s.DiskBytes += int64(c.EncodedBytes)
+				s.Chunks++
+				if c.Kind != 0 {
+					s.Kind = "float"
+				}
+				if c.MinT < s.MinT {
+					s.MinT = c.MinT
+				}
+				if c.MaxT > s.MaxT {
+					s.MaxT = c.MaxT
+				}
+			}
+		}
+	}
+	for name, pts := range e.mem {
+		if len(pts) == 0 {
+			continue
+		}
+		s := get(name)
+		s.MemPoints += len(pts)
+		for _, p := range pts {
+			if p.T < s.MinT {
+				s.MinT = p.T
+			}
+			if p.T > s.MaxT {
+				s.MaxT = p.T
+			}
+		}
+	}
+	for name, pts := range e.memF {
+		if len(pts) == 0 {
+			continue
+		}
+		s := get(name)
+		s.Kind = "float"
+		s.MemPoints += len(pts)
+		for _, p := range pts {
+			if p.T < s.MinT {
+				s.MinT = p.T
+			}
+			if p.T > s.MaxT {
+				s.MaxT = p.T
+			}
+		}
+	}
+	out := make([]SeriesStat, 0, len(stats))
+	for _, s := range stats {
+		if s.MemPoints == 0 && s.DiskPoints == 0 {
+			continue
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SeriesKind reports the value kind of a series: "int", "float", or "" when
+// the series is unknown.
+func (e *Engine) SeriesKind(series string) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ""
+	}
+	if len(e.memF[series]) > 0 {
+		return "float"
+	}
+	if len(e.mem[series]) > 0 {
+		return "int"
+	}
+	known := false
+	for _, df := range e.files {
+		chunks, err := df.reader.Chunks(series)
+		if err != nil {
+			continue
+		}
+		for _, c := range chunks {
+			known = true
+			if c.Kind != 0 {
+				return "float"
+			}
+		}
+	}
+	if known {
+		return "int"
+	}
+	return ""
+}

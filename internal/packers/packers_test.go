@@ -1,0 +1,64 @@
+package packers
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByNameRoundTrip(t *testing.T) {
+	vals := []int64{3, 1, 4, 1, 5, 9, 2, 6, 1 << 40, -7}
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		enc := p.Pack(nil, vals)
+		got, rest, err := p.Unpack(enc, nil)
+		if err != nil {
+			t.Fatalf("%s: Unpack: %v", name, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%s: %d bytes left over", name, len(rest))
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("%s: got %d values, want %d", name, len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("%s: value %d: got %d, want %d", name, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestByNameAliases(t *testing.T) {
+	for _, alias := range []string{"bosb", "BOS-B", "bos_b", " BosB "} {
+		p, err := ByName(alias)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", alias, err)
+		}
+		if p.Name() != "BOS-B" {
+			t.Fatalf("ByName(%q).Name() = %q, want BOS-B", alias, p.Name())
+		}
+	}
+}
+
+func TestByNameUnknownListsValid(t *testing.T) {
+	_, err := ByName("nope")
+	if err == nil {
+		t.Fatal("want error for unknown packer")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not mention valid name %q", err, name)
+		}
+	}
+}
+
+func TestInstancesNotShared(t *testing.T) {
+	a, _ := ByName("bosb")
+	b, _ := ByName("bosb")
+	if a == b {
+		t.Fatal("ByName returned a shared packer instance")
+	}
+}

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"bos/internal/tsfile"
+)
+
+// Client is the typed Go client for the serving API. It speaks the same line
+// protocol and JSON shapes the handlers emit, and is what cmd/bosserver's
+// load generator drives.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a server at base (e.g. "http://127.0.0.1:8086").
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// decodeError turns a non-2xx JSON error body into an error.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("server: %s", resp.Status)
+}
+
+func (c *Client) getJSON(path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// IngestLines posts a raw line-protocol payload.
+func (c *Client) IngestLines(payload []byte) (IngestResponse, error) {
+	var out IngestResponse
+	resp, err := c.hc.Post(c.base+"/ingest", "text/plain", bytes.NewReader(payload))
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// Ingest posts one batch of integer points for a series.
+func (c *Client) Ingest(series string, pts []tsfile.Point) (IngestResponse, error) {
+	var buf bytes.Buffer
+	for _, p := range pts {
+		fmt.Fprintf(&buf, "%s,%d,%d\n", series, p.T, p.V)
+	}
+	return c.IngestLines(buf.Bytes())
+}
+
+// IngestFloats posts one batch of float points for a series. Values are
+// formatted so they always take the protocol's float path.
+func (c *Client) IngestFloats(series string, pts []tsfile.FloatPoint) (IngestResponse, error) {
+	var buf bytes.Buffer
+	for _, p := range pts {
+		buf.WriteString(series)
+		buf.WriteByte(',')
+		buf.Write(strconv.AppendInt(nil, p.T, 10))
+		buf.WriteByte(',')
+		buf.Write(appendFloatValue(nil, p.V))
+		buf.WriteByte('\n')
+	}
+	return c.IngestLines(buf.Bytes())
+}
+
+func (c *Client) queryCSV(series string, from, to int64) (*http.Response, error) {
+	q := url.Values{}
+	q.Set("series", series)
+	q.Set("from", strconv.FormatInt(from, 10))
+	q.Set("to", strconv.FormatInt(to, 10))
+	resp, err := c.hc.Get(c.base + "/query?" + q.Encode())
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return resp, nil
+}
+
+// QueryRaw returns the raw CSV body of a range scan — the byte-exact wire
+// form, which tests compare across runs.
+func (c *Client) QueryRaw(series string, from, to int64) ([]byte, error) {
+	resp, err := c.queryCSV(series, from, to)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Query returns the integer points of a series in [from, to].
+func (c *Client) Query(series string, from, to int64) ([]tsfile.Point, error) {
+	resp, err := c.queryCSV(series, from, to)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []tsfile.Point
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		t, v, err := splitCSVLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("client: value %q: %w", v, err)
+		}
+		out = append(out, tsfile.Point{T: t, V: n})
+	}
+	return out, sc.Err()
+}
+
+// QueryFloats returns the float points of a series in [from, to].
+func (c *Client) QueryFloats(series string, from, to int64) ([]tsfile.FloatPoint, error) {
+	resp, err := c.queryCSV(series, from, to)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []tsfile.FloatPoint
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		t, v, err := splitCSVLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("client: value %q: %w", v, err)
+		}
+		out = append(out, tsfile.FloatPoint{T: t, V: f})
+	}
+	return out, sc.Err()
+}
+
+func splitCSVLine(line string) (int64, string, error) {
+	i := strings.IndexByte(line, ',')
+	if i < 0 {
+		return 0, "", fmt.Errorf("client: malformed row %q", line)
+	}
+	t, err := strconv.ParseInt(line[:i], 10, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("client: timestamp %q: %w", line[:i], err)
+	}
+	return t, line[i+1:], nil
+}
+
+// Agg fetches count/min/max/sum/avg for a series range.
+func (c *Client) Agg(series string, from, to int64) (AggResponse, error) {
+	q := url.Values{}
+	q.Set("series", series)
+	q.Set("from", strconv.FormatInt(from, 10))
+	q.Set("to", strconv.FormatInt(to, 10))
+	var out AggResponse
+	err := c.getJSON("/agg", q, &out)
+	return out, err
+}
+
+// Downsample fetches fixed-window aggregates.
+func (c *Client) Downsample(series string, from, to, window int64) ([]BucketJSON, error) {
+	q := url.Values{}
+	q.Set("series", series)
+	q.Set("from", strconv.FormatInt(from, 10))
+	q.Set("to", strconv.FormatInt(to, 10))
+	q.Set("window", strconv.FormatInt(window, 10))
+	var out []BucketJSON
+	err := c.getJSON("/downsample", q, &out)
+	return out, err
+}
+
+// Series lists every series name.
+func (c *Client) Series() ([]string, error) {
+	var out []string
+	err := c.getJSON("/series", nil, &out)
+	return out, err
+}
+
+// Stats fetches server and storage statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.getJSON("/stats", nil, &out)
+	return out, err
+}
+
+// Health checks /healthz.
+func (c *Client) Health() error {
+	var out map[string]string
+	if err := c.getJSON("/healthz", nil, &out); err != nil {
+		return err
+	}
+	if out["status"] != "ok" {
+		return fmt.Errorf("client: unhealthy: %v", out)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"bos/internal/engine"
+	"bos/internal/tsfile"
+)
+
+// TestConcurrentIngestMatchesSequential runs 8 concurrent writer clients
+// (each split into interleaved shards to force the group committer to merge
+// across requests) while 4 reader clients query mid-ingest, then verifies
+// the stored result is byte-exact — the CSV wire form — against the same
+// points written sequentially by a single writer into a fresh engine.
+func TestConcurrentIngestMatchesSequential(t *testing.T) {
+	const (
+		writers   = 8
+		readers   = 4
+		perWriter = 2000
+		shards    = 4
+	)
+
+	// Deterministic dataset: each writer owns one series.
+	points := func(w int) []tsfile.Point {
+		pts := make([]tsfile.Point, perWriter)
+		for i := range pts {
+			t := int64(i)
+			pts[i] = tsfile.Point{T: t, V: t*int64(w+1) - int64(w)*7}
+		}
+		return pts
+	}
+
+	// Concurrent run, small flush threshold so data crosses the memtable /
+	// file boundary repeatedly during the test.
+	concDir := t.TempDir()
+	eng, err := engine.Open(engine.Options{Dir: concDir, FlushThreshold: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(ts.URL, ts.Client())
+			series := fmt.Sprintf("root.sg.d%d", w)
+			pts := points(w)
+			// Interleaved shards: shard k sends points k, k+shards, ... so
+			// concurrent requests of different writers overlap in time.
+			for k := 0; k < shards; k++ {
+				var shard []tsfile.Point
+				for i := k; i < len(pts); i += shards {
+					shard = append(shard, pts[i])
+				}
+				if _, err := c.Ingest(series, shard); err != nil {
+					errc <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := NewClient(ts.URL, ts.Client())
+			for i := 0; i < 30; i++ {
+				series := fmt.Sprintf("root.sg.d%d", (r+i)%writers)
+				// Mid-ingest reads may see partial data; they must not
+				// error (404 before the first point is fine) or misorder.
+				pts, err := c.Query(series, 0, perWriter)
+				if err != nil {
+					continue
+				}
+				for j := 1; j < len(pts); j++ {
+					if pts[j].T <= pts[j-1].T {
+						errc <- fmt.Errorf("reader %d: misordered scan of %s", r, series)
+						return
+					}
+				}
+				if _, err := c.Stats(); err != nil {
+					errc <- fmt.Errorf("reader %d: stats: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st, err := NewClient(ts.URL, ts.Client()).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IngestPoints != writers*perWriter {
+		t.Fatalf("acknowledged %d points, want %d", st.IngestPoints, writers*perWriter)
+	}
+	if st.IngestBatches != writers*shards {
+		t.Fatalf("acknowledged %d batches, want %d", st.IngestBatches, writers*shards)
+	}
+
+	// Sequential reference run: one writer, same points, insertion in plain
+	// order, then the same flush/close lifecycle.
+	seqDir := t.TempDir()
+	seqEng, err := engine.Open(engine.Options{Dir: seqDir, FlushThreshold: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSrv, err := New(Options{Engine: seqEng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqTS := httptest.NewServer(seqSrv.Handler())
+	seqClient := NewClient(seqTS.URL, seqTS.Client())
+	for w := 0; w < writers; w++ {
+		series := fmt.Sprintf("root.sg.d%d", w)
+		if _, err := seqClient.Ingest(series, points(w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Byte-exact comparison of every series' full CSV scan.
+	concClient := NewClient(ts.URL, ts.Client())
+	for w := 0; w < writers; w++ {
+		series := fmt.Sprintf("root.sg.d%d", w)
+		got, err := concClient.QueryRaw(series, 0, perWriter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := seqClient.QueryRaw(series, 0, perWriter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: concurrent scan differs from sequential (%d vs %d bytes)",
+				series, len(got), len(want))
+		}
+	}
+
+	ts.Close()
+	seqTS.Close()
+	for _, s := range []*Server{srv, seqSrv} {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := seqEng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBatchBasic(t *testing.T) {
+	b, err := parseBatch([]byte(
+		"root.d1.temp,100,42\n" +
+			"root.d1.temp,200,-7\n" +
+			"# comment\n" +
+			"\n" +
+			"root.d1.hum,100,55.5\r\n" +
+			"root.d1.hum,200,1e3\n" +
+			"other,5,9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.points != 5 {
+		t.Fatalf("points = %d, want 5", b.points)
+	}
+	if got := b.ints["root.d1.temp"]; len(got) != 2 || got[0].T != 100 || got[0].V != 42 || got[1].V != -7 {
+		t.Fatalf("temp points: %+v", got)
+	}
+	if got := b.floats["root.d1.hum"]; len(got) != 2 || got[0].V != 55.5 || got[1].V != 1000 {
+		t.Fatalf("hum points: %+v", got)
+	}
+	if got := b.ints["other"]; len(got) != 1 {
+		t.Fatalf("other points: %+v", got)
+	}
+}
+
+func TestParseBatchIntPromotedToFloat(t *testing.T) {
+	// An integer-looking value mixed into a float series within one batch is
+	// promoted, in both orders.
+	b, err := parseBatch([]byte("s,1,2.5\ns,2,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.floats["s"]; len(got) != 2 || got[1].V != 3 {
+		t.Fatalf("float-first: %+v", got)
+	}
+	if len(b.ints["s"]) != 0 {
+		t.Fatalf("int leftovers: %+v", b.ints["s"])
+	}
+	b, err = parseBatch([]byte("s,1,3\ns,2,2.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.floats["s"]; len(got) != 2 || got[0].V != 3 || got[1].V != 2.5 {
+		t.Fatalf("int-first: %+v", got)
+	}
+	if b.points != 2 {
+		t.Fatalf("points = %d, want 2", b.points)
+	}
+}
+
+func TestParseBatchErrors(t *testing.T) {
+	cases := []struct {
+		name, input, wantSub string
+	}{
+		{"missing fields", "a,1\n", "series,timestamp,value"},
+		{"no commas", "abc\n", "series,timestamp,value"},
+		{"empty series", ",1,2\n", "empty series"},
+		{"control char series", "a\x01b,1,2\n", "control byte"},
+		{"long series", strings.Repeat("x", maxSeriesName+1) + ",1,2\n", "longer than"},
+		{"bad timestamp", "a,xyz,2\n", "timestamp"},
+		{"overflow timestamp", "a,9223372036854775808,2\n", "timestamp"},
+		{"empty value", "a,1,\n", "empty value"},
+		{"bad value", "a,1,zzz\n", "value"},
+		{"overflow int value", "a,1,99999999999999999999\n", "value"},
+		{"nan", "a,1,NaN\n", "value"},
+		{"inf", "a,1,Inf\n", "value"},
+		{"neg inf", "a,1,-Infinity\n", "value"},
+		{"hex float", "a,1,0x1p3\n", "value"},
+		{"underscore int", "a,1,1_000\n", "value"},
+		{"underscore float", "a,1,1_0.5\n", "value"},
+		{"float overflow", "a,1,1e999\n", "value"},
+		{"dangling exponent", "a,1,1e\n", "value"},
+		{"double dot", "a,1,1.2.3\n", "value"},
+		{"dot only", "a,1,.\n", "value"},
+		{"line number", "ok,1,2\nbad\n", "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseBatch([]byte(tc.input))
+			if err == nil {
+				t.Fatalf("parseBatch(%q): want error", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("parseBatch(%q) error %q, want substring %q", tc.input, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseDecimalFloatAccepts(t *testing.T) {
+	for _, s := range []string{"1.5", "-0.25", "+3.", ".5", "1e3", "1E-3", "2.5e+10", "0.0"} {
+		if _, err := parseDecimalFloat(s); err != nil {
+			t.Errorf("parseDecimalFloat(%q): %v", s, err)
+		}
+	}
+}
+
+func TestAppendFloatValueRoundTrips(t *testing.T) {
+	for _, v := range []float64{0, 3, -3, 2.5, 1e30, -1.25e-7} {
+		text := string(appendFloatValue(nil, v))
+		if !isFloatSyntax(text) {
+			t.Errorf("appendFloatValue(%v) = %q: not float syntax", v, text)
+		}
+		got, err := parseDecimalFloat(text)
+		if err != nil {
+			t.Errorf("appendFloatValue(%v) = %q: %v", v, text, err)
+			continue
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %q -> %v", v, text, got)
+		}
+	}
+}

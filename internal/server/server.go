@@ -1,0 +1,405 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"bos/internal/engine"
+	"bos/internal/tsfile"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Engine is the storage engine to serve (required). The caller keeps
+	// ownership: Server.Close flushes it but does not close it.
+	Engine *engine.Engine
+	// PackerName is reported by /stats (informational).
+	PackerName string
+	// MaxBodyBytes bounds one ingest request body (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) maxBody() int64 {
+	if o.MaxBodyBytes <= 0 {
+		return 8 << 20
+	}
+	return o.MaxBodyBytes
+}
+
+// Server is the HTTP serving layer: it owns the ingest group committer and
+// translates the HTTP API onto engine calls. Use Handler for the mux and
+// Close for graceful teardown (after http.Server.Shutdown has drained
+// connections).
+type Server struct {
+	opt     Options
+	eng     *engine.Engine
+	coal    *coalescer
+	mux     *http.ServeMux
+	start   time.Time
+	queries atomic.Int64
+}
+
+// New builds a Server over an open engine.
+func New(opt Options) (*Server, error) {
+	if opt.Engine == nil {
+		return nil, errors.New("server: Options.Engine is required")
+	}
+	s := &Server{
+		opt:   opt,
+		eng:   opt.Engine,
+		coal:  newCoalescer(opt.Engine),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /agg", s.handleAgg)
+	s.mux.HandleFunc("GET /downsample", s.handleDownsample)
+	s.mux.HandleFunc("GET /series", s.handleSeries)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s, nil
+}
+
+// Handler returns the HTTP handler to mount.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the ingest committer (every acknowledged write is in the
+// engine, and through its WAL, before Close returns) and flushes the
+// memtable to disk. Call after the HTTP listener has stopped accepting work.
+func (s *Server) Close() error {
+	s.coal.stop()
+	return s.eng.Flush()
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// IngestResponse acknowledges one ingest request.
+type IngestResponse struct {
+	Points int `json:"points"`
+	Series int `json:"series"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opt.maxBody()+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if int64(len(body)) > s.opt.maxBody() {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds %d bytes", s.opt.maxBody()))
+		return
+	}
+	b, err := parseBatch(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if b.points == 0 {
+		writeJSON(w, IngestResponse{})
+		return
+	}
+	if err := s.coal.submit(b); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrShuttingDown) {
+			status = http.StatusServiceUnavailable
+		} else if errors.Is(err, engine.ErrSeriesKind) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, IngestResponse{Points: b.points, Series: len(b.ints) + len(b.floats)})
+}
+
+// timeRange parses from/to query params (defaulting to the full range).
+func timeRange(r *http.Request) (int64, int64, error) {
+	from, to := int64(math.MinInt64), int64(math.MaxInt64)
+	if v := r.FormValue("from"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("from: %w", err)
+		}
+		from = n
+	}
+	if v := r.FormValue("to"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("to: %w", err)
+		}
+		to = n
+	}
+	return from, to, nil
+}
+
+// handleQuery streams a range scan as CSV lines "timestamp,value". Integer
+// series stream through the engine's paged scan (memory bounded by the page
+// size, not the series size); float series are read in one engine call and
+// streamed out incrementally.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	series := r.FormValue("series")
+	if series == "" {
+		httpError(w, http.StatusBadRequest, errors.New("series is required"))
+		return
+	}
+	from, to, err := timeRange(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.queries.Add(1)
+	kind := s.eng.SeriesKind(series)
+	if kind == "" {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", series))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("X-Series-Kind", kind)
+	cw := newChunkedCSV(w)
+	if kind == "float" {
+		pts, err := s.eng.QueryFloats(series, from, to)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		for _, p := range pts {
+			cw.writeFloat(p.T, p.V)
+		}
+	} else {
+		err := s.eng.QueryEach(series, from, to, func(p tsfile.Point) error {
+			return cw.writeInt(p.T, p.V)
+		})
+		if err != nil {
+			// Headers are already out; the best remaining signal is an
+			// aborted chunked body.
+			return
+		}
+	}
+	cw.flush()
+}
+
+// chunkedCSV batches CSV rows and flushes them through the ResponseWriter in
+// chunks, so long scans stream instead of accumulating.
+type chunkedCSV struct {
+	w   http.ResponseWriter
+	buf []byte
+	err error
+}
+
+func newChunkedCSV(w http.ResponseWriter) *chunkedCSV {
+	return &chunkedCSV{w: w, buf: make([]byte, 0, 32<<10)}
+}
+
+func (c *chunkedCSV) writeInt(t, v int64) error {
+	c.buf = strconv.AppendInt(c.buf, t, 10)
+	c.buf = append(c.buf, ',')
+	c.buf = strconv.AppendInt(c.buf, v, 10)
+	c.buf = append(c.buf, '\n')
+	return c.maybeFlush()
+}
+
+func (c *chunkedCSV) writeFloat(t int64, v float64) error {
+	c.buf = strconv.AppendInt(c.buf, t, 10)
+	c.buf = append(c.buf, ',')
+	c.buf = appendFloatValue(c.buf, v)
+	c.buf = append(c.buf, '\n')
+	return c.maybeFlush()
+}
+
+func (c *chunkedCSV) maybeFlush() error {
+	if len(c.buf) >= 24<<10 {
+		return c.flush()
+	}
+	return c.err
+}
+
+func (c *chunkedCSV) flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.buf) > 0 {
+		if _, err := c.w.Write(c.buf); err != nil {
+			c.err = err
+			return err
+		}
+		c.buf = c.buf[:0]
+		if f, ok := c.w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	return nil
+}
+
+// appendFloatValue formats a float so it re-parses on the float path of the
+// line protocol: shortest round-trip form, forced to contain '.' or 'e'.
+func appendFloatValue(dst []byte, v float64) []byte {
+	start := len(dst)
+	dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+	if !isFloatSyntax(string(dst[start:])) {
+		dst = append(dst, '.', '0')
+	}
+	return dst
+}
+
+// AggResponse is the /agg result.
+type AggResponse struct {
+	Series string  `json:"series"`
+	Count  int     `json:"count"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+	Sum    int64   `json:"sum"`
+	Avg    float64 `json:"avg"`
+}
+
+func (s *Server) handleAgg(w http.ResponseWriter, r *http.Request) {
+	series := r.FormValue("series")
+	if series == "" {
+		httpError(w, http.StatusBadRequest, errors.New("series is required"))
+		return
+	}
+	from, to, err := timeRange(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.queries.Add(1)
+	resp := AggResponse{Series: series, Min: math.MaxInt64, Max: math.MinInt64}
+	err = s.eng.QueryEach(series, from, to, func(p tsfile.Point) error {
+		resp.Count++
+		resp.Sum += p.V
+		if p.V < resp.Min {
+			resp.Min = p.V
+		}
+		if p.V > resp.Max {
+			resp.Max = p.V
+		}
+		return nil
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if resp.Count == 0 {
+		resp.Min, resp.Max = 0, 0
+	} else {
+		resp.Avg = float64(resp.Sum) / float64(resp.Count)
+	}
+	writeJSON(w, resp)
+}
+
+// BucketJSON is one /downsample window.
+type BucketJSON struct {
+	Start int64   `json:"start"`
+	Count int     `json:"count"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Sum   int64   `json:"sum"`
+	Avg   float64 `json:"avg"`
+}
+
+func (s *Server) handleDownsample(w http.ResponseWriter, r *http.Request) {
+	series := r.FormValue("series")
+	if series == "" {
+		httpError(w, http.StatusBadRequest, errors.New("series is required"))
+		return
+	}
+	from, to, err := timeRange(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	window, err := strconv.ParseInt(r.FormValue("window"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("window: %w", err))
+		return
+	}
+	if from == math.MinInt64 {
+		// Bucket starts are computed relative to from; an unbounded start
+		// would overflow, so anchor at the series' first point.
+		httpError(w, http.StatusBadRequest, errors.New("downsample requires from"))
+		return
+	}
+	s.queries.Add(1)
+	buckets, err := s.eng.Downsample(series, from, to, window)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, engine.ErrBadWindow) {
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, err)
+		return
+	}
+	out := make([]BucketJSON, len(buckets))
+	for i, b := range buckets {
+		out[i] = BucketJSON{Start: b.Start, Count: b.Count, Min: b.Min, Max: b.Max, Sum: b.Sum, Avg: b.Avg()}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.eng.Series())
+}
+
+// StatsResponse is the /stats payload: engine footprint, per-series
+// breakdown, and serving counters.
+type StatsResponse struct {
+	Packer        string              `json:"packer,omitempty"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Files         int                 `json:"files"`
+	SeriesCount   int                 `json:"series_count"`
+	MemPoints     int                 `json:"mem_points"`
+	DiskPoints    int                 `json:"disk_points"`
+	DiskBytes     int64               `json:"disk_bytes"`
+	BytesPerPoint float64             `json:"bytes_per_point,omitempty"`
+	IngestPoints  int64               `json:"ingest_points"`
+	IngestBatches int64               `json:"ingest_batches"`
+	IngestGroups  int64               `json:"ingest_groups"`
+	Queries       int64               `json:"queries"`
+	Series        []engine.SeriesStat `json:"series,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	resp := StatsResponse{
+		Packer:        s.opt.PackerName,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Files:         st.Files,
+		SeriesCount:   st.SeriesCount,
+		MemPoints:     st.MemPoints,
+		DiskPoints:    st.DiskPoints,
+		DiskBytes:     st.DiskBytes,
+		IngestPoints:  s.coal.points.Load(),
+		IngestBatches: s.coal.batches.Load(),
+		IngestGroups:  s.coal.groups.Load(),
+		Queries:       s.queries.Load(),
+	}
+	if st.DiskPoints > 0 {
+		resp.BytesPerPoint = float64(st.DiskBytes) / float64(st.DiskPoints)
+	}
+	if r.FormValue("series") != "0" {
+		resp.Series = s.eng.SeriesStats()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
