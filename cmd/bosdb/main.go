@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"bos/internal/engine"
+	"bos/internal/maintain"
 	"bos/internal/packers"
 	"bos/internal/tsfile"
 )
@@ -37,7 +38,8 @@ func main() {
 		series  = flag.String("series", "", "series name for -query/-agg")
 		from    = flag.Int64("from", math.MinInt64, "minimum timestamp")
 		to      = flag.Int64("to", math.MaxInt64, "maximum timestamp")
-		packer  = flag.String("packer", "bosb", "packing operator: "+strings.Join(packers.Names(), ", "))
+		packer   = flag.String("packer", "bosb", "packing operator: "+strings.Join(packers.Names(), ", "))
+		adaptive = flag.Bool("adaptive", false, "-compact: repack each series with its cheapest operator")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -74,7 +76,7 @@ func main() {
 	case *agg:
 		err = runAgg(e, *series, *from, *to)
 	case *compact:
-		err = e.Compact()
+		err = runCompact(e, *adaptive)
 	default:
 		st := e.Stats()
 		fmt.Printf("files=%d series=%d disk_points=%d disk_bytes=%d mem_points=%d",
@@ -146,6 +148,23 @@ func runIngest(e *engine.Engine, inPath string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "bosdb: ingested %d points\n", total)
+	return nil
+}
+
+func runCompact(e *engine.Engine, adaptive bool) error {
+	if !adaptive {
+		return e.Compact()
+	}
+	m := maintain.New(e, maintain.Config{Adaptive: true})
+	st, err := m.CompactAll()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bosdb: compacted %d files, %d series, %d -> %d bytes\n",
+		st.Files, st.Series, st.BytesBefore, st.BytesAfter)
+	for s, p := range st.SeriesPackers {
+		fmt.Fprintf(os.Stderr, "bosdb:   %s -> %s\n", s, p)
+	}
 	return nil
 }
 

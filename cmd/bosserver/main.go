@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"bos/internal/engine"
+	"bos/internal/maintain"
 	"bos/internal/packers"
 	"bos/internal/server"
 	"bos/internal/tsfile"
@@ -45,6 +46,11 @@ func main() {
 		packer = flag.String("packer", "bosb", "packing operator: "+joinNames())
 		flush  = flag.Int("flush", 0, "memtable flush threshold in points (0 = engine default)")
 		sync   = flag.Bool("sync", false, "fsync the WAL on every insert batch")
+
+		doMaint   = flag.Bool("maintain", true, "serve: run background storage maintenance")
+		maintIvl  = flag.Duration("maintain-interval", 30*time.Second, "serve: base maintenance interval (jittered)")
+		maintRate = flag.Int64("maintain-rate", 0, "serve: maintenance rate limit in input bytes/sec (0 = unlimited)")
+		adaptive  = flag.Bool("adaptive", true, "serve: adaptive per-series repacking during maintenance")
 
 		bench    = flag.Bool("bench", false, "run the load generator instead of serving")
 		writers  = flag.Int("writers", 8, "bench: concurrent ingest clients")
@@ -89,15 +95,26 @@ func main() {
 		}
 		return
 	}
-	if err := serve(eng, *addr, p.Name()); err != nil {
+	var mnt *maintain.Maintainer
+	if *doMaint {
+		mnt = maintain.New(eng, maintain.Config{
+			Interval:    *maintIvl,
+			BytesPerSec: *maintRate,
+			Adaptive:    *adaptive,
+		})
+	}
+	if err := serve(eng, mnt, *addr, p.Name()); err != nil {
 		fatal(err)
 	}
 }
 
-func serve(eng *engine.Engine, addr, packerName string) error {
-	api, err := server.New(server.Options{Engine: eng, PackerName: packerName})
+func serve(eng *engine.Engine, mnt *maintain.Maintainer, addr, packerName string) error {
+	api, err := server.New(server.Options{Engine: eng, Maintainer: mnt, PackerName: packerName})
 	if err != nil {
 		return err
+	}
+	if mnt != nil {
+		mnt.Start()
 	}
 	httpSrv := &http.Server{Addr: addr, Handler: api.Handler()}
 	ln, err := net.Listen("tcp", addr)
@@ -118,8 +135,10 @@ func serve(eng *engine.Engine, addr, packerName string) error {
 		return err
 	}
 	// Drain: stop the listener and in-flight HTTP, then the ingest
-	// committer, then flush + close the engine. Order matters: every
-	// acknowledged write reaches the engine before Close.
+	// committer, then the maintenance scheduler (waits out any in-flight
+	// compaction), then flush + close the engine. Order matters: every
+	// acknowledged write reaches the engine before Close, and no compaction
+	// can be mid-commit when the engine shuts down.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -127,6 +146,10 @@ func serve(eng *engine.Engine, addr, packerName string) error {
 	}
 	if err := api.Close(); err != nil {
 		return err
+	}
+	if mnt != nil {
+		mnt.Stop()
+		fmt.Fprintf(os.Stderr, "bosserver: maintenance stopped (%s)\n", mnt.Stats())
 	}
 	if err := eng.Close(); err != nil {
 		return err

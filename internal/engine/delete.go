@@ -55,6 +55,19 @@ func (e *Engine) DeleteRange(series string, minT, maxT int64) error {
 		}
 		e.mem[series] = kept
 	}
+	if pts := e.memF[series]; len(pts) > 0 {
+		// Float buffers flush with a sequence at or above the tombstone's,
+		// so they must be pruned here or the delete would miss them.
+		kept := pts[:0]
+		for _, p := range pts {
+			if p.T >= minT && p.T <= maxT {
+				e.memPts--
+				continue
+			}
+			kept = append(kept, p)
+		}
+		e.memF[series] = kept
+	}
 	e.tombs = append(e.tombs, ts)
 	return nil
 }

@@ -14,7 +14,6 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -60,6 +59,13 @@ type Engine struct {
 	tombs   []tombstone // pending range deletes, applied at query/compaction
 	log     *wal        // nil when Options.DisableWAL
 	closed  bool
+
+	compacting bool // one snapshot/merge/commit cycle at a time
+	// Lifetime maintenance counters, reported in Stats.
+	compactions       int64
+	compactedFiles    int64
+	compactedBytesIn  int64
+	compactedBytesOut int64
 }
 
 // dataFile is one immutable on-disk block file.
@@ -86,6 +92,14 @@ func Open(opt Options) (*Engine, error) {
 		opt:  opt,
 		mem:  map[string][]tsfile.Point{},
 		memF: map[string][]tsfile.FloatPoint{},
+	}
+	// Startup hygiene: a crash between writing a temporary file (flush or
+	// compaction merge) and its atomic rename leaves an orphaned *.tmp that
+	// no reader references — delete them before loading the real files.
+	if orphans, err := filepath.Glob(filepath.Join(opt.Dir, "data-*.tsf*.tmp")); err == nil {
+		for _, tmp := range orphans {
+			os.Remove(tmp)
+		}
 	}
 	entries, err := filepath.Glob(filepath.Join(opt.Dir, "data-*.tsf"))
 	if err != nil {
@@ -130,6 +144,11 @@ func Open(opt Options) (*Engine, error) {
 }
 
 func openDataFile(path string, opt tsfile.Options) (*dataFile, error) {
+	if testOpenDataFileErr != nil {
+		if err := testOpenDataFileErr(path); err != nil {
+			return nil, err
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
@@ -381,13 +400,25 @@ type Stats struct {
 	DiskPoints  int
 	DiskBytes   int64
 	SeriesCount int
+	// Lifetime compaction counters since Open.
+	Compactions       int64
+	CompactedFiles    int64
+	CompactedBytesIn  int64 // encoded chunk bytes entering committed compactions
+	CompactedBytesOut int64 // encoded chunk bytes after repacking
 }
 
 // Stats reports the current footprint.
 func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	s := Stats{Files: len(e.files), MemPoints: e.memPts}
+	s := Stats{
+		Files:             len(e.files),
+		MemPoints:         e.memPts,
+		Compactions:       e.compactions,
+		CompactedFiles:    e.compactedFiles,
+		CompactedBytesIn:  e.compactedBytesIn,
+		CompactedBytesOut: e.compactedBytesOut,
+	}
 	set := map[string]bool{}
 	for _, df := range e.files {
 		for _, name := range df.reader.Series() {
@@ -420,168 +451,6 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	return s
-}
-
-// Compact merges every data file (and the memtable) into a single new file,
-// dropping overwritten points. Queries observe an atomic switch.
-func (e *Engine) Compact() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return ErrClosed
-	}
-	if err := e.flushLocked(); err != nil {
-		return err
-	}
-	if len(e.files) <= 1 {
-		return nil
-	}
-	// Merge all series across files.
-	seq := e.nextSeq
-	path := filepath.Join(e.opt.Dir, fmt.Sprintf("data-%06d.tsf", seq))
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("engine: %w", err)
-	}
-	w := tsfile.NewWriter(f, e.opt.File)
-	names := map[string]bool{}
-	for _, df := range e.files {
-		for _, s := range df.reader.Series() {
-			names[s] = true
-		}
-	}
-	sorted := make([]string, 0, len(names))
-	for s := range names {
-		sorted = append(sorted, s)
-	}
-	sort.Strings(sorted)
-	const full = int64(^uint64(0) >> 1)
-	for _, name := range sorted {
-		if e.seriesIsFloat(name) {
-			if err := e.compactFloatSeries(w, name); err != nil {
-				f.Close()
-				os.Remove(tmp)
-				return err
-			}
-			continue
-		}
-		merged := map[int64]int64{}
-		var order []int64
-		for _, df := range e.files {
-			pts, err := df.reader.Query(name, -full-1, full, -full-1, full)
-			if err != nil && !errors.Is(err, tsfile.ErrNoSeries) {
-				f.Close()
-				os.Remove(tmp)
-				return err
-			}
-			for _, p := range pts {
-				if e.masked(name, df.seq, p.T) {
-					continue // compaction reclaims deleted ranges
-				}
-				if _, seen := merged[p.T]; !seen {
-					order = append(order, p.T)
-				}
-				merged[p.T] = p.V
-			}
-		}
-		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-		pts := make([]tsfile.Point, 0, len(order))
-		for _, t := range order {
-			pts = append(pts, tsfile.Point{T: t, V: merged[t]})
-		}
-		if err := w.Append(name, pts); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return fmt.Errorf("engine: compact %s: %w", name, err)
-		}
-	}
-	if err := w.Close(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("engine: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("engine: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("engine: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("engine: %w", err)
-	}
-	df, err := openDataFile(path, e.opt.File)
-	if err != nil {
-		return err
-	}
-	old := e.files
-	e.files = []*dataFile{df}
-	e.nextSeq = seq + 1
-	// Tombstones are physically applied now; drop them and their WAL
-	// records.
-	e.tombs = nil
-	if e.log != nil {
-		if err := e.log.reset(); err != nil {
-			return err
-		}
-	}
-	for _, o := range old {
-		o.f.Close()
-		os.Remove(o.path)
-	}
-	return nil
-}
-
-// seriesIsFloat reports whether any data file stores float chunks for the
-// series (engine mutex held).
-func (e *Engine) seriesIsFloat(name string) bool {
-	for _, df := range e.files {
-		chunks, err := df.reader.Chunks(name)
-		if err != nil {
-			continue
-		}
-		for _, c := range chunks {
-			if c.Kind != 0 { // kindScaled or kindRaw
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// compactFloatSeries merges one float series across all files into w.
-func (e *Engine) compactFloatSeries(w *tsfile.Writer, name string) error {
-	const full = int64(^uint64(0) >> 1)
-	merged := map[int64]float64{}
-	var order []int64
-	for _, df := range e.files {
-		pts, err := df.reader.QueryFloats(name, -full-1, full, math.Inf(-1), math.Inf(1))
-		if err != nil && !errors.Is(err, tsfile.ErrNoSeries) {
-			return err
-		}
-		for _, p := range pts {
-			if e.masked(name, df.seq, p.T) {
-				continue
-			}
-			if _, seen := merged[p.T]; !seen {
-				order = append(order, p.T)
-			}
-			merged[p.T] = p.V
-		}
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-	pts := make([]tsfile.FloatPoint, 0, len(order))
-	for _, t := range order {
-		pts = append(pts, tsfile.FloatPoint{T: t, V: merged[t]})
-	}
-	if err := w.AppendFloats(name, pts); err != nil {
-		return fmt.Errorf("engine: compact %s: %w", name, err)
-	}
-	return nil
 }
 
 func (e *Engine) closeFiles() {

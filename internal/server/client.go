@@ -214,6 +214,27 @@ func (c *Client) Series() ([]string, error) {
 	return out, err
 }
 
+// Compact triggers maintenance: mode "policy" runs one tiered-policy
+// decision, mode "full" merges every file, "" lets the server pick its
+// default.
+func (c *Client) Compact(mode string) (CompactResponse, error) {
+	u := c.base + "/compact"
+	if mode != "" {
+		u += "?" + url.Values{"mode": {mode}}.Encode()
+	}
+	var out CompactResponse
+	resp, err := c.hc.Post(u, "application/json", nil)
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
 // Stats fetches server and storage statistics.
 func (c *Client) Stats() (StatsResponse, error) {
 	var out StatsResponse

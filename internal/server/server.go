@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"bos/internal/engine"
+	"bos/internal/maintain"
 	"bos/internal/tsfile"
 )
 
@@ -20,6 +21,10 @@ type Options struct {
 	// Engine is the storage engine to serve (required). The caller keeps
 	// ownership: Server.Close flushes it but does not close it.
 	Engine *engine.Engine
+	// Maintainer, when set, backs the POST /compact admin endpoint and adds
+	// maintenance counters to /stats. The caller keeps ownership (start and
+	// stop it around the HTTP lifecycle).
+	Maintainer *maintain.Maintainer
 	// PackerName is reported by /stats (informational).
 	PackerName string
 	// MaxBodyBytes bounds one ingest request body (default 8 MiB).
@@ -64,6 +69,7 @@ func New(opt Options) (*Server, error) {
 	s.mux.HandleFunc("GET /downsample", s.handleDownsample)
 	s.mux.HandleFunc("GET /series", s.handleSeries)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /compact", s.handleCompact)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s, nil
 }
@@ -358,6 +364,72 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.eng.Series())
 }
 
+// CompactResponse acknowledges one POST /compact admin request.
+type CompactResponse struct {
+	Ran           bool              `json:"ran"` // false: policy found nothing due
+	Files         int               `json:"files"`
+	Series        int               `json:"series"`
+	Points        int               `json:"points"`
+	BytesBefore   int64             `json:"bytes_before"`
+	BytesAfter    int64             `json:"bytes_after"`
+	SeriesPackers map[string]string `json:"series_packers,omitempty"`
+}
+
+// handleCompact triggers maintenance on demand. mode=policy (default with a
+// maintainer) runs one policy decision; mode=full merges every file. Without
+// a maintainer only mode=full is available and uses the engine default
+// packer.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	mode := r.FormValue("mode")
+	if mode == "" {
+		if s.opt.Maintainer != nil {
+			mode = "policy"
+		} else {
+			mode = "full"
+		}
+	}
+	var (
+		st  engine.CompactStats
+		ran bool
+		err error
+	)
+	switch mode {
+	case "policy":
+		if s.opt.Maintainer == nil {
+			httpError(w, http.StatusBadRequest, errors.New("no maintainer configured; use mode=full"))
+			return
+		}
+		st, ran, err = s.opt.Maintainer.RunOnce()
+	case "full":
+		if s.opt.Maintainer != nil {
+			st, err = s.opt.Maintainer.CompactAll()
+		} else {
+			st, err = s.eng.CompactWith(nil)
+		}
+		ran = st.Files > 0
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", mode))
+		return
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, engine.ErrCompacting) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, CompactResponse{
+		Ran:           ran,
+		Files:         st.Files,
+		Series:        st.Series,
+		Points:        st.Points,
+		BytesBefore:   st.BytesBefore,
+		BytesAfter:    st.BytesAfter,
+		SeriesPackers: st.SeriesPackers,
+	})
+}
+
 // StatsResponse is the /stats payload: engine footprint, per-series
 // breakdown, and serving counters.
 type StatsResponse struct {
@@ -373,7 +445,14 @@ type StatsResponse struct {
 	IngestBatches int64               `json:"ingest_batches"`
 	IngestGroups  int64               `json:"ingest_groups"`
 	Queries       int64               `json:"queries"`
-	Series        []engine.SeriesStat `json:"series,omitempty"`
+	// Engine-level compaction counters (all compactions, any caller).
+	Compactions       int64 `json:"compactions"`
+	CompactedFiles    int64 `json:"compacted_files"`
+	CompactedBytesIn  int64 `json:"compacted_bytes_in"`
+	CompactedBytesOut int64 `json:"compacted_bytes_out"`
+	// Maintenance reports the background maintainer, when one is attached.
+	Maintenance *maintain.Stats     `json:"maintenance,omitempty"`
+	Series      []engine.SeriesStat `json:"series,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -390,6 +469,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IngestBatches: s.coal.batches.Load(),
 		IngestGroups:  s.coal.groups.Load(),
 		Queries:       s.queries.Load(),
+
+		Compactions:       st.Compactions,
+		CompactedFiles:    st.CompactedFiles,
+		CompactedBytesIn:  st.CompactedBytesIn,
+		CompactedBytesOut: st.CompactedBytesOut,
+	}
+	if s.opt.Maintainer != nil {
+		ms := s.opt.Maintainer.Stats()
+		resp.Maintenance = &ms
 	}
 	if st.DiskPoints > 0 {
 		resp.BytesPerPoint = float64(st.DiskBytes) / float64(st.DiskPoints)

@@ -30,6 +30,13 @@ type FloatPoint struct {
 // scaled to integers (keeping all the packing machinery and statistics
 // pruning); non-decimal data falls back to raw bits, losslessly.
 func (w *Writer) AppendFloats(series string, points []FloatPoint) error {
+	return w.AppendFloatsPacked(series, points, "")
+}
+
+// AppendFloatsPacked is AppendFloats with a per-chunk packer override,
+// mirroring AppendPacked: the named packer encodes the chunk and is recorded
+// in the footer ("" = the file's default packer).
+func (w *Writer) AppendFloatsPacked(series string, points []FloatPoint, packerName string) error {
 	if w.err != nil {
 		return w.err
 	}
@@ -38,6 +45,10 @@ func (w *Writer) AppendFloats(series string, points []FloatPoint) error {
 	}
 	if len(points) == 0 {
 		return nil
+	}
+	packer, err := w.chunkPacker(packerName)
+	if err != nil {
+		return err
 	}
 	times := make([]int64, len(points))
 	vals := make([]float64, len(points))
@@ -54,6 +65,7 @@ func (w *Writer) AppendFloats(series string, points []FloatPoint) error {
 		MinT:   times[0],
 		MaxT:   times[len(times)-1],
 	}
+	meta.Packer = packerName
 	var body []byte
 	if p, ok := floatconv.DetectPrecision(vals); ok {
 		scaled, err := floatconv.ToScaled(vals, p)
@@ -61,7 +73,7 @@ func (w *Writer) AppendFloats(series string, points []FloatPoint) error {
 			meta.Kind = kindScaled
 			meta.Precision = p
 			meta.MinV, meta.MaxV = minMax(scaled)
-			body = encodeFloatChunk(w.opt, kindScaled, p, times, scaled)
+			body = encodeFloatChunk(packer, w.opt.BlockSize, kindScaled, p, times, scaled)
 		}
 	}
 	if body == nil {
@@ -73,7 +85,7 @@ func (w *Writer) AppendFloats(series string, points []FloatPoint) error {
 		// Raw chunks carry no orderable statistics; value pruning is
 		// disabled for them via the full-range sentinel.
 		meta.MinV, meta.MaxV = math.MinInt64, math.MaxInt64
-		body = encodeFloatChunk(w.opt, kindRaw, 0, times, bits)
+		body = encodeFloatChunk(packer, w.opt.BlockSize, kindRaw, 0, times, bits)
 	}
 	meta.EncodedBytes = len(body)
 	return w.writeChunk(series, meta, body)
@@ -94,13 +106,13 @@ func minMax(vals []int64) (lo, hi int64) {
 
 // encodeFloatChunk mirrors encodeChunk with a kind byte and optional
 // precision before the columns.
-func encodeFloatChunk(opt Options, kind byte, precision int, times, vals []int64) []byte {
+func encodeFloatChunk(p codec.Packer, blockSize int, kind byte, precision int, times, vals []int64) []byte {
 	body := codec.AppendUvarint(nil, uint64(len(vals)))
 	body = append(body, kind)
 	if kind == kindScaled {
 		body = append(body, byte(precision))
 	}
-	body = appendColumns(opt, body, times, vals)
+	body = appendColumns(p, blockSize, body, times, vals)
 	return body
 }
 
@@ -183,7 +195,7 @@ func (r *Reader) readFloatChunk(m ChunkMeta) ([]int64, []float64, error) {
 	default:
 		return nil, nil, fmt.Errorf("%w: chunk kind %d is not float", ErrKindMismatch, kind)
 	}
-	times, vals, err := decodeColumns(r.opt, rest, int(n64))
+	times, vals, err := decodeColumns(r.packerFor(m), r.opt.BlockSize, rest, int(n64))
 	if err != nil {
 		return nil, nil, err
 	}

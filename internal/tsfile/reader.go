@@ -7,11 +7,12 @@ import (
 	"sort"
 
 	"bos/internal/codec"
+	"bos/internal/packers"
 )
 
 // encodeIndex serializes the footer: series count, then per series its name,
 // chunk count and chunk metadata (offsets and statistics delta-free, all
-// zigzag varints).
+// zigzag varints; the per-chunk packer-name override last).
 func encodeIndex(order []string, index map[string][]ChunkMeta) []byte {
 	out := codec.AppendUvarint(nil, uint64(len(order)))
 	for _, name := range order {
@@ -28,6 +29,8 @@ func encodeIndex(order []string, index map[string][]ChunkMeta) []byte {
 			out = appendZig(out, c.MinV)
 			out = appendZig(out, c.MaxV)
 			out = append(out, c.Kind, byte(c.Precision))
+			out = codec.AppendUvarint(out, uint64(len(c.Packer)))
+			out = append(out, c.Packer...)
 		}
 	}
 	return out
@@ -46,6 +49,8 @@ func readZig(src []byte) (int64, []byte, error) {
 type Reader struct {
 	r     io.ReaderAt
 	opt   Options
+	def   codec.Packer            // the file's default packer, resolved once
+	named map[string]codec.Packer // per-chunk packer overrides, by footer name
 	index map[string][]ChunkMeta
 	order []string
 }
@@ -79,11 +84,27 @@ func OpenReader(r io.ReaderAt, size int64, opt Options) (*Reader, error) {
 	if _, err := r.ReadAt(idx, size-8-idxLen); err != nil {
 		return nil, fmt.Errorf("%w: index: %v", ErrCorrupt, err)
 	}
-	tr := &Reader{r: r, opt: opt, index: map[string][]ChunkMeta{}}
+	tr := &Reader{
+		r:     r,
+		opt:   opt,
+		def:   opt.packer(),
+		named: map[string]codec.Packer{},
+		index: map[string][]ChunkMeta{},
+	}
 	if err := tr.parseIndex(idx, size); err != nil {
 		return nil, err
 	}
 	return tr, nil
+}
+
+// packerFor returns the packer that decodes one chunk: its footer override
+// when present, the file default otherwise. Overrides are resolved eagerly in
+// parseIndex, so the map is read-only (and safe to share) after open.
+func (r *Reader) packerFor(m ChunkMeta) codec.Packer {
+	if m.Packer == "" {
+		return r.def
+	}
+	return r.named[m.Packer]
 }
 
 func (r *Reader) parseIndex(idx []byte, size int64) error {
@@ -139,6 +160,21 @@ func (r *Reader) parseIndex(idx []byte, size int64) error {
 			if m.Kind > kindRaw {
 				return fmt.Errorf("%w: chunk kind %d", ErrCorrupt, m.Kind)
 			}
+			pnLen, r4, err := codec.ReadUvarint(rest)
+			if err != nil || pnLen > uint64(len(r4)) {
+				return fmt.Errorf("%w: chunk packer name", ErrCorrupt)
+			}
+			m.Packer = string(r4[:pnLen])
+			rest = r4[pnLen:]
+			if m.Packer != "" {
+				if _, ok := r.named[m.Packer]; !ok {
+					p, err := packers.ByName(m.Packer)
+					if err != nil {
+						return fmt.Errorf("%w: chunk packer: %v", ErrCorrupt, err)
+					}
+					r.named[m.Packer] = p
+				}
+			}
 			if m.Offset < int64(len(magic)) || m.Offset >= size {
 				return fmt.Errorf("%w: chunk offset %d", ErrCorrupt, m.Offset)
 			}
@@ -188,7 +224,7 @@ func (r *Reader) readChunk(m ChunkMeta) ([]int64, []int64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return decodeChunk(r.opt, body)
+	return decodeChunk(r.packerFor(m), r.opt.BlockSize, body)
 }
 
 // Query returns the points of a series with minT <= T <= maxT and

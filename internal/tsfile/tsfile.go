@@ -8,15 +8,20 @@
 //
 // Layout:
 //
-//	"TSF1"
+//	"TSF2"
 //	chunk*           each: varint body length, then body (see chunk.go)
 //	index            per-series chunk directory with statistics
-//	varint indexLen (fixed-width u32) | "TSF1"
+//	varint indexLen (fixed-width u32) | "TSF2"
 //
-// The format is self-contained and stdlib-only; it exists so the repository
-// can exercise BOS in the role the paper ships it in — the storage operator
-// of a columnar time-series file — including the Figure 11 storage/query
-// trade-off on real file IO.
+// Each chunk records the name of the packer that encoded it in the footer
+// (empty = the file's default packer), so one file can mix packing layouts:
+// background compaction repacks each series into its cheapest candidate
+// without forcing a single operator on the whole file.
+//
+// The format is self-contained; it exists so the repository can exercise BOS
+// in the role the paper ships it in — the storage operator of a columnar
+// time-series file — including the Figure 11 storage/query trade-off on real
+// file IO.
 package tsfile
 
 import (
@@ -27,11 +32,12 @@ import (
 
 	"bos/internal/codec"
 	"bos/internal/core"
+	"bos/internal/packers"
 	"bos/internal/ts2diff"
 )
 
 var (
-	magic = []byte("TSF1")
+	magic = []byte("TSF2")
 
 	// ErrCorrupt reports an unreadable file.
 	ErrCorrupt = errors.New("tsfile: corrupt file")
@@ -53,8 +59,9 @@ type ChunkMeta struct {
 	MinT, MaxT   int64
 	MinV, MaxV   int64 // scaled integers for float chunks; full-range for raw
 	EncodedBytes int
-	Kind         byte // kindInt, kindScaled or kindRaw
-	Precision    int  // decimal precision for kindScaled chunks
+	Kind         byte   // kindInt, kindScaled or kindRaw
+	Precision    int    // decimal precision for kindScaled chunks
+	Packer       string // packer name override; "" = the file's default packer
 }
 
 // Options configures a Writer.
@@ -101,10 +108,21 @@ func (w *Writer) write(b []byte) error {
 	return err
 }
 
-// Append adds one chunk of samples to a series. Timestamps must be strictly
-// increasing within the chunk; chunks of one series should be appended in
-// time order for queries to return sorted results.
+// Append adds one chunk of samples to a series using the file's default
+// packer. Timestamps must be strictly increasing within the chunk; chunks of
+// one series should be appended in time order for queries to return sorted
+// results.
 func (w *Writer) Append(series string, points []Point) error {
+	return w.AppendPacked(series, points, "")
+}
+
+// AppendPacked is Append with a per-chunk packer override: the chunk is
+// encoded with the named packer (resolved through the shared registry) and
+// the name is recorded in the footer, so readers decode it with the right
+// operator regardless of the file's default. An empty name means the default
+// packer. This is what lets one file mix packing layouts — background
+// compaction repacks each series into its cheapest candidate.
+func (w *Writer) AppendPacked(series string, points []Point, packerName string) error {
 	if w.err != nil {
 		return w.err
 	}
@@ -113,6 +131,10 @@ func (w *Writer) Append(series string, points []Point) error {
 	}
 	if len(points) == 0 {
 		return nil
+	}
+	p, err := w.chunkPacker(packerName)
+	if err != nil {
+		return err
 	}
 	meta := ChunkMeta{
 		Offset: w.off,
@@ -138,9 +160,33 @@ func (w *Writer) Append(series string, points []Point) error {
 		}
 	}
 	meta.Kind = kindInt
-	body := encodeChunk(w.opt, times, vals)
+	meta.Packer = packerName
+	body := encodeChunk(p, w.opt.BlockSize, times, vals)
 	meta.EncodedBytes = len(body)
 	return w.writeChunk(series, meta, body)
+}
+
+// chunkPacker resolves a per-chunk packer override ("" = file default).
+func (w *Writer) chunkPacker(name string) (codec.Packer, error) {
+	if name == "" {
+		return w.opt.packer(), nil
+	}
+	p, err := packers.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("tsfile: %w", err)
+	}
+	return p, nil
+}
+
+// SeriesEncodedBytes sums the encoded chunk payload bytes written so far for
+// one series (0 for an unknown series). Compaction uses it to report
+// bytes-after per series.
+func (w *Writer) SeriesEncodedBytes(series string) int64 {
+	var n int64
+	for _, m := range w.index[series] {
+		n += int64(m.EncodedBytes)
+	}
+	return n
 }
 
 // writeChunk frames one encoded chunk body and records its metadata.
@@ -180,21 +226,21 @@ func (w *Writer) Close() error {
 }
 
 // encodeChunk packs an integer chunk: count, kind byte, then the columns.
-func encodeChunk(opt Options, times, vals []int64) []byte {
+func encodeChunk(p codec.Packer, blockSize int, times, vals []int64) []byte {
 	body := codec.AppendUvarint(nil, uint64(len(vals)))
 	body = append(body, kindInt)
-	return appendColumns(opt, body, times, vals)
+	return appendColumns(p, blockSize, body, times, vals)
 }
 
 // appendColumns packs the two columns — timestamps delta-coded then packed,
 // values packed directly — each framed by a byte-length varint so the
 // decoder can split them.
-func appendColumns(opt Options, body []byte, times, vals []int64) []byte {
-	tc := ts2diff.New(opt.packer(), opt.BlockSize)
+func appendColumns(p codec.Packer, blockSize int, body []byte, times, vals []int64) []byte {
+	tc := ts2diff.New(p, blockSize)
 	tcol := tc.Encode(nil, times)
 	body = codec.AppendUvarint(body, uint64(len(tcol)))
 	body = append(body, tcol...)
-	vc := codec.NewBlockwise(opt.packer(), opt.BlockSize)
+	vc := codec.NewBlockwise(p, blockSize)
 	vcol := vc.Encode(nil, vals)
 	body = codec.AppendUvarint(body, uint64(len(vcol)))
 	body = append(body, vcol...)
@@ -202,7 +248,7 @@ func appendColumns(opt Options, body []byte, times, vals []int64) []byte {
 }
 
 // decodeChunk inverts encodeChunk for integer chunks.
-func decodeChunk(opt Options, body []byte) (times, vals []int64, err error) {
+func decodeChunk(p codec.Packer, blockSize int, body []byte) (times, vals []int64, err error) {
 	n64, rest, err := codec.ReadUvarint(body)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: chunk count: %v", ErrCorrupt, err)
@@ -218,11 +264,11 @@ func decodeChunk(opt Options, body []byte) (times, vals []int64, err error) {
 	if kind != kindInt {
 		return nil, nil, fmt.Errorf("%w: chunk kind %d is not integer", ErrKindMismatch, kind)
 	}
-	return decodeColumns(opt, rest, int(n64))
+	return decodeColumns(p, blockSize, rest, int(n64))
 }
 
 // decodeColumns inverts appendColumns.
-func decodeColumns(opt Options, rest []byte, n int) (times, vals []int64, err error) {
+func decodeColumns(p codec.Packer, blockSize int, rest []byte, n int) (times, vals []int64, err error) {
 	readColumn := func(decode func([]byte) ([]int64, error)) ([]int64, error) {
 		clen, r, err := codec.ReadUvarint(rest)
 		if err != nil || clen > uint64(len(r)) {
@@ -235,12 +281,12 @@ func decodeColumns(opt Options, rest []byte, n int) (times, vals []int64, err er
 		rest = r[clen:]
 		return col, nil
 	}
-	tc := ts2diff.New(opt.packer(), opt.BlockSize)
+	tc := ts2diff.New(p, blockSize)
 	times, err = readColumn(tc.Decode)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: time column: %v", ErrCorrupt, err)
 	}
-	vc := codec.NewBlockwise(opt.packer(), opt.BlockSize)
+	vc := codec.NewBlockwise(p, blockSize)
 	vals, err = readColumn(vc.Decode)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: value column: %v", ErrCorrupt, err)
