@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +47,8 @@ func main() {
 		packer = flag.String("packer", "bosb", "packing operator: "+joinNames())
 		flush  = flag.Int("flush", 0, "memtable flush threshold in points (0 = engine default)")
 		sync   = flag.Bool("sync", false, "fsync the WAL on every insert batch")
+		cache  = flag.Int64("cache-bytes", 0, "decoded-chunk cache budget in bytes (0 = 64 MiB default, negative = disabled)")
+		pprofA = flag.String("pprof", "", "listen address for net/http/pprof on a separate listener (empty = disabled)")
 
 		doMaint   = flag.Bool("maintain", true, "serve: run background storage maintenance")
 		maintIvl  = flag.Duration("maintain-interval", 30*time.Second, "serve: base maintenance interval (jittered)")
@@ -72,10 +75,21 @@ func main() {
 		Dir:            *dir,
 		FlushThreshold: *flush,
 		SyncWAL:        *sync,
+		CacheBytes:     *cache,
 		File:           tsfile.Options{Packer: p},
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *pprofA != "" {
+		// The pprof handlers self-register on http.DefaultServeMux; serving
+		// it on its own listener keeps profiling off the public API address.
+		ln, err := net.Listen("tcp", *pprofA)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bosserver: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil)
 	}
 	if *bench {
 		err = runBench(eng, benchConfig{

@@ -1,10 +1,14 @@
 package bitio
 
+import "encoding/binary"
+
 // Bulk fixed-width paths for the hot loops of block packing: same stream
-// layout as repeated WriteBits/ReadBits calls, but with the accumulator kept
-// in a register and bounds checked once per run instead of once per value.
-// Widths above 56 fall back to the scalar path (the accumulator needs
-// width+7 bits of headroom).
+// layout as repeated WriteBits/ReadBits calls, but with per-value work cut
+// to one unaligned 8-byte load. A value of width <= 56 starting at any bit
+// offset o (0..7) occupies at most o+56 <= 63 bits, so it always fits in
+// the 8 bytes beginning at its first byte: load big-endian, shift right,
+// mask. Widths above 56 fall back to the scalar path, as does the tail of
+// the buffer where an 8-byte load would run past the end.
 
 const bulkMaxWidth = 56
 
@@ -61,28 +65,23 @@ func (r *Reader) ReadBulk(out []uint64, width uint) error {
 		}
 		return nil
 	}
-	var acc uint64
-	var nb uint
-	pos := r.pos
-	// Fold in the partial leading byte so the main loop is byte-aligned.
-	if o := uint(pos & 7); o != 0 {
-		acc = uint64(r.data[pos>>3]) & (1<<(8-o) - 1)
-		nb = 8 - o
-		pos += int(nb)
-	}
-	bytePos := pos >> 3
 	mask := uint64(1)<<width - 1
-	for i := range out {
-		for nb < width {
-			acc = acc<<8 | uint64(r.data[bytePos])
-			bytePos++
-			nb += 8
-		}
-		nb -= width
-		out[i] = acc >> nb & mask
-		acc &= 1<<nb - 1
+	pos := r.pos
+	i := 0
+	for ; i < len(out) && pos>>3+8 <= len(r.data); i++ {
+		o := uint(pos) & 7
+		w := binary.BigEndian.Uint64(r.data[pos>>3:])
+		out[i] = w >> (64 - o - width) & mask
+		pos += int(width)
 	}
-	r.pos = bytePos*8 - int(nb)
+	r.pos = pos
+	for ; i < len(out); i++ { // last few values near the buffer end
+		v, err := r.ReadBits(width)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
 	return nil
 }
 
@@ -116,26 +115,22 @@ func (r *Reader) ReadBulkInt64(out []int64, width uint, base uint64) error {
 		}
 		return nil
 	}
-	var acc uint64
-	var nb uint
-	pos := r.pos
-	if o := uint(pos & 7); o != 0 {
-		acc = uint64(r.data[pos>>3]) & (1<<(8-o) - 1)
-		nb = 8 - o
-		pos += int(nb)
-	}
-	bytePos := pos >> 3
 	mask := uint64(1)<<width - 1
-	for i := range out {
-		for nb < width {
-			acc = acc<<8 | uint64(r.data[bytePos])
-			bytePos++
-			nb += 8
-		}
-		nb -= width
-		out[i] = int64(base + (acc>>nb)&mask)
-		acc &= 1<<nb - 1
+	pos := r.pos
+	i := 0
+	for ; i < len(out) && pos>>3+8 <= len(r.data); i++ {
+		o := uint(pos) & 7
+		w := binary.BigEndian.Uint64(r.data[pos>>3:])
+		out[i] = int64(base + w>>(64-o-width)&mask)
+		pos += int(width)
 	}
-	r.pos = bytePos*8 - int(nb)
+	r.pos = pos
+	for ; i < len(out); i++ { // last few values near the buffer end
+		v, err := r.ReadBits(width)
+		if err != nil {
+			return err
+		}
+		out[i] = int64(base + v)
+	}
 	return nil
 }

@@ -1,0 +1,219 @@
+// Package chunkcache is a size-bounded LRU cache for decoded chunks: the
+// bit-unpacked time and value columns of one tsfile chunk, keyed by
+// (file, series, chunk index). The read path decodes each chunk once per
+// cache residency instead of once per scan page; the engine invalidates
+// entries when the file that produced them is replaced (compaction commit,
+// file GC) or when a series' visible contents change shape (range delete).
+//
+// Cached slices are shared between callers and MUST be treated as read-only.
+// Files are identified by an engine-assigned unique ID, not their sequence
+// number: compaction reuses the newest input's sequence for its output, so a
+// sequence-keyed cache could serve a stale chunk under the new file's key.
+package chunkcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one decoded chunk.
+type Key struct {
+	File   uint64 // unique per open file handle, assigned by the owner
+	Series string
+	Chunk  int // index within the series' chunk list
+}
+
+// entry holds one decoded chunk. Exactly one of IVals / FVals is set.
+type entry struct {
+	key   Key
+	times []int64
+	ivals []int64   // integer chunk values
+	fvals []float64 // float chunk values
+	size  int64
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	MaxBytes      int64 `json:"max_bytes"`
+}
+
+// HitRate returns hits/(hits+misses), 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a thread-safe LRU over decoded chunks, bounded by the summed
+// byte size of the cached columns.
+type Cache struct {
+	mu    sync.Mutex
+	max   int64
+	used  int64
+	lru   *list.List // front = most recently used; values are *entry
+	items map[Key]*list.Element
+
+	hits, misses, evictions, invalidations int64
+}
+
+// New returns a cache bounded to maxBytes of decoded column data. maxBytes
+// <= 0 returns a nil cache; a nil *Cache is a valid no-op cache.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &Cache{max: maxBytes, lru: list.New(), items: map[Key]*list.Element{}}
+}
+
+// GetInt returns the decoded columns of an integer chunk, or ok=false.
+func (c *Cache) GetInt(file uint64, series string, chunk int) (times, vals []int64, ok bool) {
+	e := c.get(Key{file, series, chunk}, false)
+	if e == nil {
+		return nil, nil, false
+	}
+	return e.times, e.ivals, true
+}
+
+// PutInt caches the decoded columns of an integer chunk. The cache takes
+// shared ownership: the caller must not mutate the slices afterwards.
+func (c *Cache) PutInt(file uint64, series string, chunk int, times, vals []int64) {
+	c.put(&entry{
+		key:   Key{file, series, chunk},
+		times: times,
+		ivals: vals,
+		size:  int64(len(times)+len(vals)) * 8,
+	})
+}
+
+// GetFloat returns the decoded columns of a float chunk, or ok=false.
+func (c *Cache) GetFloat(file uint64, series string, chunk int) (times []int64, vals []float64, ok bool) {
+	e := c.get(Key{file, series, chunk}, true)
+	if e == nil {
+		return nil, nil, false
+	}
+	return e.times, e.fvals, true
+}
+
+// PutFloat caches the decoded columns of a float chunk.
+func (c *Cache) PutFloat(file uint64, series string, chunk int, times []int64, vals []float64) {
+	c.put(&entry{
+		key:   Key{file, series, chunk},
+		times: times,
+		fvals: vals,
+		size:  int64(len(times)+len(vals)) * 8,
+	})
+}
+
+// get looks up k, expecting a float entry when wantFloat is set; a
+// kind-mismatched entry counts as a miss.
+func (c *Cache) get(k Key, wantFloat bool) *entry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if ok {
+		e := el.Value.(*entry)
+		if wantFloat == (e.fvals != nil) {
+			c.hits++
+			c.lru.MoveToFront(el)
+			return e
+		}
+	}
+	c.misses++
+	return nil
+}
+
+func (c *Cache) put(e *entry) {
+	if c == nil || e.size > c.max {
+		return // oversized chunks bypass the cache rather than flushing it
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.key]; ok {
+		// Replace in place (same chunk decoded twice by concurrent readers).
+		old := el.Value.(*entry)
+		c.used += e.size - old.size
+		el.Value = e
+		c.lru.MoveToFront(el)
+	} else {
+		c.items[e.key] = c.lru.PushFront(e)
+		c.used += e.size
+	}
+	for c.used > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.lru.Remove(el)
+	delete(c.items, e.key)
+	c.used -= e.size
+}
+
+// InvalidateFile drops every entry decoded from the given file. Called when
+// the file leaves the live set (compaction commit, file GC).
+func (c *Cache) InvalidateFile(file uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*entry).key.File == file {
+			c.removeLocked(el)
+			c.invalidations++
+		}
+		el = next
+	}
+}
+
+// InvalidateSeries drops every entry of one series across all files.
+func (c *Cache) InvalidateSeries(series string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*entry).key.Series == series {
+			c.removeLocked(el)
+			c.invalidations++
+		}
+		el = next
+	}
+}
+
+// Stats snapshots the counters. Safe on a nil cache (all zeros).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       len(c.items),
+		Bytes:         c.used,
+		MaxBytes:      c.max,
+	}
+}

@@ -55,8 +55,8 @@ type FileInfo struct {
 
 // FileInfos lists the data files in freshness order (ascending sequence).
 func (e *Engine) FileInfos() []FileInfo {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.structMu.RLock()
+	defer e.structMu.RUnlock()
 	out := make([]FileInfo, 0, len(e.files))
 	for _, df := range e.files {
 		info := FileInfo{Seq: df.seq, Series: len(df.reader.Series())}
@@ -114,9 +114,9 @@ func (e *Engine) SnapshotCompaction(seqs []int) (*Compaction, error) {
 	if len(seqs) == 0 {
 		return nil, errors.New("engine: empty compaction run")
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
+	if e.closed.Load() {
 		return nil, ErrClosed
 	}
 	if e.compacting {
@@ -347,13 +347,13 @@ func (c *Compaction) Commit() error {
 		return errors.New("engine: commit before merge")
 	}
 	e := c.e
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
 	defer func() {
 		e.compacting = false
 		c.done = true
 	}()
-	if e.closed {
+	if e.closed.Load() {
 		os.Remove(c.tmpPath)
 		return ErrClosed
 	}
@@ -382,7 +382,7 @@ func (c *Compaction) Commit() error {
 		os.Remove(c.tmpPath)
 		return fmt.Errorf("engine: %w", err)
 	}
-	df, err := openDataFile(c.outPath, e.opt.File)
+	df, err := e.openDataFile(c.outPath)
 	if err != nil {
 		// The rename already happened, but the live readers still hold the
 		// old inodes and nextSeq is above outSeq, so the engine stays
@@ -397,11 +397,17 @@ func (c *Compaction) Commit() error {
 	out = append(out, e.files[start+len(c.files):]...)
 	e.files = out
 	for _, old := range c.files {
+		// The replaced readers die with the splice; drop their cached chunks
+		// so the cache never serves decoded columns for a dead file ID. The
+		// output file got a fresh ID from openDataFile, so its entries can
+		// never collide with a replaced input's.
+		e.cache.InvalidateFile(old.id)
 		old.f.Close()
 		if old.path != c.outPath {
 			os.Remove(old.path)
 		}
 	}
+	e.gen++ // in-flight scan cursors must rebuild over the spliced file list
 	// Tombstone GC: a tombstone only masks files with a smaller sequence;
 	// once none remain it can never mask anything again (later flushes get
 	// larger sequences) and its physical effect is already in the output.
@@ -429,12 +435,12 @@ func (c *Compaction) Commit() error {
 // file. Safe to call after a failed Merge or instead of Commit.
 func (c *Compaction) Abort() {
 	e := c.e
-	e.mu.Lock()
+	e.structMu.Lock()
 	if !c.done {
 		e.compacting = false
 		c.done = true
 	}
-	e.mu.Unlock()
+	e.structMu.Unlock()
 	os.Remove(c.tmpPath)
 }
 
@@ -456,11 +462,11 @@ func (e *Engine) CompactWith(choose PackerChooser) (CompactStats, error) {
 		return CompactStats{}, err
 	}
 	var seqs []int
-	e.mu.RLock()
+	e.structMu.RLock()
 	for _, df := range e.files {
 		seqs = append(seqs, df.seq)
 	}
-	e.mu.RUnlock()
+	e.structMu.RUnlock()
 	if len(seqs) <= 1 {
 		return CompactStats{}, nil
 	}

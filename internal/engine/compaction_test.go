@@ -330,9 +330,9 @@ func TestCompactAdaptiveStats(t *testing.T) {
 		t.Fatalf("engine counters: %+v", st)
 	}
 	// The chosen packers are recorded per chunk in the merged file.
-	e.mu.RLock()
+	e.structMu.RLock()
 	chunks, err := e.files[0].reader.Chunks("ints")
-	e.mu.RUnlock()
+	e.structMu.RUnlock()
 	if err != nil || len(chunks) == 0 || chunks[0].Packer != "bp" {
 		t.Fatalf("merged chunk packer: %v err %v", chunks, err)
 	}

@@ -26,49 +26,59 @@ func (e *Engine) DeleteRange(series string, minT, maxT int64) error {
 	if minT > maxT {
 		return fmt.Errorf("engine: empty delete range [%d, %d]", minT, maxT)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
+	if e.closed.Load() {
 		return ErrClosed
 	}
 	ts := tombstone{series: series, minT: minT, maxT: maxT, seq: e.nextSeq}
+	st := e.stripe(series)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if e.log != nil {
-		if err := e.log.appendTombstone(ts); err != nil {
-			return err
+		e.walMu.Lock()
+		err := e.log.appendTombstone(ts)
+		if err == nil && e.opt.SyncWAL {
+			err = e.log.sync()
 		}
-		if e.opt.SyncWAL {
-			if err := e.log.sync(); err != nil {
-				return err
-			}
+		e.walMu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
 	// The memtable is newer than any file but older than the delete:
 	// drop matching buffered points directly.
-	if pts := e.mem[series]; len(pts) > 0 {
+	removed := int64(0)
+	if pts := st.mem[series]; len(pts) > 0 {
 		kept := pts[:0]
 		for _, p := range pts {
 			if p.T >= minT && p.T <= maxT {
-				e.memPts--
+				removed++
 				continue
 			}
 			kept = append(kept, p)
 		}
-		e.mem[series] = kept
+		st.mem[series] = kept
 	}
-	if pts := e.memF[series]; len(pts) > 0 {
+	if pts := st.memF[series]; len(pts) > 0 {
 		// Float buffers flush with a sequence at or above the tombstone's,
 		// so they must be pruned here or the delete would miss them.
 		kept := pts[:0]
 		for _, p := range pts {
 			if p.T >= minT && p.T <= maxT {
-				e.memPts--
+				removed++
 				continue
 			}
 			kept = append(kept, p)
 		}
-		e.memF[series] = kept
+		st.memF[series] = kept
 	}
+	e.memPts.Add(-removed)
 	e.tombs = append(e.tombs, ts)
+	e.gen++ // in-flight scan cursors must observe the new tombstone
+	// Tombstones mask at scan time, so cached chunks are not stale — but a
+	// deleted range's decoded columns are mostly dead weight; evict them.
+	e.cache.InvalidateSeries(series)
 	return nil
 }
 

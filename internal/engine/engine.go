@@ -7,8 +7,25 @@
 //
 // The engine exists to exercise BOS end-to-end in its production role — the
 // write path (plan + pack on flush), the read path (footer-pruned chunk
-// scans) and the background path (compaction re-encodes everything) all run
-// through the packing operator under test.
+// scans, decoded-chunk cache, stateful scan cursors) and the background path
+// (compaction re-encodes everything) all run through the packing operator
+// under test.
+//
+// Locking. The engine has no single global lock. State is split three ways:
+//
+//   - structMu guards the structural state: the data-file list, sequence
+//     numbers, tombstones, the scan generation counter and the maintenance
+//     counters. Queries take it shared; flush, compaction commit and range
+//     deletes take it exclusive, briefly.
+//   - The memtable is sharded into stripeCount stripes, each with its own
+//     RWMutex; a series maps to one stripe by hash. Writers on different
+//     stripes do not contend with each other or with queries on other
+//     stripes. Flush (and close) lock every stripe, which makes them a
+//     global barrier for buffered writes.
+//   - walMu serializes the shared write-ahead log.
+//
+// Lock order is structMu -> stripes (ascending index) -> walMu; any path may
+// skip levels but never acquires a higher level while holding a lower one.
 package engine
 
 import (
@@ -18,7 +35,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"bos/internal/chunkcache"
 	"bos/internal/tsfile"
 )
 
@@ -37,6 +56,10 @@ type Options struct {
 	// SyncWAL fsyncs the log on every insert batch (durable against
 	// machine crashes, not just process crashes). Off by default.
 	SyncWAL bool
+	// CacheBytes bounds the decoded-chunk cache (0 = the 64 MiB default,
+	// negative = cache disabled). The cache keeps bit-unpacked chunk columns
+	// resident so repeated scans and paged reads decode each chunk once.
+	CacheBytes int64
 }
 
 func (o Options) flushThreshold() int {
@@ -46,19 +69,57 @@ func (o Options) flushThreshold() int {
 	return o.FlushThreshold
 }
 
+func (o Options) cacheBytes() int64 {
+	if o.CacheBytes == 0 {
+		return 64 << 20
+	}
+	if o.CacheBytes < 0 {
+		return 0
+	}
+	return o.CacheBytes
+}
+
+// stripeCount is the number of memtable lock stripes. Power of two so the
+// series hash maps with a mask; 16 stripes keep contention negligible well
+// past the writer counts the serving layer runs.
+const stripeCount = 16
+
+// memStripe is one lock-striped shard of the memtable.
+type memStripe struct {
+	mu   sync.RWMutex
+	mem  map[string][]tsfile.Point      // integer series buffer
+	memF map[string][]tsfile.FloatPoint // float series buffer
+}
+
+// stripeFor hashes a series name onto its stripe (FNV-1a).
+func stripeFor(series string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(series); i++ {
+		h ^= uint32(series[i])
+		h *= 16777619
+	}
+	return int(h & (stripeCount - 1))
+}
+
 // Engine is a single-node, single-process storage engine. All methods are
 // safe for concurrent use.
 type Engine struct {
-	mu      sync.RWMutex
 	opt     Options
-	mem     map[string][]tsfile.Point      // integer series buffer
-	memF    map[string][]tsfile.FloatPoint // float series buffer
-	memPts  int                            // total buffered points, both kinds
-	files   []*dataFile                    // ascending sequence = ascending freshness
-	nextSeq int
-	tombs   []tombstone // pending range deletes, applied at query/compaction
-	log     *wal        // nil when Options.DisableWAL
-	closed  bool
+	stripes [stripeCount]memStripe
+	memPts  atomic.Int64 // total buffered points across stripes, both kinds
+	closed  atomic.Bool  // set under structMu + all stripe locks
+
+	structMu   sync.RWMutex
+	files      []*dataFile // ascending sequence = ascending freshness
+	nextSeq    int
+	nextFileID uint64      // chunk-cache identity; never reused, unlike seq
+	gen        uint64      // bumped on any file-list or tombstone change
+	tombs      []tombstone // pending range deletes, applied at query/compaction
+
+	walMu sync.Mutex
+	log   *wal // nil when Options.DisableWAL
+
+	cache *chunkcache.Cache // nil when disabled
 
 	compacting bool // one snapshot/merge/commit cycle at a time
 	// Lifetime maintenance counters, reported in Stats.
@@ -68,10 +129,29 @@ type Engine struct {
 	compactedBytesOut int64
 }
 
+func (e *Engine) stripe(series string) *memStripe {
+	return &e.stripes[stripeFor(series)]
+}
+
+// lockStripes acquires every stripe write lock in index order (the global
+// memtable barrier used by flush and close).
+func (e *Engine) lockStripes() {
+	for i := range e.stripes {
+		e.stripes[i].mu.Lock()
+	}
+}
+
+func (e *Engine) unlockStripes() {
+	for i := range e.stripes {
+		e.stripes[i].mu.Unlock()
+	}
+}
+
 // dataFile is one immutable on-disk block file.
 type dataFile struct {
 	path   string
 	seq    int
+	id     uint64 // chunk-cache identity
 	f      *os.File
 	reader *tsfile.Reader
 }
@@ -88,10 +168,10 @@ func Open(opt Options) (*Engine, error) {
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	e := &Engine{
-		opt:  opt,
-		mem:  map[string][]tsfile.Point{},
-		memF: map[string][]tsfile.FloatPoint{},
+	e := &Engine{opt: opt, cache: chunkcache.New(opt.cacheBytes())}
+	for i := range e.stripes {
+		e.stripes[i].mem = map[string][]tsfile.Point{}
+		e.stripes[i].memF = map[string][]tsfile.FloatPoint{}
 	}
 	// Startup hygiene: a crash between writing a temporary file (flush or
 	// compaction merge) and its atomic rename leaves an orphaned *.tmp that
@@ -107,7 +187,7 @@ func Open(opt Options) (*Engine, error) {
 	}
 	sort.Strings(entries)
 	for _, path := range entries {
-		df, err := openDataFile(path, opt.File)
+		df, err := e.openDataFile(path)
 		if err != nil {
 			e.closeFiles()
 			return nil, err
@@ -121,15 +201,17 @@ func Open(opt Options) (*Engine, error) {
 		// Recover inserts and deletes that never made it into data files.
 		err := replayWAL(opt.Dir,
 			func(series string, pts []tsfile.Point) {
-				e.mem[series] = append(e.mem[series], pts...)
-				e.memPts += len(pts)
+				st := e.stripe(series)
+				st.mem[series] = append(st.mem[series], pts...)
+				e.memPts.Add(int64(len(pts)))
 			},
 			func(ts tombstone) {
 				e.tombs = append(e.tombs, ts)
 			},
 			func(series string, pts []tsfile.FloatPoint) {
-				e.memF[series] = append(e.memF[series], pts...)
-				e.memPts += len(pts)
+				st := e.stripe(series)
+				st.memF[series] = append(st.memF[series], pts...)
+				e.memPts.Add(int64(len(pts)))
 			})
 		if err != nil {
 			e.closeFiles()
@@ -143,7 +225,10 @@ func Open(opt Options) (*Engine, error) {
 	return e, nil
 }
 
-func openDataFile(path string, opt tsfile.Options) (*dataFile, error) {
+// openDataFile opens one data file and wires it into the chunk cache under a
+// fresh identity. Called with structMu held exclusively (or before the
+// engine is shared).
+func (e *Engine) openDataFile(path string) (*dataFile, error) {
 	if testOpenDataFileErr != nil {
 		if err := testOpenDataFileErr(path); err != nil {
 			return nil, err
@@ -158,14 +243,19 @@ func openDataFile(path string, opt tsfile.Options) (*dataFile, error) {
 		f.Close()
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	r, err := tsfile.OpenReader(f, info.Size(), opt)
+	r, err := tsfile.OpenReader(f, info.Size(), e.opt.File)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("engine: %s: %w", path, err)
 	}
 	var seq int
 	fmt.Sscanf(filepath.Base(path), "data-%06d.tsf", &seq)
-	return &dataFile{path: path, seq: seq, f: f, reader: r}, nil
+	e.nextFileID++
+	df := &dataFile{path: path, seq: seq, id: e.nextFileID, f: f, reader: r}
+	if e.cache != nil {
+		r.SetCache(e.cache, df.id)
+	}
+	return df, nil
 }
 
 // Insert adds one point. Out-of-order and duplicate timestamps are accepted;
@@ -174,37 +264,38 @@ func (e *Engine) Insert(series string, t, v int64) error {
 	return e.InsertBatch(series, []tsfile.Point{{T: t, V: v}})
 }
 
-// InsertBatch adds many points to one series.
+// InsertBatch adds many points to one series. Writers on series that hash to
+// different stripes proceed in parallel; only the WAL append is serialized.
 func (e *Engine) InsertBatch(series string, pts []tsfile.Point) error {
 	if len(pts) == 0 {
 		return nil
 	}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	st := e.stripe(series)
+	st.mu.Lock()
+	if e.closed.Load() {
+		st.mu.Unlock()
 		return ErrClosed
 	}
-	if len(e.memF[series]) > 0 {
-		e.mu.Unlock()
+	if len(st.memF[series]) > 0 {
+		st.mu.Unlock()
 		return fmt.Errorf("%w: %q has float points", ErrSeriesKind, series)
 	}
 	if e.log != nil {
-		if err := e.log.append(series, pts); err != nil {
-			e.mu.Unlock()
+		e.walMu.Lock()
+		err := e.log.append(series, pts)
+		if err == nil && e.opt.SyncWAL {
+			err = e.log.sync()
+		}
+		e.walMu.Unlock()
+		if err != nil {
+			st.mu.Unlock()
 			return err
 		}
-		if e.opt.SyncWAL {
-			if err := e.log.sync(); err != nil {
-				e.mu.Unlock()
-				return err
-			}
-		}
 	}
-	e.mem[series] = append(e.mem[series], pts...)
-	e.memPts += len(pts)
-	needFlush := e.memPts >= e.opt.flushThreshold()
-	e.mu.Unlock()
-	if needFlush {
+	st.mem[series] = append(st.mem[series], pts...)
+	total := e.memPts.Add(int64(len(pts)))
+	st.mu.Unlock()
+	if total >= int64(e.opt.flushThreshold()) {
 		return e.Flush()
 	}
 	return nil
@@ -212,16 +303,21 @@ func (e *Engine) InsertBatch(series string, pts []tsfile.Point) error {
 
 // Flush writes the memtable to a new data file. A no-op when empty.
 func (e *Engine) Flush() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.flushLocked()
-}
-
-func (e *Engine) flushLocked() error {
-	if e.closed {
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
+	if e.closed.Load() {
 		return ErrClosed
 	}
-	if e.memPts == 0 {
+	e.lockStripes()
+	defer e.unlockStripes()
+	return e.flushStripesLocked()
+}
+
+// flushStripesLocked writes every buffered point to a new data file. Caller
+// holds structMu and every stripe lock, so no insert can be in flight and
+// the WAL can be truncated atomically with the memtable.
+func (e *Engine) flushStripesLocked() error {
+	if e.memPts.Load() == 0 {
 		return nil
 	}
 	seq := e.nextSeq
@@ -232,26 +328,30 @@ func (e *Engine) flushLocked() error {
 		return fmt.Errorf("engine: %w", err)
 	}
 	w := tsfile.NewWriter(f, e.opt.File)
-	names := make([]string, 0, len(e.mem))
-	for name := range e.mem {
-		names = append(names, name)
+	var names []string
+	for i := range e.stripes {
+		for name := range e.stripes[i].mem {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		pts := dedupeSort(e.mem[name])
+		pts := dedupeSort(e.stripe(name).mem[name])
 		if err := w.Append(name, pts); err != nil {
 			f.Close()
 			os.Remove(tmp)
 			return fmt.Errorf("engine: flush %s: %w", name, err)
 		}
 	}
-	fnames := make([]string, 0, len(e.memF))
-	for name := range e.memF {
-		fnames = append(fnames, name)
+	var fnames []string
+	for i := range e.stripes {
+		for name := range e.stripes[i].memF {
+			fnames = append(fnames, name)
+		}
 	}
 	sort.Strings(fnames)
 	for _, name := range fnames {
-		pts := dedupeSortFloat(e.memF[name])
+		pts := dedupeSortFloat(e.stripe(name).memF[name])
 		if err := w.AppendFloats(name, pts); err != nil {
 			f.Close()
 			os.Remove(tmp)
@@ -276,18 +376,23 @@ func (e *Engine) flushLocked() error {
 		os.Remove(tmp)
 		return fmt.Errorf("engine: %w", err)
 	}
-	df, err := openDataFile(path, e.opt.File)
+	df, err := e.openDataFile(path)
 	if err != nil {
 		return err
 	}
 	e.files = append(e.files, df)
 	e.nextSeq = seq + 1
-	e.mem = map[string][]tsfile.Point{}
-	e.memF = map[string][]tsfile.FloatPoint{}
-	e.memPts = 0
+	e.gen++ // in-flight scan cursors revalidate against the new file list
+	for i := range e.stripes {
+		e.stripes[i].mem = map[string][]tsfile.Point{}
+		e.stripes[i].memF = map[string][]tsfile.FloatPoint{}
+	}
+	e.memPts.Store(0)
 	if e.log != nil {
 		// The memtable is on disk; the log restarts with only the still
 		// pending tombstones (they mask file data until compaction).
+		e.walMu.Lock()
+		defer e.walMu.Unlock()
 		if err := e.log.reset(); err != nil {
 			return err
 		}
@@ -316,12 +421,37 @@ func dedupeSort(pts []tsfile.Point) []tsfile.Point {
 	return out
 }
 
+// memSnapshot returns a deduped, sorted copy of the series' buffered integer
+// points within [minT, maxT], taken under the stripe read lock.
+func (e *Engine) memSnapshot(series string, minT, maxT int64) []tsfile.Point {
+	st := e.stripe(series)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	buf := st.mem[series]
+	filtered := make([]tsfile.Point, 0, len(buf))
+	for _, p := range buf {
+		if p.T >= minT && p.T <= maxT {
+			filtered = append(filtered, p)
+		}
+	}
+	sort.SliceStable(filtered, func(i, j int) bool { return filtered[i].T < filtered[j].T })
+	out := filtered[:0]
+	for _, p := range filtered {
+		if len(out) > 0 && out[len(out)-1].T == p.T {
+			out[len(out)-1] = p
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // Query returns the points of a series in [minT, maxT], in time order,
 // merging every data file and the memtable with newest-wins semantics.
 func (e *Engine) Query(series string, minT, maxT int64) ([]tsfile.Point, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
+	e.structMu.RLock()
+	defer e.structMu.RUnlock()
+	if e.closed.Load() {
 		return nil, ErrClosed
 	}
 	// Collect sources oldest to newest; later sources override equal
@@ -356,7 +486,7 @@ func (e *Engine) Query(series string, minT, maxT int64) ([]tsfile.Point, error) 
 		}
 		apply(pts)
 	}
-	apply(dedupeSort(e.mem[series]))
+	apply(e.memSnapshot(series, minT, maxT))
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	out := make([]tsfile.Point, 0, len(order))
 	for _, t := range order {
@@ -367,23 +497,28 @@ func (e *Engine) Query(series string, minT, maxT int64) ([]tsfile.Point, error) 
 
 // Series lists every known series name, sorted.
 func (e *Engine) Series() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.structMu.RLock()
 	set := map[string]bool{}
 	for _, df := range e.files {
 		for _, s := range df.reader.Series() {
 			set[s] = true
 		}
 	}
-	for s, pts := range e.mem {
-		if len(pts) > 0 {
-			set[s] = true
+	e.structMu.RUnlock()
+	for i := range e.stripes {
+		st := &e.stripes[i]
+		st.mu.RLock()
+		for s, pts := range st.mem {
+			if len(pts) > 0 {
+				set[s] = true
+			}
 		}
-	}
-	for s, pts := range e.memF {
-		if len(pts) > 0 {
-			set[s] = true
+		for s, pts := range st.memF {
+			if len(pts) > 0 {
+				set[s] = true
+			}
 		}
+		st.mu.RUnlock()
 	}
 	names := make([]string, 0, len(set))
 	for s := range set {
@@ -405,15 +540,16 @@ type Stats struct {
 	CompactedFiles    int64
 	CompactedBytesIn  int64 // encoded chunk bytes entering committed compactions
 	CompactedBytesOut int64 // encoded chunk bytes after repacking
+	// Cache reports the decoded-chunk cache (zero when disabled).
+	Cache chunkcache.Stats
 }
 
 // Stats reports the current footprint.
 func (e *Engine) Stats() Stats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.structMu.RLock()
 	s := Stats{
 		Files:             len(e.files),
-		MemPoints:         e.memPts,
+		MemPoints:         int(e.memPts.Load()),
 		Compactions:       e.compactions,
 		CompactedFiles:    e.compactedFiles,
 		CompactedBytesIn:  e.compactedBytesIn,
@@ -425,17 +561,6 @@ func (e *Engine) Stats() Stats {
 			set[name] = true
 		}
 	}
-	for name, pts := range e.mem {
-		if len(pts) > 0 {
-			set[name] = true
-		}
-	}
-	for name, pts := range e.memF {
-		if len(pts) > 0 {
-			set[name] = true
-		}
-	}
-	s.SeriesCount = len(set)
 	for _, df := range e.files {
 		if info, err := df.f.Stat(); err == nil {
 			s.DiskBytes += info.Size()
@@ -450,33 +575,61 @@ func (e *Engine) Stats() Stats {
 			}
 		}
 	}
+	e.structMu.RUnlock()
+	for i := range e.stripes {
+		st := &e.stripes[i]
+		st.mu.RLock()
+		for name, pts := range st.mem {
+			if len(pts) > 0 {
+				set[name] = true
+			}
+		}
+		for name, pts := range st.memF {
+			if len(pts) > 0 {
+				set[name] = true
+			}
+		}
+		st.mu.RUnlock()
+	}
+	s.SeriesCount = len(set)
+	s.Cache = e.cache.Stats()
 	return s
 }
 
 func (e *Engine) closeFiles() {
 	for _, df := range e.files {
 		df.f.Close()
+		e.cache.InvalidateFile(df.id)
 	}
 	e.files = nil
 }
 
 // Close flushes and releases the engine.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
+	if e.closed.Load() {
 		return nil
 	}
-	if err := e.flushLocked(); err != nil {
+	e.lockStripes()
+	if err := e.flushStripesLocked(); err != nil {
+		e.unlockStripes()
 		return err
 	}
+	// closed flips while every stripe is held, so no insert can be mid-WAL
+	// when the log is closed below.
+	e.closed.Store(true)
+	e.unlockStripes()
+	e.gen++
 	e.closeFiles()
 	if e.log != nil {
-		if err := e.log.close(); err != nil {
+		e.walMu.Lock()
+		err := e.log.close()
+		e.log = nil
+		e.walMu.Unlock()
+		if err != nil {
 			return err
 		}
-		e.log = nil
 	}
-	e.closed = true
 	return nil
 }

@@ -28,32 +28,32 @@ func (e *Engine) InsertFloatBatch(series string, pts []tsfile.FloatPoint) error 
 	if len(pts) == 0 {
 		return nil
 	}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	st := e.stripe(series)
+	st.mu.Lock()
+	if e.closed.Load() {
+		st.mu.Unlock()
 		return ErrClosed
 	}
-	if len(e.mem[series]) > 0 {
-		e.mu.Unlock()
+	if len(st.mem[series]) > 0 {
+		st.mu.Unlock()
 		return fmt.Errorf("%w: %q has integer points", ErrSeriesKind, series)
 	}
 	if e.log != nil {
-		if err := e.log.appendFloat(series, pts); err != nil {
-			e.mu.Unlock()
+		e.walMu.Lock()
+		err := e.log.appendFloat(series, pts)
+		if err == nil && e.opt.SyncWAL {
+			err = e.log.sync()
+		}
+		e.walMu.Unlock()
+		if err != nil {
+			st.mu.Unlock()
 			return err
 		}
-		if e.opt.SyncWAL {
-			if err := e.log.sync(); err != nil {
-				e.mu.Unlock()
-				return err
-			}
-		}
 	}
-	e.memF[series] = append(e.memF[series], pts...)
-	e.memPts += len(pts)
-	needFlush := e.memPts >= e.opt.flushThreshold()
-	e.mu.Unlock()
-	if needFlush {
+	st.memF[series] = append(st.memF[series], pts...)
+	total := e.memPts.Add(int64(len(pts)))
+	st.mu.Unlock()
+	if total >= int64(e.opt.flushThreshold()) {
 		return e.Flush()
 	}
 	return nil
@@ -62,9 +62,9 @@ func (e *Engine) InsertFloatBatch(series string, pts []tsfile.FloatPoint) error 
 // QueryFloats returns the float points of a series in [minT, maxT], merging
 // files and the memtable with newest-wins semantics and honoring tombstones.
 func (e *Engine) QueryFloats(series string, minT, maxT int64) ([]tsfile.FloatPoint, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
+	e.structMu.RLock()
+	defer e.structMu.RUnlock()
+	if e.closed.Load() {
 		return nil, ErrClosed
 	}
 	merged := map[int64]float64{}
@@ -99,13 +99,22 @@ func (e *Engine) QueryFloats(series string, minT, maxT int64) ([]tsfile.FloatPoi
 		}
 		apply(pts)
 	}
-	apply(dedupeSortFloat(e.memF[series]))
+	apply(e.memSnapshotFloat(series))
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	out := make([]tsfile.FloatPoint, 0, len(order))
 	for _, t := range order {
 		out = append(out, tsfile.FloatPoint{T: t, V: merged[t]})
 	}
 	return out, nil
+}
+
+// memSnapshotFloat returns a deduped, sorted copy of the series' buffered
+// float points, taken under the stripe read lock.
+func (e *Engine) memSnapshotFloat(series string) []tsfile.FloatPoint {
+	st := e.stripe(series)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return dedupeSortFloat(st.memF[series])
 }
 
 // dedupeSortFloat mirrors dedupeSort for float points.

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"bos/internal/tsfile"
 )
@@ -12,10 +13,17 @@ import (
 // result size. Internally the merge runs in pages of scanPageSize points;
 // each page holds the engine read lock only while it is being collected, so
 // a slow consumer (a client on a congested connection) cannot stall inserts
-// or flushes for the duration of the whole scan. Each page is a consistent
-// snapshot; a write that lands between pages is observed by later pages only
-// if its timestamp is past the cursor — the same guarantee a paginated HTTP
-// client would get from repeated Query calls.
+// or flushes for the duration of the whole scan.
+//
+// The file iterators behind a scan are stateful: they persist across pages
+// in a scanState, so page N+1 resumes decoding exactly where page N stopped
+// instead of re-opening and re-seeking every file. The state is stamped with
+// the engine generation at build time; flush, compaction commit, DeleteRange
+// and Close bump the generation, and a page that observes a mismatch drops
+// the cursors and rebuilds from the current cursor position. That keeps the
+// paginated-snapshot guarantee of the stateless implementation: a write that
+// lands between pages is observed by later pages only if its timestamp is
+// past the cursor.
 
 // scanPageSize is the number of points collected per locked merge pass.
 const scanPageSize = 4096
@@ -26,8 +34,9 @@ const scanPageSize = 4096
 // returns that error.
 func (e *Engine) QueryEach(series string, minT, maxT int64, fn func(tsfile.Point) error) error {
 	cursor := minT
+	sc := &scanState{}
 	for {
-		pts, more, err := e.scanPage(series, cursor, maxT, scanPageSize)
+		pts, more, err := e.scanPage(series, sc, cursor, maxT, scanPageSize)
 		if err != nil {
 			return err
 		}
@@ -54,13 +63,89 @@ type fileScan struct {
 	seq int
 }
 
+// scanState carries one QueryEach call's file cursors across pages. heads
+// hold each source's next candidate point; emitted-through positions are
+// implicit in the iterators. valid is false until the first build and after
+// any error; gen is compared against the engine generation each page.
+type scanState struct {
+	gen   uint64
+	srcs  []*fileScan
+	heads []tsfile.Point
+	alive []bool
+	valid bool
+}
+
+// advanceScan pulls the next unmasked point from a file source.
+func advanceScan(s *fileScan, masked func(seq int, t int64) bool) (tsfile.Point, bool, error) {
+	for s.it.Next() {
+		p := s.it.Point()
+		if masked(s.seq, p.T) {
+			continue
+		}
+		return p, true, nil
+	}
+	return tsfile.Point{}, false, s.it.Err()
+}
+
+// rebuildScan (re)creates the per-file cursors starting at minT and positions
+// each on its first unmasked point. When the scan spans two or more files the
+// initial positioning runs in parallel — each source's first chunk decodes on
+// its own goroutine — because that is where a cold scan pays its largest
+// serial decode cost. Caller holds structMu (read suffices: the file list and
+// generation are stable while held).
+func (e *Engine) rebuildScan(sc *scanState, series string, minT, maxT int64, masked func(seq int, t int64) bool) error {
+	sc.srcs = sc.srcs[:0]
+	sc.valid = false
+	for _, df := range e.files {
+		it, err := df.reader.Iter(series, minT, maxT)
+		if err != nil {
+			if errors.Is(err, tsfile.ErrNoSeries) {
+				continue
+			}
+			return err
+		}
+		sc.srcs = append(sc.srcs, &fileScan{it: it, seq: df.seq})
+	}
+	sc.heads = make([]tsfile.Point, len(sc.srcs))
+	sc.alive = make([]bool, len(sc.srcs))
+	if len(sc.srcs) >= 2 {
+		errs := make([]error, len(sc.srcs))
+		var wg sync.WaitGroup
+		for i, s := range sc.srcs {
+			wg.Add(1)
+			go func(i int, s *fileScan) {
+				defer wg.Done()
+				sc.heads[i], sc.alive[i], errs[i] = advanceScan(s, masked)
+			}(i, s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	} else {
+		for i, s := range sc.srcs {
+			p, ok, err := advanceScan(s, masked)
+			if err != nil {
+				return err
+			}
+			sc.heads[i], sc.alive[i] = p, ok
+		}
+	}
+	sc.gen = e.gen
+	sc.valid = true
+	return nil
+}
+
 // scanPage collects up to limit merged points starting at minT. more reports
 // whether the merge was cut short by the limit (points past the last one may
-// remain).
-func (e *Engine) scanPage(series string, minT, maxT int64, limit int) ([]tsfile.Point, bool, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
+// remain). The memtable is re-snapshotted every page (it is mutable between
+// pages); the file cursors persist in sc unless the engine generation moved.
+func (e *Engine) scanPage(series string, sc *scanState, minT, maxT int64, limit int) ([]tsfile.Point, bool, error) {
+	e.structMu.RLock()
+	defer e.structMu.RUnlock()
+	if e.closed.Load() {
 		return nil, false, ErrClosed
 	}
 	tombs := e.tombstonesFor(series)
@@ -72,43 +157,14 @@ func (e *Engine) scanPage(series string, minT, maxT int64, limit int) ([]tsfile.
 		}
 		return false
 	}
-	// Sources in ascending freshness: files by position, memtable last.
-	var srcs []*fileScan
-	for _, df := range e.files {
-		it, err := df.reader.Iter(series, minT, maxT)
-		if err != nil {
-			if errors.Is(err, tsfile.ErrNoSeries) {
-				continue
-			}
+	if !sc.valid || sc.gen != e.gen {
+		if err := e.rebuildScan(sc, series, minT, maxT, masked); err != nil {
 			return nil, false, err
 		}
-		srcs = append(srcs, &fileScan{it: it, seq: df.seq})
 	}
-	// advance pulls the next unmasked point from a file source.
-	advance := func(s *fileScan) (tsfile.Point, bool, error) {
-		for s.it.Next() {
-			p := s.it.Point()
-			if masked(s.seq, p.T) {
-				continue
-			}
-			return p, true, nil
-		}
-		return tsfile.Point{}, false, s.it.Err()
-	}
-	heads := make([]tsfile.Point, len(srcs))
-	alive := make([]bool, len(srcs))
-	for i, s := range srcs {
-		p, ok, err := advance(s)
-		if err != nil {
-			return nil, false, err
-		}
-		heads[i], alive[i] = p, ok
-	}
-	mem := dedupeSort(e.mem[series])
+	srcs, heads, alive := sc.srcs, sc.heads, sc.alive
+	mem := e.memSnapshot(series, minT, maxT)
 	memPos := 0
-	for memPos < len(mem) && mem[memPos].T < minT {
-		memPos++
-	}
 	var out []tsfile.Point
 	for {
 		// Find the minimum timestamp across live sources; on ties the
@@ -121,8 +177,7 @@ func (e *Engine) scanPage(series string, minT, maxT int64, limit int) ([]tsfile.
 				best, bestT = i, heads[i].T
 			}
 		}
-		memLive := memPos < len(mem) && mem[memPos].T <= maxT
-		if memLive && (best == -1 || mem[memPos].T <= bestT) {
+		if memPos < len(mem) && (best == -1 || mem[memPos].T <= bestT) {
 			best, bestT = len(srcs), mem[memPos].T
 		}
 		if best == -1 {
@@ -139,8 +194,9 @@ func (e *Engine) scanPage(series string, minT, maxT int64, limit int) ([]tsfile.
 		// overwritten duplicates are consumed without being emitted.
 		for i, s := range srcs {
 			if alive[i] && heads[i].T == bestT {
-				p, ok, err := advance(s)
+				p, ok, err := advanceScan(s, masked)
 				if err != nil {
+					sc.valid = false
 					return nil, false, err
 				}
 				heads[i], alive[i] = p, ok

@@ -24,9 +24,7 @@ type SeriesStat struct {
 
 // SeriesStats reports per-series footprints, sorted by name.
 func (e *Engine) SeriesStats() []SeriesStat {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
+	if e.closed.Load() {
 		return nil
 	}
 	stats := map[string]*SeriesStat{}
@@ -38,6 +36,7 @@ func (e *Engine) SeriesStats() []SeriesStat {
 		}
 		return s
 	}
+	e.structMu.RLock()
 	for _, df := range e.files {
 		for _, name := range df.reader.Series() {
 			chunks, err := df.reader.Chunks(name)
@@ -61,36 +60,42 @@ func (e *Engine) SeriesStats() []SeriesStat {
 			}
 		}
 	}
-	for name, pts := range e.mem {
-		if len(pts) == 0 {
-			continue
-		}
-		s := get(name)
-		s.MemPoints += len(pts)
-		for _, p := range pts {
-			if p.T < s.MinT {
-				s.MinT = p.T
+	e.structMu.RUnlock()
+	for i := range e.stripes {
+		st := &e.stripes[i]
+		st.mu.RLock()
+		for name, pts := range st.mem {
+			if len(pts) == 0 {
+				continue
 			}
-			if p.T > s.MaxT {
-				s.MaxT = p.T
-			}
-		}
-	}
-	for name, pts := range e.memF {
-		if len(pts) == 0 {
-			continue
-		}
-		s := get(name)
-		s.Kind = "float"
-		s.MemPoints += len(pts)
-		for _, p := range pts {
-			if p.T < s.MinT {
-				s.MinT = p.T
-			}
-			if p.T > s.MaxT {
-				s.MaxT = p.T
+			s := get(name)
+			s.MemPoints += len(pts)
+			for _, p := range pts {
+				if p.T < s.MinT {
+					s.MinT = p.T
+				}
+				if p.T > s.MaxT {
+					s.MaxT = p.T
+				}
 			}
 		}
+		for name, pts := range st.memF {
+			if len(pts) == 0 {
+				continue
+			}
+			s := get(name)
+			s.Kind = "float"
+			s.MemPoints += len(pts)
+			for _, p := range pts {
+				if p.T < s.MinT {
+					s.MinT = p.T
+				}
+				if p.T > s.MaxT {
+					s.MaxT = p.T
+				}
+			}
+		}
+		st.mu.RUnlock()
 	}
 	out := make([]SeriesStat, 0, len(stats))
 	for _, s := range stats {
@@ -106,17 +111,21 @@ func (e *Engine) SeriesStats() []SeriesStat {
 // SeriesKind reports the value kind of a series: "int", "float", or "" when
 // the series is unknown.
 func (e *Engine) SeriesKind(series string) string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
+	if e.closed.Load() {
 		return ""
 	}
-	if len(e.memF[series]) > 0 {
+	st := e.stripe(series)
+	st.mu.RLock()
+	memF, mem := len(st.memF[series]), len(st.mem[series])
+	st.mu.RUnlock()
+	if memF > 0 {
 		return "float"
 	}
-	if len(e.mem[series]) > 0 {
+	if mem > 0 {
 		return "int"
 	}
+	e.structMu.RLock()
+	defer e.structMu.RUnlock()
 	known := false
 	for _, df := range e.files {
 		chunks, err := df.reader.Chunks(series)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bos/internal/chunkcache"
 	"bos/internal/engine"
 	"bos/internal/maintain"
 	"bos/internal/tsfile"
@@ -450,9 +451,18 @@ type StatsResponse struct {
 	CompactedFiles    int64 `json:"compacted_files"`
 	CompactedBytesIn  int64 `json:"compacted_bytes_in"`
 	CompactedBytesOut int64 `json:"compacted_bytes_out"`
+	// Cache reports the engine's decoded-chunk cache.
+	Cache CacheStats `json:"cache"`
 	// Maintenance reports the background maintainer, when one is attached.
 	Maintenance *maintain.Stats     `json:"maintenance,omitempty"`
 	Series      []engine.SeriesStat `json:"series,omitempty"`
+}
+
+// CacheStats is the decoded-chunk cache block of /stats: the raw counters
+// plus the derived hit rate.
+type CacheStats struct {
+	chunkcache.Stats
+	HitRate float64 `json:"hit_rate"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -474,6 +484,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CompactedFiles:    st.CompactedFiles,
 		CompactedBytesIn:  st.CompactedBytesIn,
 		CompactedBytesOut: st.CompactedBytesOut,
+
+		Cache: CacheStats{Stats: st.Cache, HitRate: st.Cache.HitRate()},
 	}
 	if s.opt.Maintainer != nil {
 		ms := s.opt.Maintainer.Stats()

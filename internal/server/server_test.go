@@ -105,6 +105,9 @@ func TestServerEndToEnd(t *testing.T) {
 	if len(st.Series) != 2 || st.Series[1].Kind != "int" || st.Series[0].Kind != "float" {
 		t.Fatalf("per-series stats: %+v", st.Series)
 	}
+	if st.Cache.MaxBytes <= 0 {
+		t.Fatalf("decoded-chunk cache counters missing from /stats: %+v", st.Cache)
+	}
 }
 
 func TestServerErrors(t *testing.T) {

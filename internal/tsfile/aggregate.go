@@ -34,7 +34,7 @@ func (r *Reader) Aggregate(series string, minT, maxT int64, needSum bool) (Aggre
 		}
 		first = false
 	}
-	for _, m := range chunks {
+	for ci, m := range chunks {
 		if m.MaxT < minT || m.MinT > maxT {
 			continue
 		}
@@ -46,7 +46,7 @@ func (r *Reader) Aggregate(series string, minT, maxT int64, needSum bool) (Aggre
 			add(m.MaxV)
 			continue
 		}
-		times, vals, err := r.readChunk(m)
+		times, vals, err := r.readChunk(series, ci, m)
 		if err != nil {
 			return Aggregate{}, err
 		}

@@ -130,7 +130,7 @@ func (r *Reader) QueryFloats(series string, minT, maxT int64, minV, maxV float64
 		return nil, fmt.Errorf("%w: %q", ErrNoSeries, series)
 	}
 	var out []FloatPoint
-	for _, m := range chunks {
+	for ci, m := range chunks {
 		if m.MaxT < minT || m.MinT > maxT {
 			continue
 		}
@@ -148,7 +148,7 @@ func (r *Reader) QueryFloats(series string, minT, maxT int64, minV, maxV float64
 				continue
 			}
 		}
-		times, vals, err := r.readFloatChunk(m)
+		times, vals, err := r.readFloatChunk(series, ci, m)
 		if err != nil {
 			return nil, err
 		}
@@ -165,8 +165,16 @@ func (r *Reader) QueryFloats(series string, minT, maxT int64, minV, maxV float64
 	return out, nil
 }
 
-// readFloatChunk loads and decodes one float chunk.
-func (r *Reader) readFloatChunk(m ChunkMeta) ([]int64, []float64, error) {
+// readFloatChunk loads and decodes one float chunk, consulting the cache
+// first. The cache holds the post-conversion float column, so a hit skips
+// both the bit-unpacking and the scaled-to-float pass. Returned slices may be
+// shared with the cache and must be treated as read-only.
+func (r *Reader) readFloatChunk(series string, ci int, m ChunkMeta) ([]int64, []float64, error) {
+	if r.cache != nil {
+		if times, vals, ok := r.cache.GetFloat(r.cacheID, series, ci); ok {
+			return times, vals, nil
+		}
+	}
 	body, err := r.readChunkBody(m)
 	if err != nil {
 		return nil, nil, err
@@ -206,6 +214,9 @@ func (r *Reader) readFloatChunk(m ChunkMeta) ([]int64, []float64, error) {
 		for i, v := range vals {
 			fvals[i] = math.Float64frombits(uint64(v))
 		}
+	}
+	if r.cache != nil {
+		r.cache.PutFloat(r.cacheID, series, ci, times, fvals)
 	}
 	return times, fvals, nil
 }

@@ -10,6 +10,7 @@ import (
 // result size, which is what a scan operator inside a query engine needs.
 type Iterator struct {
 	r           *Reader
+	series      string
 	chunks      []ChunkMeta
 	minT, maxT  int64
 	chunkIdx    int
@@ -26,7 +27,7 @@ func (r *Reader) Iter(series string, minT, maxT int64) (*Iterator, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSeries, series)
 	}
-	return &Iterator{r: r, chunks: chunks, minT: minT, maxT: maxT}, nil
+	return &Iterator{r: r, series: series, chunks: chunks, minT: minT, maxT: maxT}, nil
 }
 
 // Next advances to the next point; it returns false at the end of the scan
@@ -52,12 +53,13 @@ func (it *Iterator) Next() bool {
 				it.done = true
 				return false
 			}
-			m := it.chunks[it.chunkIdx]
+			ci := it.chunkIdx
+			m := it.chunks[ci]
 			it.chunkIdx++
 			if m.MaxT < it.minT || m.MinT > it.maxT {
 				continue // pruned via footer statistics
 			}
-			times, vals, err := it.r.readChunk(m)
+			times, vals, err := it.r.readChunk(it.series, ci, m)
 			if err != nil {
 				it.err = err
 				it.done = true

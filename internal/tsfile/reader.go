@@ -45,6 +45,18 @@ func readZig(src []byte) (int64, []byte, error) {
 	return int64(u>>1) ^ -int64(u&1), rest, err
 }
 
+// ChunkCache caches decoded chunk columns across reads, keyed by an
+// owner-assigned file ID, the series name and the chunk's index in the
+// series' chunk list. Implementations must be safe for concurrent use;
+// internal/chunkcache provides the standard one. Slices returned by Get or
+// handed to Put are shared and must never be mutated.
+type ChunkCache interface {
+	GetInt(file uint64, series string, chunk int) (times, vals []int64, ok bool)
+	PutInt(file uint64, series string, chunk int, times, vals []int64)
+	GetFloat(file uint64, series string, chunk int) (times []int64, vals []float64, ok bool)
+	PutFloat(file uint64, series string, chunk int, times []int64, vals []float64)
+}
+
 // Reader opens a file from any io.ReaderAt.
 type Reader struct {
 	r     io.ReaderAt
@@ -53,6 +65,18 @@ type Reader struct {
 	named map[string]codec.Packer // per-chunk packer overrides, by footer name
 	index map[string][]ChunkMeta
 	order []string
+
+	cache   ChunkCache // nil: decode every read
+	cacheID uint64     // this file's identity inside the cache
+}
+
+// SetCache attaches a decoded-chunk cache. fileID must be unique among all
+// files sharing the cache for the file's lifetime (and never reused for
+// different content — sequence numbers are NOT safe, compaction recycles
+// them). Call before the Reader is shared between goroutines.
+func (r *Reader) SetCache(c ChunkCache, fileID uint64) {
+	r.cache = c
+	r.cacheID = fileID
 }
 
 // OpenReader parses the footer index of a file of the given size. opt must
@@ -218,13 +242,27 @@ func (r *Reader) readChunkBody(m ChunkMeta) ([]byte, error) {
 	return body, nil
 }
 
-// readChunk loads and decodes one integer chunk.
-func (r *Reader) readChunk(m ChunkMeta) ([]int64, []int64, error) {
+// readChunk loads and decodes one integer chunk, consulting the cache first.
+// ci is the chunk's index within the series. The returned slices may be
+// shared with the cache and must be treated as read-only.
+func (r *Reader) readChunk(series string, ci int, m ChunkMeta) ([]int64, []int64, error) {
+	if r.cache != nil {
+		if times, vals, ok := r.cache.GetInt(r.cacheID, series, ci); ok {
+			return times, vals, nil
+		}
+	}
 	body, err := r.readChunkBody(m)
 	if err != nil {
 		return nil, nil, err
 	}
-	return decodeChunk(r.packerFor(m), r.opt.BlockSize, body)
+	times, vals, err := decodeChunk(r.packerFor(m), r.opt.BlockSize, body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.cache != nil {
+		r.cache.PutInt(r.cacheID, series, ci, times, vals)
+	}
+	return times, vals, nil
 }
 
 // Query returns the points of a series with minT <= T <= maxT and
@@ -236,11 +274,11 @@ func (r *Reader) Query(series string, minT, maxT, minV, maxV int64) ([]Point, er
 		return nil, fmt.Errorf("%w: %q", ErrNoSeries, series)
 	}
 	var out []Point
-	for _, m := range chunks {
+	for ci, m := range chunks {
 		if m.MaxT < minT || m.MinT > maxT || m.MaxV < minV || m.MinV > maxV {
 			continue // pruned without IO beyond the footer
 		}
-		times, vals, err := r.readChunk(m)
+		times, vals, err := r.readChunk(series, ci, m)
 		if err != nil {
 			return nil, err
 		}

@@ -73,19 +73,31 @@ func DecompressParallel(data []byte, workers int) ([]int64, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	// Split the frames sequentially (cheap), decode bodies in parallel.
-	type frame struct {
-		body []byte
-	}
-	var frames []frame
-	rest := data
-	for len(rest) > 0 {
+	// Frame splitting runs twice over the varint headers — once to count,
+	// once to record the body slices — so every bookkeeping slice below is
+	// allocated exactly once instead of growing through append. The headers
+	// are a tiny fraction of the stream; the bodies are not touched until
+	// the parallel decode.
+	nFrames := 0
+	for rest := data; len(rest) > 0; {
 		segLen, used := binary.Uvarint(rest)
 		if used <= 0 || segLen > uint64(len(rest)-used) {
 			return nil, fmt.Errorf("%w: segment frame", ErrCorrupt)
 		}
-		frames = append(frames, frame{rest[used : used+int(segLen)]})
 		rest = rest[used+int(segLen):]
+		nFrames++
+	}
+	if nFrames == 0 {
+		return []int64{}, nil
+	}
+	frames := make([][]byte, 0, nFrames)
+	for rest := data; len(rest) > 0; {
+		segLen, used := binary.Uvarint(rest)
+		frames = append(frames, rest[used:used+int(segLen)])
+		rest = rest[used+int(segLen):]
+	}
+	if nFrames == 1 {
+		return Decompress(frames[0])
 	}
 	results := make([][]int64, len(frames))
 	errs := make([]error, len(frames))
@@ -103,7 +115,7 @@ func DecompressParallel(data []byte, workers int) ([]int64, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = Decompress(frames[i].body)
+				results[i], errs[i] = Decompress(frames[i])
 			}
 		}()
 	}

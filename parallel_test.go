@@ -2,6 +2,7 @@ package bos
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -75,6 +76,23 @@ func TestDecompressParallelCorrupt(t *testing.T) {
 		cor[rng.Intn(len(cor))] ^= byte(1 << rng.Intn(8))
 		cor = cor[:rng.Intn(len(cor)+1)]
 		DecompressParallel(cor, 4) // must never panic
+	}
+}
+
+func BenchmarkDecompressParallel(b *testing.B) {
+	vals := parallelTestSeries(1 << 18)
+	enc := CompressParallel(vals, Options{}, 0)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(vals) * 8))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := DecompressParallel(enc, workers)
+				if err != nil || len(got) != len(vals) {
+					b.Fatalf("decode: n=%d err=%v", len(got), err)
+				}
+			}
+		})
 	}
 }
 
