@@ -28,16 +28,16 @@ import (
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "data directory (required)")
-		ingest  = flag.Bool("ingest", false, "ingest CSV rows of series,timestamp,value")
-		query   = flag.Bool("query", false, "query one series")
-		agg     = flag.Bool("agg", false, "aggregate (count/min/max/sum) one series")
-		compact = flag.Bool("compact", false, "merge all data files into one")
-		stats   = flag.Bool("stats", false, "print storage statistics")
-		inPath  = flag.String("in", "", "CSV input for -ingest (default stdin)")
-		series  = flag.String("series", "", "series name for -query/-agg")
-		from    = flag.Int64("from", math.MinInt64, "minimum timestamp")
-		to      = flag.Int64("to", math.MaxInt64, "maximum timestamp")
+		dir      = flag.String("dir", "", "data directory (required)")
+		ingest   = flag.Bool("ingest", false, "ingest CSV rows of series,timestamp,value")
+		query    = flag.Bool("query", false, "query one series")
+		agg      = flag.Bool("agg", false, "aggregate (count/min/max/sum) one series")
+		compact  = flag.Bool("compact", false, "merge all data files into one")
+		stats    = flag.Bool("stats", false, "print storage statistics")
+		inPath   = flag.String("in", "", "CSV input for -ingest (default stdin)")
+		series   = flag.String("series", "", "series name for -query/-agg")
+		from     = flag.Int64("from", math.MinInt64, "minimum timestamp")
+		to       = flag.Int64("to", math.MaxInt64, "maximum timestamp")
 		packer   = flag.String("packer", "bosb", "packing operator: "+strings.Join(packers.Names(), ", "))
 		adaptive = flag.Bool("adaptive", false, "-compact: repack each series with its cheapest operator")
 	)

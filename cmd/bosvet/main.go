@@ -1,0 +1,67 @@
+// Command bosvet runs the module's static-analysis suite: the lock-order,
+// checked-error, hot-path and mutex-copy analyzers from internal/analysis.
+//
+// Usage:
+//
+//	bosvet [-list] [packages]
+//
+// Package patterns follow the usual go tool shapes ("./...", "./internal/engine");
+// the default is "./..." from the current directory's module. The command
+// prints one line per diagnostic and exits with status 1 when any
+// unsuppressed diagnostic was found, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bos/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the configured analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bosvet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bosvet: %v\n", err)
+		os.Exit(2)
+	}
+	modDir, modPath, err := analysis.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bosvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	drv := &analysis.Driver{
+		Loader:    analysis.NewLoader(modDir, modPath),
+		Analyzers: analyzers,
+	}
+	diags, err := drv.CheckPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bosvet: %v\n", err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		analysis.Print(os.Stdout, cwd, diags)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,142 @@
+// Package analysis is a from-scratch static-analysis driver for this module,
+// built only on the standard library's go/parser, go/ast, go/types and
+// go/importer (no golang.org/x/tools dependency, keeping go.mod empty).
+//
+// It exists because the invariants that keep the engine correct — the lock
+// hierarchy documented in internal/engine, the no-allocation discipline of the
+// bitio hot loops, the rule that no codec error is ever silently dropped —
+// live in comments that go vet cannot see. The analyzers in this package turn
+// them into machine-checked gates: cmd/bosvet walks every package in the
+// module, type-checks it, runs all analyzers in one pass and exits nonzero on
+// any unsuppressed diagnostic, so CI can fail on a regression the same way it
+// fails on a broken test.
+//
+// Findings are suppressed inline with
+//
+//	//bos:nolint(<analyzer>[,<analyzer>...]): <reason>
+//
+// on the flagged line or the line directly above it. A suppression without a
+// reason (or naming an unknown analyzer) is itself a diagnostic: the tool
+// refuses to let an exemption go unexplained.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one pluggable check. Implementations must be safe to run over
+// many packages sequentially from a single goroutine.
+type Analyzer interface {
+	// Name is the identifier used in diagnostics and //bos:nolint lists.
+	Name() string
+	// Doc is a one-line description shown by bosvet -list.
+	Doc() string
+	// Run inspects one type-checked package and reports findings via pass.
+	Run(pass *Pass)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer Analyzer
+	Fset     *token.FileSet
+	PkgPath  string
+	Pkg      *types.Package
+	Files    []*ast.File
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name(),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, with a resolved file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// sortDiagnostics orders findings by file, line, column, then analyzer, so
+// output is deterministic across runs.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// errorType is the universe error interface, used by several analyzers.
+var errorType = types.Universe.Lookup("error").Type()
+
+// namedRecv returns the name of the named type behind t (derefencing one
+// pointer), or "" when t is not a named type.
+func namedRecv(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// qualifiedName renders fn as "pkgpath.Func" or "pkgpath.Recv.Method",
+// matching the notation used in analyzer configuration tables.
+func qualifiedName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name() // error.Error and friends
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if recv := namedRecv(sig.Recv().Type()); recv != "" {
+			return fn.Pkg().Path() + "." + recv + "." + fn.Name()
+		}
+		// Interface method: qualify by the interface's package.
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// calleeFunc resolves the function or method a call expression invokes, or
+// nil for calls through function values, builtins and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

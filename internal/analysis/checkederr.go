@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CheckedErrConfig lists the APIs whose results must not be silently
+// discarded. It is stricter than vet's unusedresult: any error produced by a
+// configured package or function must reach a named variable (or be passed
+// on), never the blank identifier, an expression statement, or a defer/go
+// that drops it.
+type CheckedErrConfig struct {
+	// Packages are import paths whose functions' and methods' error results
+	// must always be checked (interface methods count with the package that
+	// declares the interface).
+	Packages []string
+	// Funcs adds individual functions from other packages, as
+	// "pkgpath.Func" or "pkgpath.Type.Method" (e.g. "io.ReadAll").
+	Funcs []string
+	// MustUseAll lists functions whose every result must be used: assigning
+	// any of them to _ is a diagnostic even when no error is involved.
+	MustUseAll []string
+	// Ignore exempts specific qualified functions from all checks.
+	Ignore []string
+}
+
+// NewCheckedErr returns the checkederr analyzer for one configuration.
+func NewCheckedErr(cfg CheckedErrConfig) Analyzer {
+	a := &checkedErr{
+		pkgs:       map[string]bool{},
+		funcs:      map[string]bool{},
+		mustUseAll: map[string]bool{},
+		ignore:     map[string]bool{},
+	}
+	for _, p := range cfg.Packages {
+		a.pkgs[p] = true
+	}
+	for _, f := range cfg.Funcs {
+		a.funcs[f] = true
+	}
+	for _, f := range cfg.MustUseAll {
+		a.mustUseAll[f] = true
+	}
+	for _, f := range cfg.Ignore {
+		a.ignore[f] = true
+	}
+	return a
+}
+
+type checkedErr struct {
+	pkgs, funcs, mustUseAll, ignore map[string]bool
+}
+
+func (a *checkedErr) Name() string { return "checkederr" }
+func (a *checkedErr) Doc() string {
+	return "flag discarded error results from the configured storage/codec APIs (stricter than vet's unusedresult)"
+}
+
+func (a *checkedErr) Run(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+					a.checkDiscardedCall(pass, call, "discarded")
+				}
+			case *ast.DeferStmt:
+				a.checkDiscardedCall(pass, stmt.Call, "discarded by defer")
+			case *ast.GoStmt:
+				a.checkDiscardedCall(pass, stmt.Call, "discarded by go statement")
+			case *ast.AssignStmt:
+				a.checkAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+}
+
+// watched resolves a call's callee and reports how strictly its results are
+// checked. errIdx holds the indexes of error-typed results.
+func (a *checkedErr) watched(pass *Pass, call *ast.CallExpr) (fn *types.Func, qname string, errIdx []int, all bool, ok bool) {
+	fn = calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, "", nil, false, false
+	}
+	qname = qualifiedName(fn)
+	if a.ignore[qname] {
+		return nil, "", nil, false, false
+	}
+	all = a.mustUseAll[qname]
+	strict := all || a.pkgs[fn.Pkg().Path()] || a.funcs[qname]
+	if !strict {
+		return nil, "", nil, false, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil, "", nil, false, false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errorType) {
+			errIdx = append(errIdx, i)
+		}
+	}
+	if len(errIdx) == 0 && !all {
+		return nil, "", nil, false, false
+	}
+	return fn, qname, errIdx, all, true
+}
+
+// checkDiscardedCall flags a watched call whose results are dropped
+// entirely (expression statement, defer, or go).
+func (a *checkedErr) checkDiscardedCall(pass *Pass, call *ast.CallExpr, how string) {
+	_, qname, errIdx, all, ok := a.watched(pass, call)
+	if !ok {
+		return
+	}
+	if len(errIdx) > 0 {
+		pass.Reportf(call.Pos(), "error returned by %s is %s", qname, how)
+	} else if all {
+		pass.Reportf(call.Pos(), "all results of %s must be used (result %s)", qname, how)
+	}
+}
+
+// checkAssign flags watched results assigned to the blank identifier, e.g.
+// `v, _ := pkg.Decode(...)`.
+func (a *checkedErr) checkAssign(pass *Pass, stmt *ast.AssignStmt) {
+	// Only the multi-value form `a, b := f()` maps result indexes to LHS
+	// positions; `a, b := f(), g()` pairs element-wise instead.
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		_, qname, errIdx, all, ok := a.watched(pass, call)
+		if !ok {
+			return
+		}
+		for i, lhs := range stmt.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			if all {
+				pass.Reportf(lhs.Pos(), "result %d of %s assigned to _ but every result of it must be used", i, qname)
+				continue
+			}
+			for _, ei := range errIdx {
+				if ei == i {
+					pass.Reportf(lhs.Pos(), "error returned by %s assigned to _", qname)
+				}
+			}
+		}
+		return
+	}
+	for i, rhs := range stmt.Rhs {
+		if i >= len(stmt.Lhs) || !isBlank(stmt.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		_, qname, errIdx, all, ok := a.watched(pass, call)
+		if !ok {
+			continue
+		}
+		if len(errIdx) > 0 {
+			pass.Reportf(stmt.Lhs[i].Pos(), "error returned by %s assigned to _", qname)
+		} else if all {
+			pass.Reportf(stmt.Lhs[i].Pos(), "result of %s assigned to _ but every result of it must be used", qname)
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,84 @@
+package analysis
+
+// BOS-specific analyzer configuration: the concrete invariants of this
+// module, separated from the analyzer mechanics so the golden tests (and any
+// future module layout change) can configure the same analyzers differently.
+
+// EngineLockOrder is the formal transcription of the lock hierarchy
+// documented in the "Locking" section of internal/engine/engine.go's package
+// comment (the comment block and this table must change together):
+//
+//	level 0  Engine.structMu   file list, tombstones, sequence/generation
+//	level 1  memStripe.mu      the 16 memtable stripes; the all-stripe
+//	                           barrier goes through Engine.lockStripes /
+//	                           Engine.unlockStripes, never direct nesting
+//	level 2  Engine.walMu      the shared write-ahead log
+//
+// Any path may skip levels but never acquires a lower or equal level while
+// holding a higher one.
+func EngineLockOrder() LockOrderConfig {
+	return LockOrderConfig{
+		PkgPath: "bos/internal/engine",
+		DocRef:  "internal/engine/engine.go package comment, section Locking",
+		Fields: map[string]int{
+			"Engine.structMu": 0,
+			"memStripe.mu":    1,
+			"Engine.walMu":    2,
+		},
+		LevelName: map[int]string{
+			0: "structMu",
+			1: "memtable stripes",
+			2: "walMu",
+		},
+		Acquire: map[string]int{"Engine.lockStripes": 1},
+		Release: map[string]int{"Engine.unlockStripes": 1},
+	}
+}
+
+// BOSCheckedErr watches the storage and codec APIs whose errors signal data
+// loss or corruption when dropped, plus the std helpers this module uses on
+// durability paths.
+func BOSCheckedErr() CheckedErrConfig {
+	return CheckedErrConfig{
+		Packages: []string{
+			"bos/internal/bitio",
+			"bos/internal/codec",
+			"bos/internal/tsfile",
+			"bos/internal/engine",
+			"bos/internal/server",
+		},
+		Funcs: []string{
+			"io.ReadAll",
+			"io.Copy",
+			"io.WriteString",
+			"fmt.Sscanf",
+		},
+		MustUseAll: []string{
+			// params derives three coupled constants; discarding any of
+			// them usually means the wrong one is about to be recomputed.
+			"bos/internal/chimp.CodecN.params",
+		},
+	}
+}
+
+// BOSHotPath marks all of internal/bitio as hot (every encoder's inner loop
+// runs through it); the BOS core encode/decode kernels opt in per function
+// with //bos:hotpath markers.
+func BOSHotPath() HotPathConfig {
+	return HotPathConfig{
+		Packages:    []string{"bos/internal/bitio"},
+		BannedPkgs:  []string{"fmt", "reflect"},
+		BannedFuncs: []string{"time.Now", "time.Since"},
+	}
+}
+
+// DefaultAnalyzers is the analyzer suite cmd/bosvet runs: the module's
+// concurrency and codec invariants, machine-checked.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		NewLockOrder(EngineLockOrder()),
+		NewCheckedErr(BOSCheckedErr()),
+		NewHotPath(BOSHotPath()),
+		NewMutexCopy(),
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// Driver runs a set of analyzers over module packages and applies the
+// //bos:nolint suppression pass.
+type Driver struct {
+	Loader    *Loader
+	Analyzers []Analyzer
+}
+
+// CheckPatterns loads every package matched by patterns, runs all analyzers
+// over each, and returns the unsuppressed diagnostics in deterministic
+// order. A load or type-check failure aborts the run: analyzers only see
+// packages that compile.
+func (d *Driver) CheckPatterns(patterns []string) ([]Diagnostic, error) {
+	paths, err := d.Loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %v", patterns)
+	}
+	var diags []Diagnostic
+	for _, path := range paths {
+		pkg, err := d.Loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, d.CheckPackage(pkg)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// CheckPackage runs every analyzer over one package and filters the results
+// through the package's //bos:nolint directives. Malformed directives are
+// appended as "nolint" diagnostics.
+func (d *Driver) CheckPackage(pkg *Package) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range d.Analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			PkgPath:  pkg.Path,
+			Pkg:      pkg.Types,
+			Files:    pkg.Files,
+			Info:     pkg.Info,
+			report:   func(diag Diagnostic) { raw = append(raw, diag) },
+		}
+		a.Run(pass)
+	}
+	known := map[string]bool{}
+	for _, a := range d.Analyzers {
+		known[a.Name()] = true
+	}
+	var out []Diagnostic
+	dirs := collectDirectives(pkg.Fset, pkg.Files, known, func(diag Diagnostic) {
+		out = append(out, diag)
+	})
+	for _, diag := range raw {
+		if !dirs.suppresses(diag) {
+			out = append(out, diag)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// Print writes diagnostics to w, one per line, with positions rendered
+// relative to baseDir when possible (matching go vet's readable output).
+func Print(w io.Writer, baseDir string, diags []Diagnostic) {
+	for _, diag := range diags {
+		pos := diag.Pos
+		if baseDir != "" {
+			if rel, err := filepath.Rel(baseDir, pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				pos.Filename = rel
+			}
+		}
+		fmt.Fprintf(w, "%s: %s (%s)\n", pos, diag.Message, diag.Analyzer)
+	}
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden tests run the real analyzers over the deliberately broken
+// fixture packages in testdata/src (a synthetic module "fix") and compare
+// the diagnostics against `// want "regex"` comments in the fixtures: every
+// diagnostic must be wanted on its exact line, and every want must be hit.
+
+// fixtureAnalyzers mirrors DefaultAnalyzers but configured for the fixture
+// module's package paths and type names.
+func fixtureAnalyzers() []Analyzer {
+	return []Analyzer{
+		NewLockOrder(LockOrderConfig{
+			PkgPath: "fix/lockorder",
+			DocRef:  "the fixture hierarchy table",
+			Fields: map[string]int{
+				"Engine.structMu": 0,
+				"memStripe.mu":    1,
+				"Engine.walMu":    2,
+			},
+			LevelName: map[int]string{0: "structMu", 1: "stripes", 2: "walMu"},
+			Acquire:   map[string]int{"Engine.lockStripes": 1},
+			Release:   map[string]int{"Engine.unlockStripes": 1},
+		}),
+		NewCheckedErr(CheckedErrConfig{
+			Packages:   []string{"fix/checkederrapi"},
+			Funcs:      []string{"io.ReadAll"},
+			MustUseAll: []string{"fix/checkederrapi.Params"},
+		}),
+		NewHotPath(HotPathConfig{
+			BannedPkgs:  []string{"fmt", "reflect"},
+			BannedFuncs: []string{"time.Now", "time.Since"},
+		}),
+		NewMutexCopy(),
+	}
+}
+
+// expectation is one parsed `// want "regex"` marker.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// A marker expects its diagnostics on its own line; the want-below form
+// expects them on the next line (for cases where the flagged line cannot
+// carry extra comment text, e.g. malformed //bos:nolint directives whose
+// whole trailing comment is parsed as the reason). Patterns are quoted with
+// backticks or double quotes.
+var wantMarker = regexp.MustCompile("// want(-below)? (.+)$")
+var wantQuoted = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts the expectations from every .go file in dir.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantMarker.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			wantLine := i + 1
+			if m[1] == "-below" {
+				wantLine = i + 2
+			}
+			quotes := wantQuoted.FindAllString(m[2], -1)
+			if len(quotes) == 0 {
+				t.Fatalf("%s:%d: want marker without a quoted pattern", path, i+1)
+			}
+			for _, q := range quotes {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", path, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: path, line: wantLine, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func TestGolden(t *testing.T) {
+	srcDir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := &Driver{Loader: NewLoader(srcDir, "fix"), Analyzers: fixtureAnalyzers()}
+	for _, pkg := range []string{"lockorder", "checkederr", "checkederrapi", "hotpath", "mutexcopy", "nolint"} {
+		t.Run(pkg, func(t *testing.T) {
+			diags, err := drv.CheckPatterns([]string{"fix/" + pkg})
+			if err != nil {
+				t.Fatalf("loading fixture package: %v", err)
+			}
+			wants := parseWants(t, filepath.Join(srcDir, pkg))
+			for _, d := range diags {
+				matched := false
+				for _, w := range wants {
+					if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: wanted diagnostic matching %q was not reported", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestModuleTreeClean pins the acceptance gate that CI also enforces: the
+// default analyzer suite finds nothing unsuppressed on the module itself.
+func TestModuleTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := &Driver{Loader: NewLoader(root, modPath), Analyzers: DefaultAnalyzers()}
+	diags, err := drv.CheckPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("module tree not clean: %s", d)
+	}
+}

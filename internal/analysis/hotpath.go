@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotMarker is the comment that opts a single function into the hot-path
+// discipline. It must appear on its own line in the function's doc comment:
+//
+//	//bos:hotpath
+//	func (r *Reader) ReadBulk(out []uint64, width uint) error { ... }
+const hotMarker = "//bos:hotpath"
+
+// HotPathConfig describes where the hot-path rules apply and what they ban.
+// Inside a hot function (and every function literal it contains) the
+// analyzer forbids the constructs that put allocation, nondeterminism or
+// scheduling work into a per-value decode/encode loop:
+//
+//   - calls into banned packages (fmt, reflect: both allocate and reflect
+//     defeats devirtualization);
+//   - individually banned functions (time.Now, time.Since: nondeterministic
+//     and a vDSO call per value);
+//   - defer statements (a deferred frame per element);
+//   - implicit or explicit interface conversions of concrete values
+//     (boxing: each one may heap-allocate the value it wraps).
+type HotPathConfig struct {
+	// Packages are import paths in which every function is hot.
+	Packages []string
+	// BannedPkgs are package paths that must not be called from hot code.
+	BannedPkgs []string
+	// BannedFuncs are individual banned functions ("time.Now").
+	BannedFuncs []string
+}
+
+// NewHotPath returns the hotpath analyzer for one configuration.
+func NewHotPath(cfg HotPathConfig) Analyzer {
+	a := &hotPath{hotPkgs: map[string]bool{}, bannedPkgs: map[string]bool{}, bannedFuncs: map[string]bool{}}
+	for _, p := range cfg.Packages {
+		a.hotPkgs[p] = true
+	}
+	for _, p := range cfg.BannedPkgs {
+		a.bannedPkgs[p] = true
+	}
+	for _, f := range cfg.BannedFuncs {
+		a.bannedFuncs[f] = true
+	}
+	return a
+}
+
+type hotPath struct {
+	hotPkgs, bannedPkgs, bannedFuncs map[string]bool
+}
+
+func (a *hotPath) Name() string { return "hotpath" }
+func (a *hotPath) Doc() string {
+	return "forbid fmt/reflect/time.Now, defer and interface boxing inside //bos:hotpath functions and always-hot packages"
+}
+
+func (a *hotPath) Run(pass *Pass) {
+	pkgHot := a.hotPkgs[pass.PkgPath]
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pkgHot || hasHotMarker(fn.Doc) {
+				a.checkHotFunc(pass, fn)
+			}
+		}
+	}
+}
+
+func hasHotMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == hotMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc walks one hot function body, including nested literals (they
+// execute on the same path).
+func (a *hotPath) checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	sig, _ := pass.Info.Defs[fn.Name].Type().(*types.Signature)
+	a.checkBody(pass, fn.Body, sig)
+}
+
+func (a *hotPath) checkBody(pass *Pass, body *ast.BlockStmt, sig *types.Signature) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(node.Pos(), "defer in hot path: a deferred frame is scheduled on every call")
+		case *ast.FuncLit:
+			litSig, _ := pass.Info.Types[node].Type.(*types.Signature)
+			a.checkBody(pass, node.Body, litSig)
+			return false
+		case *ast.CallExpr:
+			if a.checkCall(pass, node) {
+				return false // banned call reported; don't double-flag its args
+			}
+		case *ast.AssignStmt:
+			if len(node.Lhs) != len(node.Rhs) {
+				break // x, y := f(): result types match by construction
+			}
+			for i, rhs := range node.Rhs {
+				if lt, ok := lhsType(pass, node.Lhs[i]); ok {
+					a.checkBoxing(pass, rhs, lt, "assignment")
+				}
+			}
+		case *ast.ValueSpec:
+			if node.Type != nil {
+				if tv, ok := pass.Info.Types[node.Type]; ok {
+					for _, v := range node.Values {
+						a.checkBoxing(pass, v, tv.Type, "assignment")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && len(node.Results) == sig.Results().Len() {
+				for i, res := range node.Results {
+					a.checkBoxing(pass, res, sig.Results().At(i).Type(), "return")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags banned callees and boxing at argument positions. It
+// returns true when the call itself was reported.
+func (a *hotPath) checkCall(pass *Pass, call *ast.CallExpr) bool {
+	// Explicit conversion to an interface type: T(x).
+	if tv, ok := pass.Info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		a.checkBoxing(pass, call.Args[0], tv.Type, "conversion")
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn != nil && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if a.bannedPkgs[path] {
+			pass.Reportf(call.Pos(), "call to %s.%s in hot path: %s allocates on every call", path, fn.Name(), path)
+			return true
+		}
+		if a.bannedFuncs[qualifiedName(fn)] {
+			pass.Reportf(call.Pos(), "call to %s in hot path: nondeterministic and not allocation-free", qualifiedName(fn))
+			return true
+		}
+	}
+	// Boxing through interface-typed parameters.
+	sig, _ := pass.Info.Types[call.Fun].Type.(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		a.checkBoxing(pass, arg, pt, "argument")
+	}
+	return false
+}
+
+// checkBoxing reports expr when assigning it to target converts a concrete
+// value to an interface.
+func (a *hotPath) checkBoxing(pass *Pass, expr ast.Expr, target types.Type, site string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) {
+		return // interface to interface: no boxing
+	}
+	if _, ok := tv.Type.(*types.Tuple); ok {
+		return
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Reportf(expr.Pos(), "interface boxing in hot path: %s converts concrete %s to %s (may heap-allocate per value)",
+		site, types.TypeString(tv.Type, nil), types.TypeString(target, nil))
+}
+
+// lhsType resolves the declared or existing type of an assignment target.
+func lhsType(pass *Pass, lhs ast.Expr) (types.Type, bool) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if obj, ok := pass.Info.Defs[id]; ok && obj != nil {
+			return obj.Type(), true
+		}
+		if obj, ok := pass.Info.Uses[id]; ok && obj != nil {
+			return obj.Type(), true
+		}
+		return nil, false
+	}
+	if tv, ok := pass.Info.Types[lhs]; ok {
+		return tv.Type, true
+	}
+	return nil, false
+}

@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked module package.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test .go files, sorted by file name
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads module packages from source and type-checks them. Packages
+// inside the module root are parsed and checked by the Loader itself
+// (recursively, with cycle detection); everything else — the standard
+// library — is delegated to go/importer's source importer, so no compiled
+// export data or external tooling is required.
+type Loader struct {
+	ModuleDir  string // absolute module root
+	ModulePath string // module path from go.mod (or synthetic, for tests)
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg     *Package
+	err     error
+	loading bool
+}
+
+// NewLoader returns a Loader for the module rooted at dir with the given
+// module path. Use FindModule to derive both from a go.mod.
+func NewLoader(dir, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModuleDir:  dir,
+		ModulePath: modulePath,
+		fset:       fset,
+		pkgs:       map[string]*loadEntry{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// FindModule walks up from dir to the nearest go.mod and returns the module
+// root and module path.
+func FindModule(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// Fset exposes the shared file set (all loaded packages resolve positions
+// against it).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// dirFor maps a module-internal import path to its directory, or "" when the
+// path does not belong to the module.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module packages load from source
+// through the Loader, everything else through the stdlib source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.dirFor(path) != "" {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Load parses and type-checks the module package with the given import path,
+// caching the result. It is not safe for concurrent use.
+func (l *Loader) Load(path string) (*Package, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return e.pkg, e.err
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", path, l.ModulePath)
+	}
+	e := &loadEntry{loading: true}
+	l.pkgs[path] = e
+	e.pkg, e.err = l.loadDir(path, dir)
+	e.loading = false
+	return e.pkg, e.err
+}
+
+// loadDir does the actual parse + type-check for one directory.
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goFilesIn lists the buildable (non-test) .go files of dir, sorted. Files
+// and directories skipped by the go tool's conventions (leading "." or "_")
+// are skipped here too.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Expand resolves command-line package patterns ("./...", "./cmd/bosvet",
+// "bos/internal/engine") into the sorted list of module import paths. Paths
+// are resolved relative to the module root; testdata, vendor and hidden
+// directories are excluded from "..." walks, matching go tool conventions.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "all", pat == "./...", pat == "...":
+			paths, err := l.walkPackages(l.ModuleDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dir, err := l.patternDir(base)
+			if err != nil {
+				return nil, err
+			}
+			paths, err := l.walkPackages(dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		default:
+			dir, err := l.patternDir(pat)
+			if err != nil {
+				return nil, err
+			}
+			path, err := l.pathForDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(path)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// patternDir maps one non-wildcard pattern to an absolute directory.
+func (l *Loader) patternDir(pat string) (string, error) {
+	if pat == "." || pat == "" {
+		return l.ModuleDir, nil
+	}
+	if d := l.dirFor(pat); d != "" {
+		return d, nil
+	}
+	if filepath.IsAbs(pat) {
+		return filepath.Clean(pat), nil
+	}
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(pat, "./"))), nil
+}
+
+// pathForDir inverts dirFor.
+func (l *Loader) pathForDir(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleDir)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// walkPackages finds every directory under root containing buildable Go
+// files and returns their import paths.
+func (l *Loader) walkPackages(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goFilesIn(p)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		path, err := l.pathForDir(p)
+		if err != nil {
+			return err
+		}
+		out = append(out, path)
+		return nil
+	})
+	return out, err
+}

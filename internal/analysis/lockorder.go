@@ -1,0 +1,516 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockOrderConfig models a documented lock hierarchy for one package. Locks
+// are identified by the struct field that holds them ("Type.field"); levels
+// must be acquired in ascending order, skipping levels is allowed, and no
+// lock may be acquired while a lock of the same or a higher level is held.
+//
+// Wrapper methods that acquire or release a whole level (e.g. an
+// all-stripes barrier) are declared in Acquire/Release; their bodies are the
+// level's primitive implementation and are exempt from simulation.
+type LockOrderConfig struct {
+	// PkgPath is the package the hierarchy applies to.
+	PkgPath string
+	// DocRef names where the hierarchy is documented, cited in diagnostics.
+	DocRef string
+	// Fields maps "Type.field" of each sync.Mutex/RWMutex to its level.
+	Fields map[string]int
+	// LevelName names each level for diagnostics.
+	LevelName map[int]string
+	// Acquire/Release map wrapper methods ("Type.method") to the level they
+	// take or drop as a write lock.
+	Acquire map[string]int
+	// Release pairs with Acquire.
+	Release map[string]int
+}
+
+// NewLockOrder returns the lockorder analyzer for one configured hierarchy.
+//
+// The check is intra-procedural and path-sensitive over the structured
+// statement forms Go encourages for critical sections: straight-line code,
+// if/else, for/range, switch and select. Within each function (and each
+// function literal, which starts with no locks held) it simulates the set of
+// held configured locks and reports:
+//
+//   - acquiring a lock while holding one of the same or a higher level
+//     (out-of-hierarchy order, the deadlock precondition);
+//   - a return reached while a configured lock is held with no deferred
+//     unlock scheduled (a leak on that path);
+//   - falling off the end of the function in the same state;
+//   - unlocking a lock that is not held, or with the wrong flavor
+//     (RUnlock for a write lock and vice versa);
+//   - any defer inside a loop while a lock is held (defers run at function
+//     exit, not loop exit, so the critical section silently widens).
+//
+// Unconfigured mutexes are ignored, and lock state is tracked per field
+// (per class), not per instance: two instances of the same field must go
+// through a configured wrapper (e.g. lockStripes) rather than be nested
+// directly.
+func NewLockOrder(cfg LockOrderConfig) Analyzer { return &lockOrder{cfg: cfg} }
+
+type lockOrder struct {
+	cfg LockOrderConfig
+}
+
+func (a *lockOrder) Name() string { return "lockorder" }
+func (a *lockOrder) Doc() string {
+	return "enforce the configured mutex hierarchy: ascending acquisition, unlock on every path, no defer-in-loop under a lock"
+}
+
+func (a *lockOrder) levelName(level int) string {
+	if name, ok := a.cfg.LevelName[level]; ok {
+		return name
+	}
+	return "?"
+}
+
+func (a *lockOrder) Run(pass *Pass) {
+	if pass.PkgPath != a.cfg.PkgPath {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if key, ok := a.funcKey(pass, fn); ok {
+				if _, w := a.cfg.Acquire[key]; w {
+					continue // wrapper bodies implement the level primitive
+				}
+				if _, w := a.cfg.Release[key]; w {
+					continue
+				}
+			}
+			sim := &lockSim{a: a, pass: pass}
+			sim.runBody(fn.Body)
+		}
+	}
+}
+
+// funcKey renders a declared method as "Type.method".
+func (a *lockOrder) funcKey(pass *Pass, fn *ast.FuncDecl) (string, bool) {
+	obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return obj.Name(), true
+	}
+	recv := namedRecv(sig.Recv().Type())
+	if recv == "" {
+		return "", false
+	}
+	return recv + "." + obj.Name(), true
+}
+
+// lockOpKind classifies one statement's effect on the lock state.
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opAcquire
+	opRelease
+)
+
+// lockOp is one recognized operation on a configured lock class.
+type lockOp struct {
+	kind  lockOpKind
+	class string // "Type.field" or wrapper target
+	level int
+	read  bool // RLock/RUnlock flavor
+}
+
+// classify recognizes sync Lock/RLock/Unlock/RUnlock calls on configured
+// fields and configured wrapper methods.
+func (a *lockOrder) classify(pass *Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return lockOp{}, false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		var kind lockOpKind
+		var read bool
+		switch fn.Name() {
+		case "Lock":
+			kind = opAcquire
+		case "RLock":
+			kind, read = opAcquire, true
+		case "Unlock":
+			kind = opRelease
+		case "RUnlock":
+			kind, read = opRelease, true
+		default:
+			return lockOp{}, false // TryLock etc.: not modeled
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return lockOp{}, false
+		}
+		selection := pass.Info.Selections[inner]
+		if selection == nil {
+			return lockOp{}, false
+		}
+		owner := namedRecv(selection.Recv())
+		if owner == "" {
+			return lockOp{}, false
+		}
+		class := owner + "." + inner.Sel.Name
+		level, configured := a.cfg.Fields[class]
+		if !configured {
+			return lockOp{}, false
+		}
+		return lockOp{kind: kind, class: class, level: level, read: read}, true
+	}
+	// Wrapper methods live in the configured package.
+	if fn.Pkg() == nil || fn.Pkg().Path() != a.cfg.PkgPath {
+		return lockOp{}, false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return lockOp{}, false
+	}
+	recv := namedRecv(sig.Recv().Type())
+	if recv == "" {
+		return lockOp{}, false
+	}
+	key := recv + "." + fn.Name()
+	if level, ok := a.cfg.Acquire[key]; ok {
+		return lockOp{kind: opAcquire, class: key, level: level}, true
+	}
+	if level, ok := a.cfg.Release[key]; ok {
+		// A release wrapper drops whatever its acquire twin took; pair them
+		// through the level so lockStripes/unlockStripes match.
+		return lockOp{kind: opRelease, class: acquireClassFor(a.cfg, level), level: level}, true
+	}
+	return lockOp{}, false
+}
+
+// acquireClassFor finds the acquire-wrapper class registered at level, so a
+// release wrapper at the same level closes it.
+func acquireClassFor(cfg LockOrderConfig, level int) string {
+	for key, l := range cfg.Acquire {
+		if l == level {
+			return key
+		}
+	}
+	return ""
+}
+
+// heldLock is the simulated state of one acquired lock class.
+type heldLock struct {
+	level    int
+	read     bool
+	deferred bool // a deferred unlock is scheduled
+	pos      token.Pos
+}
+
+// lockState maps held class -> state. States are cloned at branches.
+type lockState map[string]*heldLock
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// lockSim walks one function body.
+type lockSim struct {
+	a    *lockOrder
+	pass *Pass
+}
+
+// runBody simulates a function (or function literal) starting with no locks
+// held and reports a leak if the body can fall off the end still holding one.
+func (s *lockSim) runBody(body *ast.BlockStmt) {
+	st, terminated := s.walkStmts(body.List, lockState{}, false)
+	if terminated {
+		return
+	}
+	for class, h := range st {
+		if !h.deferred {
+			s.pass.Reportf(body.Rbrace, "function ends while still holding %s (locked at %s; no unlock or deferred unlock on this path)",
+				class, s.pass.Fset.Position(h.pos))
+		}
+	}
+}
+
+// walkStmts simulates a statement list. It returns the resulting state and
+// whether every path through the list terminates (returns or panics).
+func (s *lockSim) walkStmts(stmts []ast.Stmt, st lockState, inLoop bool) (lockState, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		st, terminated = s.walkStmt(stmt, st, inLoop)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (s *lockSim) walkStmt(stmt ast.Stmt, st lockState, inLoop bool) (lockState, bool) {
+	switch n := stmt.(type) {
+	case *ast.ExprStmt:
+		s.visitFuncLits(n.X)
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			if isPanic(s.pass, call) {
+				return st, true
+			}
+			st = s.applyCall(call, st)
+		}
+	case *ast.DeferStmt:
+		s.visitFuncLits(n.Call)
+		if inLoop && len(st) > 0 {
+			s.pass.Reportf(n.Pos(), "defer inside a loop while holding %s: deferred calls run at function exit, widening the critical section every iteration",
+				anyHeld(st))
+		}
+		if op, ok := s.a.classify(s.pass, n.Call); ok {
+			switch op.kind {
+			case opRelease:
+				if h, held := st[op.class]; held {
+					h.deferred = true
+				} else {
+					s.pass.Reportf(n.Pos(), "defer unlocks %s which is not held at this point", op.class)
+				}
+			case opAcquire:
+				s.pass.Reportf(n.Pos(), "defer acquires %s: acquisition cannot be deferred", op.class)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			s.visitFuncLits(res)
+		}
+		for class, h := range st {
+			if !h.deferred {
+				s.pass.Reportf(n.Pos(), "returns while holding %s (locked at %s; no unlock or deferred unlock on this path)",
+					class, s.pass.Fset.Position(h.pos))
+			}
+		}
+		return st, true
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			s.visitFuncLits(e)
+			if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+				st = s.applyCall(call, st)
+			}
+		}
+	case *ast.DeclStmt:
+		s.visitFuncLits(n)
+	case *ast.GoStmt:
+		// A spawned goroutine starts with its own empty lock state; its
+		// literal body is simulated independently by visitFuncLits.
+		s.visitFuncLits(n.Call)
+	case *ast.BlockStmt:
+		return s.walkStmts(n.List, st, inLoop)
+	case *ast.LabeledStmt:
+		return s.walkStmt(n.Stmt, st, inLoop)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			st, _ = s.walkStmt(n.Init, st, inLoop)
+		}
+		s.visitFuncLits(n.Cond)
+		thenSt, thenTerm := s.walkStmts(n.Body.List, st.clone(), inLoop)
+		elseSt, elseTerm := st, false
+		if n.Else != nil {
+			elseSt, elseTerm = s.walkStmt(n.Else, st.clone(), inLoop)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return mergeStates(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if n.Init != nil {
+			st, _ = s.walkStmt(n.Init, st, inLoop)
+		}
+		s.visitFuncLits(n.Cond)
+		bodySt, _ := s.walkStmts(n.Body.List, st.clone(), true)
+		return mergeStates(st, bodySt), false
+	case *ast.RangeStmt:
+		s.visitFuncLits(n.X)
+		bodySt, _ := s.walkStmts(n.Body.List, st.clone(), true)
+		return mergeStates(st, bodySt), false
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			st, _ = s.walkStmt(n.Init, st, inLoop)
+		}
+		s.visitFuncLits(n.Tag)
+		return s.walkClauses(n.Body, st, inLoop)
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			st, _ = s.walkStmt(n.Init, st, inLoop)
+		}
+		return s.walkClauses(n.Body, st, inLoop)
+	case *ast.SelectStmt:
+		return s.walkClauses(n.Body, st, inLoop)
+	case *ast.SendStmt:
+		s.visitFuncLits(n.Value)
+	}
+	return st, false
+}
+
+// walkClauses merges the case bodies of a switch/select: the result is the
+// union of every non-terminating clause (plus the entry state when there is
+// no default clause, since the switch may then match nothing).
+func (s *lockSim) walkClauses(body *ast.BlockStmt, st lockState, inLoop bool) (lockState, bool) {
+	merged := lockState(nil)
+	hasDefault := false
+	allTerminate := true
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				s.visitFuncLits(e)
+			}
+		case *ast.CommClause:
+			stmts = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		clauseSt, term := s.walkStmts(stmts, st.clone(), inLoop)
+		if !term {
+			allTerminate = false
+			merged = mergeStates(merged, clauseSt)
+		}
+	}
+	if !hasDefault {
+		allTerminate = false
+		merged = mergeStates(merged, st)
+	}
+	if allTerminate && len(body.List) > 0 {
+		return st, true
+	}
+	if merged == nil {
+		merged = st
+	}
+	return merged, false
+}
+
+// applyCall folds one call's lock effect into the state.
+func (s *lockSim) applyCall(call *ast.CallExpr, st lockState) lockState {
+	op, ok := s.a.classify(s.pass, call)
+	if !ok {
+		return st
+	}
+	switch op.kind {
+	case opAcquire:
+		if _, held := st[op.class]; held {
+			s.pass.Reportf(call.Pos(), "%s acquired while already held: nested same-class acquisition deadlocks (for multiple instances use the configured wrapper; see %s)",
+				op.class, s.a.cfg.DocRef)
+			return st
+		}
+		for class, h := range st {
+			if h.level >= op.level {
+				s.pass.Reportf(call.Pos(), "%s (level %d, %s) acquired while holding %s (level %d, %s): lock order is ascending levels only (see %s)",
+					op.class, op.level, s.a.levelName(op.level), class, h.level, s.a.levelName(h.level), s.a.cfg.DocRef)
+			}
+		}
+		st = st.clone()
+		st[op.class] = &heldLock{level: op.level, read: op.read, pos: call.Pos()}
+	case opRelease:
+		h, held := st[op.class]
+		if !held {
+			s.pass.Reportf(call.Pos(), "unlock of %s which is not held on this path", op.class)
+			return st
+		}
+		if h.read != op.read {
+			want, got := "Unlock", "RUnlock"
+			if h.read {
+				want, got = "RUnlock", "Unlock"
+			}
+			s.pass.Reportf(call.Pos(), "%s released with %s but was acquired as a %s lock (use %s)",
+				op.class, got, flavor(h.read), want)
+		}
+		st = st.clone()
+		delete(st, op.class)
+	}
+	return st
+}
+
+// visitFuncLits simulates every function literal in an expression tree as an
+// independent function (a literal's body starts with no locks held, even
+// when the enclosing function holds some — the literal may run later, on
+// another goroutine, or not at all).
+func (s *lockSim) visitFuncLits(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok {
+			s.runBody(lit.Body)
+			return false // runBody handles nested literals
+		}
+		return true
+	})
+}
+
+// mergeStates unions two branch outcomes. A lock held on either side stays
+// tracked (conservative for leak detection); deferred unlocks only survive
+// when scheduled on every merged path.
+func mergeStates(a, b lockState) lockState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := a.clone()
+	for class, h := range b {
+		if existing, ok := out[class]; ok {
+			existing.deferred = existing.deferred && h.deferred
+			continue
+		}
+		c := *h
+		out[class] = &c
+	}
+	return out
+}
+
+func anyHeld(st lockState) string {
+	for class := range st {
+		return class
+	}
+	return "?"
+}
+
+func flavor(read bool) string {
+	if read {
+		return "read"
+	}
+	return "write"
+}
+
+// isPanic recognizes a call to the panic builtin (a terminating statement).
+func isPanic(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewMutexCopy returns the mutexcopy analyzer. It flags copies of values
+// whose type (transitively, through struct fields, embedded structs and
+// arrays) contains a sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once or
+// sync.Cond: a copied lock is a new, unlocked lock, and the copy silently
+// forks the synchronization state.
+//
+// Flagged copy sites:
+//
+//   - by-value function parameters and value receivers of such types;
+//   - assignments and var initializers whose right-hand side is an existing
+//     value (composite literals and call results are fresh, not copies);
+//   - range statements whose value variable copies such an element;
+//   - call arguments passing such a value by value;
+//   - return statements returning an existing such value;
+//   - composite-literal elements copying an existing such value.
+func NewMutexCopy() Analyzer {
+	return &mutexCopy{memo: map[types.Type]bool{}}
+}
+
+type mutexCopy struct {
+	memo map[types.Type]bool
+}
+
+func (a *mutexCopy) Name() string { return "mutexcopy" }
+func (a *mutexCopy) Doc() string {
+	return "flag by-value copies of structs containing sync.Mutex/RWMutex/WaitGroup (params, assignments, range, args, returns)"
+}
+
+// containsLock reports whether copying a value of type t duplicates a sync
+// primitive.
+func (a *mutexCopy) containsLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := a.memo[t]; ok {
+		return v
+	}
+	a.memo[t] = false // breaks recursive types; re-set below
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				result = true
+			}
+		}
+		if !result {
+			result = a.containsLock(u.Underlying())
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if a.containsLock(u.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = a.containsLock(u.Elem())
+	}
+	a.memo[t] = result
+	return result
+}
+
+func (a *mutexCopy) Run(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				a.checkSignature(pass, node)
+			case *ast.AssignStmt:
+				if len(node.Lhs) == len(node.Rhs) {
+					for _, rhs := range node.Rhs {
+						a.checkCopyExpr(pass, rhs, "assignment copies")
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range node.Values {
+					a.checkCopyExpr(pass, v, "variable initialization copies")
+				}
+			case *ast.RangeStmt:
+				a.checkRange(pass, node)
+			case *ast.CallExpr:
+				a.checkArgs(pass, node)
+			case *ast.ReturnStmt:
+				for _, res := range node.Results {
+					a.checkCopyExpr(pass, res, "return copies")
+				}
+			case *ast.CompositeLit:
+				for _, elt := range node.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						elt = kv.Value
+					}
+					a.checkCopyExpr(pass, elt, "composite literal copies")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSignature flags lock-containing value parameters, results and
+// receivers in a function declaration.
+func (a *mutexCopy) checkSignature(pass *Pass, fn *ast.FuncDecl) {
+	check := func(fields *ast.FieldList, what string) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			tv, ok := pass.Info.Types[f.Type]
+			if !ok || !a.containsLock(tv.Type) {
+				continue
+			}
+			pass.Reportf(f.Type.Pos(), "%s of %s passes a lock by value: %s contains a sync primitive (use a pointer)",
+				what, fn.Name.Name, types.TypeString(tv.Type, nil))
+		}
+	}
+	check(fn.Recv, "value receiver")
+	if fn.Type.Params != nil {
+		check(fn.Type.Params, "by-value parameter")
+	}
+}
+
+// fresh reports whether an expression produces a brand-new value, so using
+// it by value is construction rather than a copy.
+func fresh(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		return true // a call result has no other owner
+	case *ast.UnaryExpr:
+		return v.Op.String() == "&" // address-of: no copy at all
+	}
+	return false
+}
+
+// checkCopyExpr flags e when it copies an existing lock-containing value.
+func (a *mutexCopy) checkCopyExpr(pass *Pass, e ast.Expr, what string) {
+	if fresh(e) {
+		return
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.IsType() || !a.containsLock(tv.Type) {
+		return
+	}
+	pass.Reportf(e.Pos(), "%s %s which contains a sync primitive (use a pointer)",
+		what, types.TypeString(tv.Type, nil))
+}
+
+// checkRange flags `for _, v := range xs` when v copies a lock-containing
+// element.
+func (a *mutexCopy) checkRange(pass *Pass, node *ast.RangeStmt) {
+	for _, v := range [2]ast.Expr{node.Key, node.Value} {
+		if v == nil || isBlank(v) {
+			continue
+		}
+		var t types.Type
+		if id, ok := v.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				t = obj.Type()
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				t = obj.Type()
+			}
+		} else if tv, ok := pass.Info.Types[v]; ok {
+			t = tv.Type
+		}
+		if a.containsLock(t) {
+			pass.Reportf(v.Pos(), "range variable copies %s which contains a sync primitive (range over indexes or pointers instead)",
+				types.TypeString(t, nil))
+		}
+	}
+}
+
+// checkArgs flags lock-containing values passed by value as call arguments.
+func (a *mutexCopy) checkArgs(pass *Pass, call *ast.CallExpr) {
+	if tv, ok := pass.Info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	for _, arg := range call.Args {
+		a.checkCopyExpr(pass, arg, "call argument copies")
+	}
+}

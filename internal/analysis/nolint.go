@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Suppression syntax:
+//
+//	//bos:nolint(<analyzer>[,<analyzer>...]): <reason>
+//
+// A directive suppresses matching diagnostics reported on its own line (end
+// of line comment) or on the line immediately below it (comment on its own
+// line above the flagged statement). The analyzer list and the reason are
+// both mandatory: a suppression that does not say which check it disables,
+// or why, is reported as a diagnostic itself (analyzer name "nolint", which
+// cannot be suppressed).
+
+// nolintName is the pseudo-analyzer name under which malformed directives
+// are reported.
+const nolintName = "nolint"
+
+// directive is one parsed //bos:nolint comment.
+type directive struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+// directiveSet indexes the well-formed directives of one package.
+type directiveSet struct {
+	byLoc map[string]map[string]bool // "file:line" -> analyzer set
+}
+
+// suppresses reports whether d covers the given diagnostic.
+func (s *directiveSet) suppresses(d Diagnostic) bool {
+	if d.Analyzer == nolintName {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if set, ok := s.byLoc[locKey(d.Pos.Filename, line)]; ok && set[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+func locKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// collectDirectives parses every //bos:nolint comment in the package.
+// Malformed directives are reported through report; only well-formed ones
+// land in the returned set. known is the set of valid analyzer names.
+func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool, report func(Diagnostic)) *directiveSet {
+	set := &directiveSet{byLoc: map[string]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//bos:nolint")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				bad := func(msg string) {
+					report(Diagnostic{Pos: pos, Analyzer: nolintName, Message: msg})
+				}
+				rest, ok := strings.CutPrefix(text, "(")
+				if !ok {
+					bad("bos:nolint needs an analyzer list: //bos:nolint(<analyzer>): <reason>")
+					continue
+				}
+				list, rest, ok := strings.Cut(rest, ")")
+				if !ok {
+					bad("bos:nolint analyzer list is missing the closing parenthesis")
+					continue
+				}
+				names := strings.Split(list, ",")
+				analyzers := map[string]bool{}
+				valid := true
+				for _, name := range names {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						bad("bos:nolint has an empty analyzer name")
+						valid = false
+						continue
+					}
+					if !known[name] {
+						bad("bos:nolint names unknown analyzer " + strconv.Quote(name))
+						valid = false
+						continue
+					}
+					analyzers[name] = true
+				}
+				reason, ok := strings.CutPrefix(strings.TrimLeft(rest, " \t"), ":")
+				if !ok || strings.TrimSpace(reason) == "" {
+					bad("bos:nolint suppression requires a reason: //bos:nolint(<analyzer>): <reason>")
+					continue
+				}
+				if !valid || len(analyzers) == 0 {
+					continue
+				}
+				key := locKey(pos.Filename, pos.Line)
+				if set.byLoc[key] == nil {
+					set.byLoc[key] = map[string]bool{}
+				}
+				for name := range analyzers {
+					set.byLoc[key][name] = true
+				}
+			}
+		}
+	}
+	return set
+}

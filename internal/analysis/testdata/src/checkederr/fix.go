@@ -1,0 +1,55 @@
+// Package checkederr exercises the checkederr analyzer against the watched
+// fix/checkederrapi package and the configured std function io.ReadAll.
+package checkederr
+
+import (
+	"io"
+
+	"fix/checkederrapi"
+)
+
+// Checked uses are clean.
+func Checked() error {
+	if _, err := checkederrapi.Decode(nil); err != nil {
+		return err
+	}
+	w, th := checkederrapi.Params()
+	if w+th == 0 {
+		return nil
+	}
+	return checkederrapi.Close()
+}
+
+func DropsCall() {
+	checkederrapi.Close() // want `error returned by fix/checkederrapi.Close is discarded`
+}
+
+func DropsByDefer() {
+	defer checkederrapi.Close() // want `error returned by fix/checkederrapi.Close is discarded by defer`
+}
+
+func DropsByGo() {
+	go checkederrapi.Close() // want `error returned by fix/checkederrapi.Close is discarded by go statement`
+}
+
+func BlanksError() []byte {
+	out, _ := checkederrapi.Decode(nil) // want `error returned by fix/checkederrapi.Decode assigned to _`
+	return out
+}
+
+func BlanksSingle() {
+	_ = checkederrapi.Close() // want `error returned by fix/checkederrapi.Close assigned to _`
+}
+
+func BlanksMustUseAll() int {
+	w, _ := checkederrapi.Params() // want `result 1 of fix/checkederrapi.Params assigned to _ but every result of it must be used`
+	return w
+}
+
+func DropsMustUseAll() {
+	checkederrapi.Params() // want `all results of fix/checkederrapi.Params must be used`
+}
+
+func DropsStdFunc(r io.Reader) {
+	io.ReadAll(r) // want `error returned by io.ReadAll is discarded`
+}

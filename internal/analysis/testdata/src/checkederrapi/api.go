@@ -1,0 +1,23 @@
+// Package checkederrapi is the watched API fixture: the checkederr analyzer
+// is configured so that every error this package returns must be checked,
+// and every result of Params must be used.
+package checkederrapi
+
+import "errors"
+
+var errBad = errors.New("bad")
+
+// Decode returns data and an error; the error must always be checked.
+func Decode(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, errBad
+	}
+	return b, nil
+}
+
+// Close returns only an error.
+func Close() error { return nil }
+
+// Params returns two coupled values; discarding either is a diagnostic
+// (MustUseAll).
+func Params() (width, threshold int) { return 7, 2 }

@@ -1,0 +1,74 @@
+// Package hotpath exercises the hotpath analyzer's //bos:hotpath marker
+// mode: only marked functions are checked, and inside them fmt/reflect,
+// time.Now, defer and interface boxing are diagnostics.
+package hotpath
+
+import (
+	"fmt"
+	"time"
+)
+
+type sink interface {
+	accept(v any)
+}
+
+func trace() func() { return func() {} }
+
+// Cold is unmarked: everything here is allowed.
+func Cold(n int) string {
+	defer trace()()
+	_ = time.Now()
+	return fmt.Sprint(n)
+}
+
+//bos:hotpath
+func HotClean(vals []int64) int64 {
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+//bos:hotpath
+func HotFmt(n int) string {
+	return fmt.Sprint(n) // want `call to fmt.Sprint in hot path`
+}
+
+//bos:hotpath
+func HotDefer() {
+	defer trace() // want `defer in hot path`
+}
+
+//bos:hotpath
+func HotTime() int64 {
+	return time.Now().UnixNano() // want `call to time.Now in hot path`
+}
+
+//bos:hotpath
+func HotBoxAssign(n int) any {
+	var v any = n // want `interface boxing in hot path: assignment converts concrete int`
+	return v
+}
+
+//bos:hotpath
+func HotBoxConvert(n int) any {
+	return any(n) // want `interface boxing in hot path: conversion converts concrete int`
+}
+
+//bos:hotpath
+func HotBoxArg(s sink, n int) {
+	s.accept(n) // want `interface boxing in hot path: argument converts concrete int`
+}
+
+//bos:hotpath
+func HotBoxReturn(n int) any {
+	return n // want `interface boxing in hot path: return converts concrete int`
+}
+
+// Interface-to-interface flows do not box: clean even in a hot function.
+//
+//bos:hotpath
+func HotPassThrough(s sink, v any) {
+	s.accept(v)
+}

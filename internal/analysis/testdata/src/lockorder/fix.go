@@ -1,0 +1,125 @@
+// Package lockorder is a fixture mirroring the engine's lock hierarchy:
+// Engine.structMu (level 0) -> memStripe.mu (level 1, all-stripe barrier via
+// lockStripes/unlockStripes) -> Engine.walMu (level 2).
+package lockorder
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type memStripe struct {
+	mu sync.RWMutex
+	n  int
+}
+
+type Engine struct {
+	structMu sync.RWMutex
+	stripes  [4]memStripe
+	walMu    sync.Mutex
+}
+
+// lockStripes is the configured acquire wrapper; its body is the level
+// primitive and is exempt from simulation.
+func (e *Engine) lockStripes() {
+	for i := range e.stripes {
+		e.stripes[i].mu.Lock()
+	}
+}
+
+func (e *Engine) unlockStripes() {
+	for i := range e.stripes {
+		e.stripes[i].mu.Unlock()
+	}
+}
+
+// Ascending acquisition with deferred unlocks: clean.
+func (e *Engine) AllLevels() {
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
+	e.lockStripes()
+	defer e.unlockStripes()
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+}
+
+// Unlock-before-return on a branch: clean.
+func (e *Engine) BranchUnlock(fail bool) error {
+	e.structMu.Lock()
+	if fail {
+		e.structMu.Unlock()
+		return errFail
+	}
+	e.structMu.Unlock()
+	return nil
+}
+
+func (e *Engine) OutOfOrder() {
+	e.walMu.Lock()
+	e.structMu.Lock() // want `Engine.structMu \(level 0, structMu\) acquired while holding Engine.walMu \(level 2, walMu\)`
+	e.structMu.Unlock()
+	e.walMu.Unlock()
+}
+
+func (e *Engine) StripeThenStruct(i int) {
+	e.stripes[i].mu.Lock()
+	e.structMu.RLock() // want `Engine.structMu \(level 0, structMu\) acquired while holding memStripe.mu`
+	e.structMu.RUnlock()
+	e.stripes[i].mu.Unlock()
+}
+
+func (e *Engine) BarrierThenStripe(i int) {
+	e.lockStripes()
+	e.stripes[i].mu.Lock() // want `memStripe.mu \(level 1, stripes\) acquired while holding Engine.lockStripes`
+	e.stripes[i].mu.Unlock()
+	e.unlockStripes()
+}
+
+func (e *Engine) NestedStripes(i, j int) {
+	e.stripes[i].mu.Lock()
+	defer e.stripes[i].mu.Unlock()
+	e.stripes[j].mu.Lock() // want `memStripe.mu acquired while already held`
+}
+
+func (e *Engine) LeakOnError(fail bool) error {
+	e.structMu.Lock()
+	if fail {
+		return errFail // want `returns while holding Engine.structMu`
+	}
+	e.structMu.Unlock()
+	return nil
+}
+
+func (e *Engine) FallsOffEnd() {
+	e.walMu.Lock()
+} // want `function ends while still holding Engine.walMu`
+
+func (e *Engine) DeferInLoop(cleanups []func()) {
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
+	for _, f := range cleanups {
+		defer f() // want `defer inside a loop while holding Engine.structMu`
+	}
+}
+
+func (e *Engine) UnlockNotHeld() {
+	e.walMu.Unlock() // want `unlock of Engine.walMu which is not held`
+}
+
+func (e *Engine) WrongFlavor() {
+	e.structMu.RLock()
+	e.structMu.Unlock() // want `Engine.structMu released with Unlock but was acquired as a read lock \(use RUnlock\)`
+}
+
+// A goroutine body starts with its own empty lock state: the literal may
+// lock independently, and the spawner's held locks do not leak into it.
+func (e *Engine) SpawnClean() {
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
+	go func() {
+		e.walMu.Lock()
+		defer e.walMu.Unlock()
+	}()
+}

@@ -1,0 +1,77 @@
+// Package mutexcopy exercises the mutexcopy analyzer: copying any value that
+// transitively contains a sync primitive is a diagnostic; constructing or
+// pointing at one is not.
+package mutexcopy
+
+import "sync"
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapper embeds a Guarded by value, so copying it copies the lock too.
+type wrapper struct {
+	g Guarded
+}
+
+func ByValueParam(g Guarded) int { // want `by-value parameter of ByValueParam passes a lock by value`
+	return g.n
+}
+
+func (g Guarded) ValueReceiver() int { // want `value receiver of ValueReceiver passes a lock by value`
+	return g.n
+}
+
+func ByValueWaitGroup(wg sync.WaitGroup) { // want `by-value parameter of ByValueWaitGroup passes a lock by value`
+	wg.Wait()
+}
+
+func TransitiveParam(w wrapper) int { // want `by-value parameter of TransitiveParam passes a lock by value`
+	return w.g.n
+}
+
+func AssignCopy(src *Guarded) int {
+	g := *src // want `assignment copies`
+	return g.n
+}
+
+func VarInitCopy(src *Guarded) int {
+	var g Guarded = *src // want `variable initialization copies`
+	return g.n
+}
+
+func RangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want `range variable copies`
+		total += g.n
+	}
+	return total
+}
+
+func take(p *Guarded) int { return p.n }
+
+func CallArgCopy(g *Guarded) int {
+	return ByValueParam(*g) // want `call argument copies`
+}
+
+func ReturnCopy(g *Guarded) Guarded {
+	return *g // want `return copies`
+}
+
+func CompositeCopy(g *Guarded) wrapper {
+	return wrapper{g: *g} // want `composite literal copies`
+}
+
+// Construction and pointer flows are clean.
+func Clean() int {
+	g := Guarded{n: 1}
+	p := &g
+	total := take(p)
+	h := p // pointer copy, not a value copy
+	gs := []Guarded{{n: 2}}
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total + h.n
+}

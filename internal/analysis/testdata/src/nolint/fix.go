@@ -1,0 +1,45 @@
+// Package nolint exercises //bos:nolint suppression: a well-formed directive
+// (analyzer list plus reason) silences a diagnostic on its line or the line
+// below; a directive without a reason, or naming an unknown analyzer, is
+// itself diagnosed and suppresses nothing.
+package nolint
+
+import "sync"
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func SuppressedSameLine(src *Guarded) int {
+	g := *src //bos:nolint(mutexcopy): fixture demonstrates same-line suppression
+	return g.n
+}
+
+func SuppressedLineAbove(src *Guarded) int {
+	//bos:nolint(mutexcopy): fixture demonstrates suppression from the line above
+	g := *src
+	return g.n
+}
+
+func MissingReason(src *Guarded) int {
+	// want-below `assignment copies` `bos:nolint suppression requires a reason`
+	g := *src //bos:nolint(mutexcopy)
+	return g.n
+}
+
+func UnknownAnalyzer(src *Guarded) int {
+	g := *src //bos:nolint(nosuchcheck): misnamed on purpose // want `assignment copies` `bos:nolint names unknown analyzer "nosuchcheck"`
+	return g.n
+}
+
+func MissingList(src *Guarded) int {
+	g := *src //bos:nolint: no analyzer list // want `assignment copies` `bos:nolint needs an analyzer list`
+	return g.n
+}
+
+// A directive naming the wrong (but valid) analyzer suppresses nothing.
+func WrongAnalyzer(src *Guarded) int {
+	g := *src //bos:nolint(hotpath): wrong analyzer on purpose // want `assignment copies`
+	return g.n
+}

@@ -13,6 +13,8 @@ import "encoding/binary"
 const bulkMaxWidth = 56
 
 // WriteBulk appends every value at the given width.
+//
+//bos:hotpath
 func (w *Writer) WriteBulk(vals []uint64, width uint) {
 	if width == 0 || len(vals) == 0 {
 		return
@@ -38,6 +40,8 @@ func (w *Writer) WriteBulk(vals []uint64, width uint) {
 }
 
 // ReadBulk fills out with len(out) consecutive values at the given width.
+//
+//bos:hotpath
 func (r *Reader) ReadBulk(out []uint64, width uint) error {
 	if len(out) == 0 {
 		return nil
@@ -88,6 +92,8 @@ func (r *Reader) ReadBulk(out []uint64, width uint) error {
 // ReadBulkInt64 reads len(out) consecutive width-bit offsets and stores
 // base+offset as int64 — the fused frame-of-reference decode loop shared by
 // the block decoders (saves a scratch buffer and a second pass).
+//
+//bos:hotpath
 func (r *Reader) ReadBulkInt64(out []int64, width uint, base uint64) error {
 	if len(out) == 0 {
 		return nil

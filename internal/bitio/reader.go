@@ -2,14 +2,14 @@ package bitio
 
 import (
 	"errors"
-	"fmt"
 )
 
 // ErrUnexpectedEOF is returned when a read runs past the end of the stream.
 var ErrUnexpectedEOF = errors.New("bitio: unexpected end of stream")
 
-// ErrOverflow is returned when a varint is malformed or exceeds 64 bits.
-var ErrOverflow = errors.New("bitio: varint overflows 64 bits")
+// ErrOverflow is returned when a read would exceed 64 bits: a malformed or
+// oversized varint, or a requested bit width greater than 64.
+var ErrOverflow = errors.New("bitio: value overflows 64 bits")
 
 // Reader consumes a bit stream produced by Writer.
 type Reader struct {
@@ -23,6 +23,8 @@ func NewReader(data []byte) *Reader {
 }
 
 // ReadBit consumes and returns one bit.
+//
+//bos:hotpath
 func (r *Reader) ReadBit() (uint64, error) {
 	if r.pos >= len(r.data)*8 {
 		return 0, ErrUnexpectedEOF
@@ -35,9 +37,11 @@ func (r *Reader) ReadBit() (uint64, error) {
 
 // ReadBits consumes `width` bits (MSB-first) and returns them right-aligned.
 // width must be in [0, 64]; width 0 returns 0 without consuming anything.
+//
+//bos:hotpath
 func (r *Reader) ReadBits(width uint) (uint64, error) {
 	if width > 64 {
-		return 0, fmt.Errorf("bitio: invalid read width %d", width)
+		return 0, ErrOverflow
 	}
 	if r.pos+int(width) > len(r.data)*8 {
 		return 0, ErrUnexpectedEOF

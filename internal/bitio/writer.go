@@ -29,6 +29,8 @@ func (w *Writer) Reset() {
 }
 
 // WriteBit appends a single bit (the low bit of b).
+//
+//bos:hotpath
 func (w *Writer) WriteBit(b uint64) {
 	w.cur = w.cur<<1 | (b & 1)
 	w.nbits++
@@ -41,6 +43,8 @@ func (w *Writer) WriteBit(b uint64) {
 
 // WriteBits appends the low `width` bits of v, most significant bit first.
 // width must be in [0, 64]; width 0 writes nothing.
+//
+//bos:hotpath
 func (w *Writer) WriteBits(v uint64, width uint) {
 	if width == 0 {
 		return

@@ -126,6 +126,7 @@ func (c CodecN) Decode(src []byte) ([]float64, error) {
 		return out, nil
 	}
 	n := c.n()
+	//bos:nolint(checkederr): decode needs only the index width; threshold and mask are encode-side
 	idxBits, _, _ := c.params()
 	stored := make([]uint64, n)
 	first, err := r.ReadBits(64)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 
 	"bos/internal/bitio"
 )
@@ -67,6 +66,7 @@ func EncodeBlockPlan(dst []byte, vals []int64, plan *Plan) []byte {
 	return append(dst, w.Bytes()...)
 }
 
+//bos:hotpath
 func encodePlain(w *bitio.Writer, vals []int64, plan *Plan) {
 	w.WriteBits(uint64(modePlain), 8)
 	w.WriteVarint(plan.Xmin)
@@ -79,6 +79,7 @@ func encodePlain(w *bitio.Writer, vals []int64, plan *Plan) {
 	w.WriteBulk(offsets, width)
 }
 
+//bos:hotpath
 func encodeBOS(w *bitio.Writer, vals []int64, plan *Plan) {
 	w.WriteBits(uint64(modeBOS), 8)
 	w.WriteVarint(plan.Xmin)
@@ -151,6 +152,7 @@ const (
 	classUpper
 )
 
+//bos:hotpath
 func classOf(plan *Plan, v int64) class {
 	if plan.NL > 0 && v <= plan.MaxXl {
 		return classLower
@@ -164,17 +166,19 @@ func classOf(plan *Plan, v int64) class {
 // DecodeBlock decodes one block from the front of src, appends the values to
 // out, and returns the grown slice and the unread remainder. It never panics
 // on malformed input.
+//
+//bos:hotpath
 func DecodeBlock(src []byte, out []int64) ([]int64, []byte, error) {
 	r := bitio.NewReader(src)
 	n64, err := r.ReadUvarint()
 	if err != nil {
-		return out, nil, fmt.Errorf("%w: count: %v", errCorrupt, err)
+		return out, nil, corrupte("count", err)
 	}
 	if n64 > maxBlockLen {
 		// Width-0 bodies pack arbitrarily many values into a few
 		// header bytes, so the count can only be bounded by the
 		// absolute block cap; beyond it is garbage.
-		return out, nil, fmt.Errorf("%w: implausible count %d", errCorrupt, n64)
+		return out, nil, corruptn("implausible count", int64(n64))
 	}
 	n := int(n64)
 	if n == 0 {
@@ -182,7 +186,7 @@ func DecodeBlock(src []byte, out []int64) ([]int64, []byte, error) {
 	}
 	mode, err := r.ReadBits(8)
 	if err != nil {
-		return out, nil, fmt.Errorf("%w: mode: %v", errCorrupt, err)
+		return out, nil, corrupte("mode", err)
 	}
 	switch byte(mode) {
 	case modePlain:
@@ -192,33 +196,35 @@ func DecodeBlock(src []byte, out []int64) ([]int64, []byte, error) {
 	case modeParts:
 		return decodeParts(r, n, out)
 	default:
-		return out, nil, fmt.Errorf("%w: unknown mode %d", errCorrupt, mode)
+		return out, nil, corruptn("unknown mode", int64(mode))
 	}
 }
 
+//bos:hotpath
 func decodePlain(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 	xmin, err := r.ReadVarint()
 	if err != nil {
-		return out, nil, fmt.Errorf("%w: xmin: %v", errCorrupt, err)
+		return out, nil, corrupte("xmin", err)
 	}
 	width, err := r.ReadBits(8)
 	if err != nil {
-		return out, nil, fmt.Errorf("%w: width: %v", errCorrupt, err)
+		return out, nil, corrupte("width", err)
 	}
 	if width > 64 {
-		return out, nil, fmt.Errorf("%w: width %d", errCorrupt, width)
+		return out, nil, corruptn("width", int64(width))
 	}
 	base := len(out)
 	out = append(out, make([]int64, n)...)
 	if err := r.ReadBulkInt64(out[base:], uint(width), uint64(xmin)); err != nil {
-		return out[:base], nil, fmt.Errorf("%w: values: %v", errCorrupt, err)
+		return out[:base], nil, corrupte("values", err)
 	}
 	return out, r.Rest(), nil
 }
 
+//bos:hotpath
 func decodeBOS(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 	fail := func(what string, err error) ([]int64, []byte, error) {
-		return out, nil, fmt.Errorf("%w: %s: %v", errCorrupt, what, err)
+		return out, nil, corrupte(what, err)
 	}
 	xmin, err := r.ReadVarint()
 	if err != nil {
@@ -233,7 +239,7 @@ func decodeBOS(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 		return fail("nu", err)
 	}
 	if nl64+nu64 > uint64(n) {
-		return out, nil, fmt.Errorf("%w: outlier counts %d+%d exceed block size %d", errCorrupt, nl64, nu64, n)
+		return out, nil, corruptn("outlier counts exceed block size", int64(nl64), int64(nu64), int64(n))
 	}
 	offC, err := r.ReadUvarint()
 	if err != nil {
@@ -251,7 +257,7 @@ func decodeBOS(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 	beta := uint(widths >> 8 & 0xff)
 	gamma := uint(widths & 0xff)
 	if alpha > 64 || beta > 64 || gamma > 64 {
-		return out, nil, fmt.Errorf("%w: widths %d/%d/%d", errCorrupt, alpha, beta, gamma)
+		return out, nil, corruptn("widths", int64(alpha), int64(beta), int64(gamma))
 	}
 	minXc := int64(uint64(xmin) + offC)
 	minXu := int64(uint64(xmin) + offU)
@@ -283,7 +289,7 @@ func decodeBOS(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 		// only covers the declared outlier count, so more marks than
 		// declared is corruption (and would otherwise overrun).
 		if outliers == declared {
-			return out, nil, fmt.Errorf("%w: bitmap marks more than %d outliers", errCorrupt, declared)
+			return out, nil, corruptn("bitmap marks more outliers than declared", int64(declared))
 		}
 		outliers++
 		pos++
@@ -308,7 +314,7 @@ func decodeBOS(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 				j++
 			}
 			if err := r.ReadBulkInt64(out[base+i:base+j], beta, uint64(minXc)); err != nil {
-				return out[:base], nil, fmt.Errorf("%w: values %d..%d: %v", errCorrupt, i, j, err)
+				return out[:base], nil, corruptne("values at", int64(i), err)
 			}
 			i = j
 			continue
@@ -322,7 +328,7 @@ func decodeBOS(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 		}
 		d, err := r.ReadBits(width)
 		if err != nil {
-			return out[:base], nil, fmt.Errorf("%w: value %d: %v", errCorrupt, i, err)
+			return out[:base], nil, corruptne("value", int64(i), err)
 		}
 		out[base+i] = int64(vbase + d)
 		i++

@@ -1,0 +1,29 @@
+package core
+
+import "fmt"
+
+// Cold error constructors for the decode kernels. Corruption is the
+// exceptional path, so all fmt work is funneled here, keeping the
+// //bos:hotpath kernels themselves free of fmt (the hotpath analyzer bans it
+// there). Fixed-arity signatures on purpose: a ...any funnel would box its
+// arguments at the hot call sites.
+
+// corrupt reports a malformed section.
+func corrupt(what string) error {
+	return fmt.Errorf("%w: %s", errCorrupt, what)
+}
+
+// corrupte reports a malformed section with its underlying read error.
+func corrupte(what string, err error) error {
+	return fmt.Errorf("%w: %s: %v", errCorrupt, what, err)
+}
+
+// corruptn reports a malformed section with the offending values.
+func corruptn(what string, ns ...int64) error {
+	return fmt.Errorf("%w: %s %v", errCorrupt, what, ns)
+}
+
+// corruptne reports a malformed value at an index with its read error.
+func corruptne(what string, n int64, err error) error {
+	return fmt.Errorf("%w: %s %d: %v", errCorrupt, what, n, err)
+}

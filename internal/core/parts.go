@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"bos/internal/bitio"
@@ -213,6 +212,8 @@ func EncodeBlockParts(dst []byte, vals []int64, k int) []byte {
 }
 
 // EncodeBlockPartsPlan packs vals according to an existing k-parts plan.
+//
+//bos:hotpath
 func EncodeBlockPartsPlan(dst []byte, vals []int64, plan *PartsPlan) []byte {
 	w := bitio.NewWriter(len(vals)*2 + 16)
 	w.WriteUvarint(uint64(len(vals)))
@@ -250,16 +251,18 @@ func EncodeBlockPartsPlan(dst []byte, vals []int64, plan *PartsPlan) []byte {
 }
 
 // decodeParts decodes a mode-2 block body.
+//
+//bos:hotpath
 func decodeParts(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 	fail := func(what string, err error) ([]int64, []byte, error) {
-		return out, nil, fmt.Errorf("%w: parts %s: %v", errCorrupt, what, err)
+		return out, nil, corrupte("parts "+what, err)
 	}
 	k64, err := r.ReadUvarint()
 	if err != nil {
 		return fail("k", err)
 	}
 	if k64 == 0 || k64 > 64 {
-		return out, nil, fmt.Errorf("%w: parts k=%d", errCorrupt, k64)
+		return out, nil, corruptn("parts k", int64(k64))
 	}
 	k := int(k64)
 	bases := make([]int64, k)
@@ -286,7 +289,7 @@ func decodeParts(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 			return fail("taglen", err)
 		}
 		if wv > 64 || tv > 64 {
-			return out, nil, fmt.Errorf("%w: parts width %d taglen %d", errCorrupt, wv, tv)
+			return out, nil, corruptn("parts width/taglen", int64(wv), int64(tv))
 		}
 		widths[c], tagLens[c] = uint(wv), uint(tv)
 	}
@@ -332,14 +335,14 @@ func decodeParts(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 			}
 		}
 		if !found {
-			return out, nil, fmt.Errorf("%w: parts: invalid tag code", errCorrupt)
+			return out, nil, corrupt("parts: invalid tag code")
 		}
 	}
 	for i := 0; i < n; i++ {
 		c := classes[i]
 		d, err := r.ReadBits(widths[c])
 		if err != nil {
-			return fail(fmt.Sprintf("value %d", i), err)
+			return out, nil, corruptne("parts value", int64(i), err)
 		}
 		out = append(out, int64(uint64(bases[c])+d))
 	}

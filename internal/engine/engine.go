@@ -24,8 +24,23 @@
 //     global barrier for buffered writes.
 //   - walMu serializes the shared write-ahead log.
 //
-// Lock order is structMu -> stripes (ascending index) -> walMu; any path may
-// skip levels but never acquires a higher level while holding a lower one.
+// The lock hierarchy is formal and machine-checked: cmd/bosvet's lockorder
+// analyzer (configured in internal/analysis/config.go, which mirrors this
+// table — the two must change together) verifies every function in this
+// package against it.
+//
+//	level 0  Engine.structMu   structural state (file list, tombstones,
+//	                           sequence numbers, scan generation)
+//	level 1  memStripe.mu      memtable stripes; the all-stripe barrier is
+//	                           Engine.lockStripes / Engine.unlockStripes,
+//	                           which lock in ascending stripe index —
+//	                           never take two stripes directly
+//	level 2  Engine.walMu      the shared write-ahead log
+//
+// Locks are acquired in strictly increasing level order. A path may skip
+// levels (e.g. take walMu without structMu) but must never acquire a lower
+// or equal level while holding a higher one, and must release before any
+// return on paths where the acquisition is not deferred.
 package engine
 
 import (
@@ -249,7 +264,11 @@ func (e *Engine) openDataFile(path string) (*dataFile, error) {
 		return nil, fmt.Errorf("engine: %s: %w", path, err)
 	}
 	var seq int
-	fmt.Sscanf(filepath.Base(path), "data-%06d.tsf", &seq)
+	if _, err := fmt.Sscanf(filepath.Base(path), "data-%06d.tsf", &seq); err != nil {
+		// Unconventionally named files still open; they sort before any
+		// numbered file (seq 0) instead of being silently misordered.
+		seq = 0
+	}
 	e.nextFileID++
 	df := &dataFile{path: path, seq: seq, id: e.nextFileID, f: f, reader: r}
 	if e.cache != nil {

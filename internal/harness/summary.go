@@ -145,11 +145,13 @@ func Figure11E(w io.Writer, cfg Config) error {
 				pts[i] = tsfile.Point{T: int64(i), V: v}
 			}
 			if err := e.InsertBatch("s", pts); err != nil {
+				//bos:nolint(checkederr): best-effort cleanup on an already-failing path; the insert error wins
 				e.Close()
 				os.RemoveAll(dir)
 				return err
 			}
 			if err := e.Flush(); err != nil {
+				//bos:nolint(checkederr): best-effort cleanup on an already-failing path; the flush error wins
 				e.Close()
 				os.RemoveAll(dir)
 				return err
@@ -160,14 +162,18 @@ func Figure11E(w io.Writer, cfg Config) error {
 			for r := 0; r < cfg.Reps; r++ {
 				got, err := e.Query("s", 0, int64(len(ints)))
 				if err != nil || len(got) != len(ints) {
+					//bos:nolint(checkederr): best-effort cleanup on an already-failing path; the query error wins
 					e.Close()
 					os.RemoveAll(dir)
 					return fmt.Errorf("fig11e %s on %s: %d points err %v", op, d.Abbr, len(got), err)
 				}
 			}
 			queryNs += float64(time.Since(start).Nanoseconds()) / float64(cfg.Reps) / float64(len(ints))
-			e.Close()
+			closeErr := e.Close()
 			os.RemoveAll(dir)
+			if closeErr != nil {
+				return closeErr
+			}
 			count++
 		}
 		fmt.Fprintf(w, "%-10s %14.2f %16.1f\n", op, bytesPerVal/float64(count), queryNs/float64(count))

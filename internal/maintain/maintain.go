@@ -88,12 +88,12 @@ func (c Config) normalize() Config {
 
 // Stats is a snapshot of the maintainer's lifetime counters.
 type Stats struct {
-	Ticks       int64 `json:"ticks"`        // scheduler wake-ups
-	Compactions int64 `json:"compactions"`  // committed maintenance runs
-	Files       int64 `json:"files"`        // input files merged away
-	BytesBefore int64 `json:"bytes_before"` // encoded bytes entering merges
-	BytesAfter  int64 `json:"bytes_after"`  // encoded bytes after repacking
-	RateLimited int64 `json:"rate_limited"` // runs deferred by the byte budget
+	Ticks       int64  `json:"ticks"`        // scheduler wake-ups
+	Compactions int64  `json:"compactions"`  // committed maintenance runs
+	Files       int64  `json:"files"`        // input files merged away
+	BytesBefore int64  `json:"bytes_before"` // encoded bytes entering merges
+	BytesAfter  int64  `json:"bytes_after"`  // encoded bytes after repacking
+	RateLimited int64  `json:"rate_limited"` // runs deferred by the byte budget
 	LastError   string `json:"last_error,omitempty"`
 	// SeriesPackers records the most recent adaptive packer choice per
 	// series ("" never appears; series on the default packer are absent).

@@ -33,12 +33,14 @@ func NewClient(base string, hc *http.Client) *Client {
 // decodeError turns a non-2xx JSON error body into an error.
 func decodeError(resp *http.Response) error {
 	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	var e struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("server: %s: %s", resp.Status, e.Error)
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err == nil {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s: %s", resp.Status, e.Error)
+		}
 	}
 	return fmt.Errorf("server: %s", resp.Status)
 }

@@ -188,7 +188,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for _, p := range pts {
-			cw.writeFloat(p.T, p.V)
+			if err := cw.writeFloat(p.T, p.V); err != nil {
+				// Client went away mid-stream; stop formatting rows for it.
+				return
+			}
 		}
 	} else {
 		err := s.eng.QueryEach(series, from, to, func(p tsfile.Point) error {
@@ -200,6 +203,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	//bos:nolint(checkederr): headers are already out; an aborted chunked body is the only remaining signal
 	cw.flush()
 }
 
@@ -434,18 +438,18 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 // StatsResponse is the /stats payload: engine footprint, per-series
 // breakdown, and serving counters.
 type StatsResponse struct {
-	Packer        string              `json:"packer,omitempty"`
-	UptimeSeconds float64             `json:"uptime_seconds"`
-	Files         int                 `json:"files"`
-	SeriesCount   int                 `json:"series_count"`
-	MemPoints     int                 `json:"mem_points"`
-	DiskPoints    int                 `json:"disk_points"`
-	DiskBytes     int64               `json:"disk_bytes"`
-	BytesPerPoint float64             `json:"bytes_per_point,omitempty"`
-	IngestPoints  int64               `json:"ingest_points"`
-	IngestBatches int64               `json:"ingest_batches"`
-	IngestGroups  int64               `json:"ingest_groups"`
-	Queries       int64               `json:"queries"`
+	Packer        string  `json:"packer,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Files         int     `json:"files"`
+	SeriesCount   int     `json:"series_count"`
+	MemPoints     int     `json:"mem_points"`
+	DiskPoints    int     `json:"disk_points"`
+	DiskBytes     int64   `json:"disk_bytes"`
+	BytesPerPoint float64 `json:"bytes_per_point,omitempty"`
+	IngestPoints  int64   `json:"ingest_points"`
+	IngestBatches int64   `json:"ingest_batches"`
+	IngestGroups  int64   `json:"ingest_groups"`
+	Queries       int64   `json:"queries"`
 	// Engine-level compaction counters (all compactions, any caller).
 	Compactions       int64 `json:"compactions"`
 	CompactedFiles    int64 `json:"compacted_files"`
