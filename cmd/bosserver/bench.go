@@ -57,6 +57,8 @@ type benchReport struct {
 		DiskBytes     int64   `json:"disk_bytes"`
 		BytesPerPoint float64 `json:"bytes_per_point"`
 		IngestGroups  int64   `json:"ingest_groups"`
+		WALGroups     int64   `json:"wal_groups"`
+		WALRecords    int64   `json:"wal_records"`
 	} `json:"storage"`
 }
 
@@ -182,6 +184,8 @@ func runBench(eng *engine.Engine, cfg benchConfig) error {
 	rep.Storage.DiskBytes = st.DiskBytes
 	rep.Storage.BytesPerPoint = st.BytesPerPoint
 	rep.Storage.IngestGroups = st.IngestGroups
+	rep.Storage.WALGroups = st.WALGroups
+	rep.Storage.WALRecords = st.WALRecords
 
 	ts.Close()
 	if err := api.Close(); err != nil {

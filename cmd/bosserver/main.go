@@ -46,7 +46,8 @@ func main() {
 		addr   = flag.String("addr", "127.0.0.1:8086", "listen address for serve mode")
 		packer = flag.String("packer", "bosb", "packing operator: "+joinNames())
 		flush  = flag.Int("flush", 0, "memtable flush threshold in points (0 = engine default)")
-		sync   = flag.Bool("sync", false, "fsync the WAL on every insert batch")
+		sync   = flag.Bool("sync", false, "fsync the WAL on every insert batch (group commit shares one fsync across concurrent batches)")
+		encode = flag.Int("encode-workers", 0, "parallel chunk encoders for flush and compaction (0 = GOMAXPROCS)")
 		cache  = flag.Int64("cache-bytes", 0, "decoded-chunk cache budget in bytes (0 = 64 MiB default, negative = disabled)")
 		pprofA = flag.String("pprof", "", "listen address for net/http/pprof on a separate listener (empty = disabled)")
 
@@ -75,6 +76,7 @@ func main() {
 		Dir:            *dir,
 		FlushThreshold: *flush,
 		SyncWAL:        *sync,
+		EncodeWorkers:  *encode,
 		CacheBytes:     *cache,
 		File:           tsfile.Options{Packer: p},
 	})

@@ -8,11 +8,15 @@ package analysis
 // documented in the "Locking" section of internal/engine/engine.go's package
 // comment (the comment block and this table must change together):
 //
-//	level 0  Engine.structMu   file list, tombstones, sequence/generation
-//	level 1  memStripe.mu      the 16 memtable stripes; the all-stripe
+//	level 0  Engine.flushMu    the flush pipeline; one snapshot in flight
+//	                           (threshold writers bail with TryLock)
+//	level 1  Engine.structMu   file list, tombstones, sequence/generation
+//	level 2  memStripe.mu      the 16 memtable stripes; the all-stripe
 //	                           barrier goes through Engine.lockStripes /
 //	                           Engine.unlockStripes, never direct nesting
-//	level 2  Engine.walMu      the shared write-ahead log
+//	level 3  Engine.walMu      the shared write-ahead log and its commit
+//	                           group (never held across WAL I/O: the group
+//	                           leader drops it and holds the walBusy token)
 //
 // Any path may skip levels but never acquires a lower or equal level while
 // holding a higher one.
@@ -21,17 +25,19 @@ func EngineLockOrder() LockOrderConfig {
 		PkgPath: "bos/internal/engine",
 		DocRef:  "internal/engine/engine.go package comment, section Locking",
 		Fields: map[string]int{
-			"Engine.structMu": 0,
-			"memStripe.mu":    1,
-			"Engine.walMu":    2,
+			"Engine.flushMu":  0,
+			"Engine.structMu": 1,
+			"memStripe.mu":    2,
+			"Engine.walMu":    3,
 		},
 		LevelName: map[int]string{
-			0: "structMu",
-			1: "memtable stripes",
-			2: "walMu",
+			0: "flushMu",
+			1: "structMu",
+			2: "memtable stripes",
+			3: "walMu",
 		},
-		Acquire: map[string]int{"Engine.lockStripes": 1},
-		Release: map[string]int{"Engine.unlockStripes": 1},
+		Acquire: map[string]int{"Engine.lockStripes": 2},
+		Release: map[string]int{"Engine.unlockStripes": 2},
 	}
 }
 

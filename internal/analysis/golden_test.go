@@ -22,13 +22,14 @@ func fixtureAnalyzers() []Analyzer {
 			PkgPath: "fix/lockorder",
 			DocRef:  "the fixture hierarchy table",
 			Fields: map[string]int{
-				"Engine.structMu": 0,
-				"memStripe.mu":    1,
-				"Engine.walMu":    2,
+				"Engine.flushMu":  0,
+				"Engine.structMu": 1,
+				"memStripe.mu":    2,
+				"Engine.walMu":    3,
 			},
-			LevelName: map[int]string{0: "structMu", 1: "stripes", 2: "walMu"},
-			Acquire:   map[string]int{"Engine.lockStripes": 1},
-			Release:   map[string]int{"Engine.unlockStripes": 1},
+			LevelName: map[int]string{0: "flushMu", 1: "structMu", 2: "stripes", 3: "walMu"},
+			Acquire:   map[string]int{"Engine.lockStripes": 2},
+			Release:   map[string]int{"Engine.unlockStripes": 2},
 		}),
 		NewCheckedErr(CheckedErrConfig{
 			Packages:   []string{"fix/checkederrapi"},

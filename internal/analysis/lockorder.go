@@ -40,6 +40,10 @@ type LockOrderConfig struct {
 //
 //   - acquiring a lock while holding one of the same or a higher level
 //     (out-of-hierarchy order, the deadlock precondition);
+//   - a TryLock whose result is not branched on directly (`if mu.TryLock()`
+//     or `if !mu.TryLock()` are the modeled forms): the simulation cannot
+//     follow a stored boolean, so other uses are reported and conservatively
+//     treated as a successful acquisition;
 //   - a return reached while a configured lock is held with no deferred
 //     unlock scheduled (a leak on that path);
 //   - falling off the end of the function in the same state;
@@ -118,6 +122,11 @@ const (
 	opNone lockOpKind = iota
 	opAcquire
 	opRelease
+	// opTryAcquire is a non-blocking TryLock/TryRLock: held only on the
+	// success branch of a direct `if` condition. It cannot block, but the
+	// hierarchy is still enforced on the success path so no critical section
+	// ever holds configured locks in descending order.
+	opTryAcquire
 )
 
 // lockOp is one recognized operation on a configured lock class.
@@ -151,8 +160,12 @@ func (a *lockOrder) classify(pass *Pass, call *ast.CallExpr) (lockOp, bool) {
 			kind = opRelease
 		case "RUnlock":
 			kind, read = opRelease, true
+		case "TryLock":
+			kind = opTryAcquire
+		case "TryRLock":
+			kind, read = opTryAcquire, true
 		default:
-			return lockOp{}, false // TryLock etc.: not modeled
+			return lockOp{}, false
 		}
 		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
 		if !ok {
@@ -286,7 +299,7 @@ func (s *lockSim) walkStmt(stmt ast.Stmt, st lockState, inLoop bool) (lockState,
 				} else {
 					s.pass.Reportf(n.Pos(), "defer unlocks %s which is not held at this point", op.class)
 				}
-			case opAcquire:
+			case opAcquire, opTryAcquire:
 				s.pass.Reportf(n.Pos(), "defer acquires %s: acquisition cannot be deferred", op.class)
 			}
 		}
@@ -323,10 +336,23 @@ func (s *lockSim) walkStmt(stmt ast.Stmt, st lockState, inLoop bool) (lockState,
 			st, _ = s.walkStmt(n.Init, st, inLoop)
 		}
 		s.visitFuncLits(n.Cond)
-		thenSt, thenTerm := s.walkStmts(n.Body.List, st.clone(), inLoop)
-		elseSt, elseTerm := st, false
+		// `if mu.TryLock()` holds the lock in the then-branch only;
+		// `if !mu.TryLock()` holds it on the fall-through (the
+		// bail-out-if-busy idiom). These are the only forms where the
+		// simulation can follow the try's boolean.
+		thenIn, elseIn := st, st
+		if op, negated, ok := s.tryCond(n.Cond); ok {
+			held := s.acquire(op, st, n.Cond.Pos())
+			if negated {
+				elseIn = held
+			} else {
+				thenIn = held
+			}
+		}
+		thenSt, thenTerm := s.walkStmts(n.Body.List, thenIn.clone(), inLoop)
+		elseSt, elseTerm := elseIn, false
 		if n.Else != nil {
-			elseSt, elseTerm = s.walkStmt(n.Else, st.clone(), inLoop)
+			elseSt, elseTerm = s.walkStmt(n.Else, elseIn.clone(), inLoop)
 		}
 		switch {
 		case thenTerm && elseTerm:
@@ -411,6 +437,44 @@ func (s *lockSim) walkClauses(body *ast.BlockStmt, st lockState, inLoop bool) (l
 	return merged, false
 }
 
+// tryCond recognizes an if condition of the form `mu.TryLock()` or
+// `!mu.TryLock()` on a configured lock, reporting whether it is negated.
+func (s *lockSim) tryCond(cond ast.Expr) (op lockOp, negated, ok bool) {
+	expr := ast.Unparen(cond)
+	if u, isNot := expr.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+		negated = true
+		expr = ast.Unparen(u.X)
+	}
+	call, isCall := expr.(*ast.CallExpr)
+	if !isCall {
+		return lockOp{}, false, false
+	}
+	op, ok = s.a.classify(s.pass, call)
+	if !ok || op.kind != opTryAcquire {
+		return lockOp{}, false, false
+	}
+	return op, negated, true
+}
+
+// acquire folds one successful acquisition into a fresh state, reporting
+// hierarchy violations against what is already held.
+func (s *lockSim) acquire(op lockOp, st lockState, pos token.Pos) lockState {
+	if _, held := st[op.class]; held {
+		s.pass.Reportf(pos, "%s acquired while already held: nested same-class acquisition deadlocks (for multiple instances use the configured wrapper; see %s)",
+			op.class, s.a.cfg.DocRef)
+		return st
+	}
+	for class, h := range st {
+		if h.level >= op.level {
+			s.pass.Reportf(pos, "%s (level %d, %s) acquired while holding %s (level %d, %s): lock order is ascending levels only (see %s)",
+				op.class, op.level, s.a.levelName(op.level), class, h.level, s.a.levelName(h.level), s.a.cfg.DocRef)
+		}
+	}
+	st = st.clone()
+	st[op.class] = &heldLock{level: op.level, read: op.read, pos: pos}
+	return st
+}
+
 // applyCall folds one call's lock effect into the state.
 func (s *lockSim) applyCall(call *ast.CallExpr, st lockState) lockState {
 	op, ok := s.a.classify(s.pass, call)
@@ -419,19 +483,14 @@ func (s *lockSim) applyCall(call *ast.CallExpr, st lockState) lockState {
 	}
 	switch op.kind {
 	case opAcquire:
-		if _, held := st[op.class]; held {
-			s.pass.Reportf(call.Pos(), "%s acquired while already held: nested same-class acquisition deadlocks (for multiple instances use the configured wrapper; see %s)",
-				op.class, s.a.cfg.DocRef)
-			return st
-		}
-		for class, h := range st {
-			if h.level >= op.level {
-				s.pass.Reportf(call.Pos(), "%s (level %d, %s) acquired while holding %s (level %d, %s): lock order is ascending levels only (see %s)",
-					op.class, op.level, s.a.levelName(op.level), class, h.level, s.a.levelName(h.level), s.a.cfg.DocRef)
-			}
-		}
-		st = st.clone()
-		st[op.class] = &heldLock{level: op.level, read: op.read, pos: call.Pos()}
+		return s.acquire(op, st, call.Pos())
+	case opTryAcquire:
+		// Reaching here means the try's result is not branched on directly;
+		// the simulation cannot follow it. Treat the lock as acquired so the
+		// later unlock does not cascade into false reports.
+		s.pass.Reportf(call.Pos(), "result of TryLock on %s is not branched on directly: lockorder models only `if mu.TryLock()` / `if !mu.TryLock()` (see %s)",
+			op.class, s.a.cfg.DocRef)
+		return s.acquire(op, st, call.Pos())
 	case opRelease:
 		h, held := st[op.class]
 		if !held {

@@ -1,6 +1,7 @@
 // Package lockorder is a fixture mirroring the engine's lock hierarchy:
-// Engine.structMu (level 0) -> memStripe.mu (level 1, all-stripe barrier via
-// lockStripes/unlockStripes) -> Engine.walMu (level 2).
+// Engine.flushMu (level 0, TryLock bail-out) -> Engine.structMu (level 1) ->
+// memStripe.mu (level 2, all-stripe barrier via lockStripes/unlockStripes) ->
+// Engine.walMu (level 3).
 package lockorder
 
 import (
@@ -16,6 +17,7 @@ type memStripe struct {
 }
 
 type Engine struct {
+	flushMu  sync.Mutex
 	structMu sync.RWMutex
 	stripes  [4]memStripe
 	walMu    sync.Mutex
@@ -37,6 +39,8 @@ func (e *Engine) unlockStripes() {
 
 // Ascending acquisition with deferred unlocks: clean.
 func (e *Engine) AllLevels() {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
 	e.structMu.Lock()
 	defer e.structMu.Unlock()
 	e.lockStripes()
@@ -56,23 +60,44 @@ func (e *Engine) BranchUnlock(fail bool) error {
 	return nil
 }
 
+// The bail-out-if-busy idiom: `if !mu.TryLock()` holds the lock on the
+// fall-through only. Clean.
+func (e *Engine) TryBailout() error {
+	if !e.flushMu.TryLock() {
+		return nil
+	}
+	defer e.flushMu.Unlock()
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
+	return nil
+}
+
+// `if mu.TryLock()` holds the lock in the then-branch only. Clean.
+func (e *Engine) TryThenBranch() {
+	if e.flushMu.TryLock() {
+		e.flushMu.Unlock()
+	}
+	e.walMu.Lock()
+	e.walMu.Unlock()
+}
+
 func (e *Engine) OutOfOrder() {
 	e.walMu.Lock()
-	e.structMu.Lock() // want `Engine.structMu \(level 0, structMu\) acquired while holding Engine.walMu \(level 2, walMu\)`
+	e.structMu.Lock() // want `Engine.structMu \(level 1, structMu\) acquired while holding Engine.walMu \(level 3, walMu\)`
 	e.structMu.Unlock()
 	e.walMu.Unlock()
 }
 
 func (e *Engine) StripeThenStruct(i int) {
 	e.stripes[i].mu.Lock()
-	e.structMu.RLock() // want `Engine.structMu \(level 0, structMu\) acquired while holding memStripe.mu`
+	e.structMu.RLock() // want `Engine.structMu \(level 1, structMu\) acquired while holding memStripe.mu`
 	e.structMu.RUnlock()
 	e.stripes[i].mu.Unlock()
 }
 
 func (e *Engine) BarrierThenStripe(i int) {
 	e.lockStripes()
-	e.stripes[i].mu.Lock() // want `memStripe.mu \(level 1, stripes\) acquired while holding Engine.lockStripes`
+	e.stripes[i].mu.Lock() // want `memStripe.mu \(level 2, stripes\) acquired while holding Engine.lockStripes`
 	e.stripes[i].mu.Unlock()
 	e.unlockStripes()
 }
@@ -81,6 +106,32 @@ func (e *Engine) NestedStripes(i, j int) {
 	e.stripes[i].mu.Lock()
 	defer e.stripes[i].mu.Unlock()
 	e.stripes[j].mu.Lock() // want `memStripe.mu acquired while already held`
+}
+
+// A successful try is still an acquisition: trying a lower level while a
+// higher one is held breaks the hierarchy on the success path.
+func (e *Engine) TryOutOfOrder() {
+	e.structMu.Lock()
+	if e.flushMu.TryLock() { // want `Engine.flushMu \(level 0, flushMu\) acquired while holding Engine.structMu \(level 1, structMu\)`
+		e.flushMu.Unlock()
+	}
+	e.structMu.Unlock()
+}
+
+// A try whose success branch returns without unlocking leaks the lock.
+func (e *Engine) TryLeak() error {
+	if e.flushMu.TryLock() {
+		return errFail // want `returns while holding Engine.flushMu`
+	}
+	return nil
+}
+
+// Storing the try result defeats the simulation: reported, and treated as
+// acquired so the later unlock does not cascade.
+func (e *Engine) TryNotBranched() {
+	ok := e.flushMu.TryLock() // want `result of TryLock on Engine.flushMu is not branched on directly`
+	_ = ok
+	e.flushMu.Unlock()
 }
 
 func (e *Engine) LeakOnError(fail bool) error {

@@ -4,15 +4,17 @@ import "encoding/binary"
 
 // Bulk fixed-width paths for the hot loops of block packing: same stream
 // layout as repeated WriteBits/ReadBits calls, but with per-value work cut
-// to one unaligned 8-byte load. A value of width <= 56 starting at any bit
-// offset o (0..7) occupies at most o+56 <= 63 bits, so it always fits in
-// the 8 bytes beginning at its first byte: load big-endian, shift right,
-// mask. Widths above 56 fall back to the scalar path, as does the tail of
-// the buffer where an 8-byte load would run past the end.
+// to one unaligned 8-byte load (read) or one load-or-store pair (write). A
+// value of width <= 56 starting at any bit offset o (0..7) occupies at most
+// o+56 <= 63 bits, so it always fits in the 8 bytes beginning at its first
+// byte: load big-endian, shift, mask. Widths above 56 fall back to the
+// scalar path, as does the tail of the read buffer where an 8-byte load
+// would run past the end.
 
 const bulkMaxWidth = 56
 
-// WriteBulk appends every value at the given width.
+// WriteBulk appends every value at the given width. The stream is
+// byte-identical to calling WriteBits for each value.
 //
 //bos:hotpath
 func (w *Writer) WriteBulk(vals []uint64, width uint) {
@@ -25,18 +27,56 @@ func (w *Writer) WriteBulk(vals []uint64, width uint) {
 		}
 		return
 	}
-	acc, nb := w.cur, w.nbits
+	// Values accumulate left-aligned in a 64-bit window; every time the
+	// window fills, one big-endian 8-byte store flushes it. That is one
+	// byte swap per 8 output bytes instead of per value, and every output
+	// byte is written exactly once, so the buffer needs no pre-zeroing.
+	// Stores are contiguous from k; the final store's trailing bytes are
+	// zero (the window's unused low bits) and fall beyond the new length,
+	// so the +8 slack keeps it in bounds.
+	total := len(w.buf)*8 + int(w.nbits) + len(vals)*int(width)
+	need := total>>3 + 8
+	buf := w.buf
+	if cap(buf) >= need {
+		buf = buf[:need]
+	} else {
+		buf = make([]byte, need)
+		copy(buf, w.buf)
+	}
+	k := len(w.buf)
+	var acc uint64
+	used := w.nbits
+	if used != 0 {
+		acc = w.cur << (64 - used)
+	}
 	mask := uint64(1)<<width - 1
 	for _, v := range vals {
-		acc = acc<<width | (v & mask)
-		nb += width
-		for nb >= 8 {
-			nb -= 8
-			w.buf = append(w.buf, byte(acc>>nb))
+		v &= mask
+		if free := 64 - used; width <= free {
+			acc |= v << (free - width)
+			used += width
+		} else {
+			binary.BigEndian.PutUint64(buf[k:], acc|v>>(width-free))
+			k += 8
+			used = width - free
+			acc = v << (64 - used)
 		}
-		acc &= 1<<nb - 1 // nb < 8: keep headroom for the next shift
+		if used == 64 {
+			binary.BigEndian.PutUint64(buf[k:], acc)
+			k += 8
+			acc, used = 0, 0
+		}
 	}
-	w.cur, w.nbits = acc, nb
+	if used != 0 {
+		binary.BigEndian.PutUint64(buf[k:], acc)
+		k += int(used) >> 3
+	}
+	w.buf = buf[:k]
+	w.nbits = used & 7
+	w.cur = 0
+	if w.nbits != 0 {
+		w.cur = (acc >> (64 - used)) & (1<<w.nbits - 1)
+	}
 }
 
 // ReadBulk fills out with len(out) consecutive values at the given width.

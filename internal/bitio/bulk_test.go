@@ -56,6 +56,65 @@ func TestBulkMatchesScalar(t *testing.T) {
 	}
 }
 
+// TestWriteBulkGolden pins the exact stream bytes for a known input so a
+// regression in the word-store path cannot hide behind a matching scalar bug.
+func TestWriteBulkGolden(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBulk([]uint64{0b101, 0b010, 0b111, 0b001}, 3)
+	// 101 010 111 001 -> 10101011 1001'0000 (final byte zero-padded)
+	got := w.Bytes()
+	want := []byte{0xab, 0x90}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %x want %x", got, want)
+	}
+
+	w = NewWriter(16)
+	w.WriteBits(1, 1) // misaligned start
+	w.WriteBulk([]uint64{0x3ff, 0x001}, 10)
+	// 1 1111111111 0000000001 -> 11111111 11100000 00001'000
+	got = w.Bytes()
+	want = []byte{0xff, 0xe0, 0x08}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %x want %x", got, want)
+		}
+	}
+}
+
+// TestWriteBulkMidStream interleaves scalar and bulk writes at every
+// alignment and verifies the stream stays byte-identical to all-scalar.
+func TestWriteBulkMidStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		scalar, bulk := NewWriter(64), NewWriter(64)
+		for seg := 0; seg < 4; seg++ {
+			width := uint(1 + rng.Intn(56))
+			n := rng.Intn(40)
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = rng.Uint64() & (1<<width - 1)
+			}
+			for _, v := range vals {
+				scalar.WriteBits(v, width)
+			}
+			bulk.WriteBulk(vals, width)
+			// A few stray bits between segments shift the alignment.
+			stray := uint(rng.Intn(8))
+			scalar.WriteBits(0b1011, stray)
+			bulk.WriteBits(0b1011, stray)
+		}
+		sb, bb := scalar.Bytes(), bulk.Bytes()
+		if len(sb) != len(bb) {
+			t.Fatalf("iter %d: lengths %d vs %d", iter, len(sb), len(bb))
+		}
+		for i := range sb {
+			if sb[i] != bb[i] {
+				t.Fatalf("iter %d: byte %d: %02x vs %02x", iter, i, sb[i], bb[i])
+			}
+		}
+	}
+}
+
 func TestBulkReadPastEnd(t *testing.T) {
 	r := NewReader([]byte{0xff, 0xff})
 	out := make([]uint64, 3)

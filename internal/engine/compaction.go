@@ -78,7 +78,8 @@ type SeriesData struct {
 
 // PackerChooser picks the packing operator for one compacted series. It
 // returns a packer name from the shared registry, or "" to keep the file's
-// default packer. It is called outside the engine lock.
+// default packer. It is called outside the engine lock, and must be safe
+// for concurrent calls: the merge fans series across encode workers.
 type PackerChooser func(SeriesData) string
 
 // CompactStats summarizes one committed compaction.
@@ -186,8 +187,11 @@ func (c *Compaction) seriesIsFloat(name string) bool {
 
 // Merge builds the merged output as a temporary file. It runs entirely
 // outside the engine lock: the snapshot readers are immutable and their file
-// handles support concurrent reads. choose, when non-nil, picks the packer
-// for each series (adaptive repacking); nil keeps the engine's default.
+// handles support concurrent reads. Series are merged and encoded in
+// parallel across Options.EncodeWorkers, then written in sorted-name order,
+// so the output bytes are identical to a serial merge. choose, when non-nil,
+// picks the packer for each series (adaptive repacking); nil keeps the
+// engine's default.
 func (c *Compaction) Merge(choose PackerChooser) error {
 	if c.merged || c.done {
 		return errors.New("engine: compaction already merged or finished")
@@ -196,7 +200,6 @@ func (c *Compaction) Merge(choose PackerChooser) error {
 	if err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
-	w := tsfile.NewWriter(f, c.e.opt.File)
 	fail := func(err error) error {
 		f.Close()
 		os.Remove(c.tmpPath)
@@ -214,7 +217,45 @@ func (c *Compaction) Merge(choose PackerChooser) error {
 	}
 	sort.Strings(sorted)
 	c.stats = CompactStats{Files: len(c.files), SeriesPackers: map[string]string{}}
-	for _, name := range sorted {
+	type mergedSeries struct {
+		chunk      tsfile.EncodedChunk
+		packerName string
+		count      int
+		err        error
+	}
+	results := make([]mergedSeries, len(sorted))
+	fanOut(c.e.opt.encodeWorkers(), len(sorted), func(i int) {
+		name := sorted[i]
+		r := &results[i]
+		if c.seriesIsFloat(name) {
+			pts, err := c.collectFloatSeries(name)
+			if err != nil || len(pts) == 0 {
+				r.err = err
+				return
+			}
+			if choose != nil {
+				r.packerName = choose(SeriesData{Name: name, Floats: pts})
+			}
+			r.count = len(pts)
+			r.chunk, r.err = tsfile.EncodeFloatSeries(c.e.opt.File, pts, r.packerName)
+		} else {
+			pts, err := c.collectIntSeries(name)
+			if err != nil || len(pts) == 0 {
+				r.err = err
+				return
+			}
+			if choose != nil {
+				r.packerName = choose(SeriesData{Name: name, Points: pts})
+			}
+			r.count = len(pts)
+			r.chunk, r.err = tsfile.EncodeSeries(c.e.opt.File, pts, r.packerName)
+		}
+		if r.err != nil {
+			r.err = fmt.Errorf("engine: compact %s: %w", name, r.err)
+		}
+	})
+	w := tsfile.NewWriter(f, c.e.opt.File)
+	for i, name := range sorted {
 		for _, df := range c.files {
 			chunks, err := df.reader.Chunks(name)
 			if err != nil {
@@ -224,14 +265,18 @@ func (c *Compaction) Merge(choose PackerChooser) error {
 				c.stats.BytesBefore += int64(m.EncodedBytes)
 			}
 		}
-		if c.seriesIsFloat(name) {
-			if err := c.mergeFloatSeries(w, name, choose); err != nil {
-				return fail(err)
-			}
-		} else if err := c.mergeIntSeries(w, name, choose); err != nil {
-			return fail(err)
+		r := &results[i]
+		if r.err != nil {
+			return fail(r.err)
 		}
-		c.stats.BytesAfter += w.SeriesEncodedBytes(name)
+		if r.count == 0 {
+			continue // fully overwritten or tombstoned series vanish
+		}
+		if err := w.AppendEncoded(name, r.chunk); err != nil {
+			return fail(fmt.Errorf("engine: %w", err))
+		}
+		c.stats.BytesAfter += int64(r.chunk.Meta.EncodedBytes)
+		c.recordSeries(name, r.packerName, r.count)
 	}
 	if err := w.Close(); err != nil {
 		return fail(fmt.Errorf("engine: %w", err))
@@ -247,16 +292,16 @@ func (c *Compaction) Merge(choose PackerChooser) error {
 	return nil
 }
 
-// mergeIntSeries folds one integer series across the snapshot files into w,
+// collectIntSeries folds one integer series across the snapshot files,
 // newest file winning timestamp collisions, tombstoned points dropped.
-func (c *Compaction) mergeIntSeries(w *tsfile.Writer, name string, choose PackerChooser) error {
+func (c *Compaction) collectIntSeries(name string) ([]tsfile.Point, error) {
 	const full = int64(^uint64(0) >> 1)
 	merged := map[int64]int64{}
 	var order []int64
 	for _, df := range c.files {
 		pts, err := df.reader.Query(name, -full-1, full, -full-1, full)
 		if err != nil && !errors.Is(err, tsfile.ErrNoSeries) {
-			return err
+			return nil, err
 		}
 		for _, p := range pts {
 			if c.masked(name, df.seq, p.T) {
@@ -269,33 +314,25 @@ func (c *Compaction) mergeIntSeries(w *tsfile.Writer, name string, choose Packer
 		}
 	}
 	if len(order) == 0 {
-		return nil
+		return nil, nil
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	pts := make([]tsfile.Point, 0, len(order))
 	for _, t := range order {
 		pts = append(pts, tsfile.Point{T: t, V: merged[t]})
 	}
-	packerName := ""
-	if choose != nil {
-		packerName = choose(SeriesData{Name: name, Points: pts})
-	}
-	if err := w.AppendPacked(name, pts, packerName); err != nil {
-		return fmt.Errorf("engine: compact %s: %w", name, err)
-	}
-	c.recordSeries(name, packerName, len(pts))
-	return nil
+	return pts, nil
 }
 
-// mergeFloatSeries is mergeIntSeries for float series.
-func (c *Compaction) mergeFloatSeries(w *tsfile.Writer, name string, choose PackerChooser) error {
+// collectFloatSeries is collectIntSeries for float series.
+func (c *Compaction) collectFloatSeries(name string) ([]tsfile.FloatPoint, error) {
 	const full = int64(^uint64(0) >> 1)
 	merged := map[int64]float64{}
 	var order []int64
 	for _, df := range c.files {
 		pts, err := df.reader.QueryFloats(name, -full-1, full, math.Inf(-1), math.Inf(1))
 		if err != nil && !errors.Is(err, tsfile.ErrNoSeries) {
-			return err
+			return nil, err
 		}
 		for _, p := range pts {
 			if c.masked(name, df.seq, p.T) {
@@ -308,22 +345,14 @@ func (c *Compaction) mergeFloatSeries(w *tsfile.Writer, name string, choose Pack
 		}
 	}
 	if len(order) == 0 {
-		return nil
+		return nil, nil
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	pts := make([]tsfile.FloatPoint, 0, len(order))
 	for _, t := range order {
 		pts = append(pts, tsfile.FloatPoint{T: t, V: merged[t]})
 	}
-	packerName := ""
-	if choose != nil {
-		packerName = choose(SeriesData{Name: name, Floats: pts})
-	}
-	if err := w.AppendFloatsPacked(name, pts, packerName); err != nil {
-		return fmt.Errorf("engine: compact %s: %w", name, err)
-	}
-	c.recordSeries(name, packerName, len(pts))
-	return nil
+	return pts, nil
 }
 
 func (c *Compaction) recordSeries(name, packerName string, points int) {

@@ -21,30 +21,28 @@ func (ts tombstone) covers(seq int, t int64) bool {
 
 // DeleteRange removes every stored point of series with minT <= T <= maxT.
 // Points inserted after the delete are unaffected. The delete is durable
-// (WAL) and survives restarts; compaction physically reclaims the space.
+// (WAL, via the shared commit group) and survives restarts; compaction
+// physically reclaims the space. An in-flight flush snapshot is not pruned
+// here (the encoder is reading it) — the tombstone's sequence covers the
+// file that snapshot becomes, and queries apply it to the snapshot points.
 func (e *Engine) DeleteRange(series string, minT, maxT int64) error {
 	if minT > maxT {
 		return fmt.Errorf("engine: empty delete range [%d, %d]", minT, maxT)
 	}
 	e.structMu.Lock()
-	defer e.structMu.Unlock()
 	if e.closed.Load() {
+		e.structMu.Unlock()
 		return ErrClosed
 	}
 	ts := tombstone{series: series, minT: minT, maxT: maxT, seq: e.nextSeq}
 	st := e.stripe(series)
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	var g *walGroup
+	var leader bool
 	if e.log != nil {
-		e.walMu.Lock()
-		err := e.log.appendTombstone(ts)
-		if err == nil && e.opt.SyncWAL {
-			err = e.log.sync()
-		}
-		e.walMu.Unlock()
-		if err != nil {
-			return err
-		}
+		g, leader = e.walEnqueue(func(dst []byte) []byte {
+			return appendTombstonePayload(dst, ts)
+		})
 	}
 	// The memtable is newer than any file but older than the delete:
 	// drop matching buffered points directly.
@@ -74,11 +72,16 @@ func (e *Engine) DeleteRange(series string, minT, maxT int64) error {
 		st.memF[series] = kept
 	}
 	e.memPts.Add(-removed)
+	st.mu.Unlock()
 	e.tombs = append(e.tombs, ts)
 	e.gen++ // in-flight scan cursors must observe the new tombstone
 	// Tombstones mask at scan time, so cached chunks are not stale — but a
 	// deleted range's decoded columns are mostly dead weight; evict them.
 	e.cache.InvalidateSeries(series)
+	e.structMu.Unlock()
+	if g != nil {
+		return e.walAwait(g, leader)
+	}
 	return nil
 }
 
@@ -110,15 +113,22 @@ const (
 	walTombstone byte = 1
 )
 
-// appendTombstone writes a durable delete record.
+// appendTombstonePayload builds one delete record payload into dst.
+func appendTombstonePayload(dst []byte, ts tombstone) []byte {
+	dst = append(dst, walTombstone)
+	dst = binary.AppendUvarint(dst, uint64(len(ts.series)))
+	dst = append(dst, ts.series...)
+	dst = binary.AppendVarint(dst, ts.minT)
+	dst = binary.AppendVarint(dst, ts.maxT)
+	dst = binary.AppendUvarint(dst, uint64(ts.seq))
+	return dst
+}
+
+// appendTombstone writes a durable delete record directly (the flush-commit
+// re-append path, under walMu with walBusy waited out).
 func (l *wal) appendTombstone(ts tombstone) error {
-	payload := []byte{walTombstone}
-	payload = binary.AppendUvarint(payload, uint64(len(ts.series)))
-	payload = append(payload, ts.series...)
-	payload = binary.AppendVarint(payload, ts.minT)
-	payload = binary.AppendVarint(payload, ts.maxT)
-	payload = binary.AppendUvarint(payload, uint64(ts.seq))
-	return l.appendPayload(payload)
+	l.scratch = appendTombstonePayload(l.scratch[:0], ts)
+	return l.appendPayload(l.scratch)
 }
 
 func decodeTombstonePayload(payload []byte) (tombstone, bool) {

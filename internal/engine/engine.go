@@ -11,31 +11,40 @@
 // (compaction re-encodes everything) all run through the packing operator
 // under test.
 //
-// Locking. The engine has no single global lock. State is split three ways:
+// Locking. The engine has no single global lock. State is split four ways:
 //
+//   - flushMu serializes the flush pipeline (flush.go): one snapshot in
+//     flight at a time, and threshold-crossing writers bail out on TryLock
+//     instead of queueing.
 //   - structMu guards the structural state: the data-file list, sequence
 //     numbers, tombstones, the scan generation counter and the maintenance
-//     counters. Queries take it shared; flush, compaction commit and range
-//     deletes take it exclusive, briefly.
+//     counters. Queries take it shared; snapshot, commit, compaction commit
+//     and range deletes take it exclusive, briefly.
 //   - The memtable is sharded into stripeCount stripes, each with its own
 //     RWMutex; a series maps to one stripe by hash. Writers on different
 //     stripes do not contend with each other or with queries on other
-//     stripes. Flush (and close) lock every stripe, which makes them a
-//     global barrier for buffered writes.
-//   - walMu serializes the shared write-ahead log.
+//     stripes. The snapshot swap (and close) locks every stripe, which
+//     makes it a global barrier for buffered writes — but only for the
+//     O(stripes) pointer swaps, never for the encoding.
+//   - walMu guards the shared write-ahead log's structure. The log bytes
+//     themselves are written by one group-commit leader at a time
+//     (groupcommit.go) with walMu released and the walBusy token held, so
+//     no lock is held across WAL I/O; walCond (paired with walMu) signals
+//     commit completion and walBusy hand-offs.
 //
 // The lock hierarchy is formal and machine-checked: cmd/bosvet's lockorder
 // analyzer (configured in internal/analysis/config.go, which mirrors this
 // table — the two must change together) verifies every function in this
 // package against it.
 //
-//	level 0  Engine.structMu   structural state (file list, tombstones,
+//	level 0  Engine.flushMu    the flush pipeline (one snapshot in flight)
+//	level 1  Engine.structMu   structural state (file list, tombstones,
 //	                           sequence numbers, scan generation)
-//	level 1  memStripe.mu      memtable stripes; the all-stripe barrier is
+//	level 2  memStripe.mu      memtable stripes; the all-stripe barrier is
 //	                           Engine.lockStripes / Engine.unlockStripes,
 //	                           which lock in ascending stripe index —
 //	                           never take two stripes directly
-//	level 2  Engine.walMu      the shared write-ahead log
+//	level 3  Engine.walMu      the shared write-ahead log's structure
 //
 // Locks are acquired in strictly increasing level order. A path may skip
 // levels (e.g. take walMu without structMu) but must never acquire a lower
@@ -48,6 +57,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -75,6 +85,10 @@ type Options struct {
 	// negative = cache disabled). The cache keeps bit-unpacked chunk columns
 	// resident so repeated scans and paged reads decode each chunk once.
 	CacheBytes int64
+	// EncodeWorkers bounds the goroutines that encode chunks during flush
+	// and compaction (0 = GOMAXPROCS, 1 = serial). Output bytes are
+	// identical at every setting.
+	EncodeWorkers int
 }
 
 func (o Options) flushThreshold() int {
@@ -94,6 +108,13 @@ func (o Options) cacheBytes() int64 {
 	return o.CacheBytes
 }
 
+func (o Options) encodeWorkers() int {
+	if o.EncodeWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.EncodeWorkers
+}
+
 // stripeCount is the number of memtable lock stripes. Power of two so the
 // series hash maps with a mask; 16 stripes keep contention negligible well
 // past the writer counts the serving layer runs.
@@ -104,6 +125,12 @@ type memStripe struct {
 	mu   sync.RWMutex
 	mem  map[string][]tsfile.Point      // integer series buffer
 	memF map[string][]tsfile.FloatPoint // float series buffer
+	// flush/flushF hold the snapshot being encoded while a flush is in
+	// flight (nil otherwise). They are immutable for the flight's duration:
+	// queries merge them under mu.RLock, and the encoder reads them with no
+	// lock at all.
+	flush  map[string][]tsfile.Point
+	flushF map[string][]tsfile.FloatPoint
 }
 
 // stripeFor hashes a series name onto its stripe (FNV-1a).
@@ -124,15 +151,25 @@ type Engine struct {
 	memPts  atomic.Int64 // total buffered points across stripes, both kinds
 	closed  atomic.Bool  // set under structMu + all stripe locks
 
+	flushMu sync.Mutex // serializes the flush pipeline (flush.go)
+
 	structMu   sync.RWMutex
 	files      []*dataFile // ascending sequence = ascending freshness
 	nextSeq    int
 	nextFileID uint64      // chunk-cache identity; never reused, unlike seq
 	gen        uint64      // bumped on any file-list or tombstone change
 	tombs      []tombstone // pending range deletes, applied at query/compaction
+	flushSeq   int         // sequence of the most recent snapshot
 
-	walMu sync.Mutex
-	log   *wal // nil when Options.DisableWAL
+	walMu    sync.Mutex
+	walCond  *sync.Cond // paired with walMu (group commit, groupcommit.go)
+	walGroup *walGroup  // the forming group (walMu)
+	walBusy  bool       // a leader is writing with walMu released (walMu)
+	log      *wal       // nil when Options.DisableWAL
+
+	// Lifetime group-commit counters, reported in Stats.
+	walGroups  atomic.Int64 // committed groups (= fsyncs under SyncWAL)
+	walRecords atomic.Int64 // records across all groups
 
 	cache *chunkcache.Cache // nil when disabled
 
@@ -184,6 +221,7 @@ func Open(opt Options) (*Engine, error) {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	e := &Engine{opt: opt, cache: chunkcache.New(opt.cacheBytes())}
+	e.walCond = sync.NewCond(&e.walMu)
 	for i := range e.stripes {
 		e.stripes[i].mem = map[string][]tsfile.Point{}
 		e.stripes[i].memF = map[string][]tsfile.FloatPoint{}
@@ -213,8 +251,23 @@ func Open(opt Options) (*Engine, error) {
 		}
 	}
 	if !opt.DisableWAL {
+		// A sealed segment can outlive a failed flush (rollback keeps it on
+		// disk, covering the restored points). Its sequence is burned:
+		// rotating onto the same name again would clobber live records, so
+		// nextSeq must move past every surviving segment too.
+		segs, err := filepath.Glob(filepath.Join(opt.Dir, "wal-*.log"))
+		if err != nil {
+			e.closeFiles()
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		for _, s := range segs {
+			var seq int
+			if _, err := fmt.Sscanf(filepath.Base(s), "wal-%06d.log", &seq); err == nil && seq >= e.nextSeq {
+				e.nextSeq = seq + 1
+			}
+		}
 		// Recover inserts and deletes that never made it into data files.
-		err := replayWAL(opt.Dir,
+		err = replayWAL(opt.Dir,
 			func(series string, pts []tsfile.Point) {
 				st := e.stripe(series)
 				st.mem[series] = append(st.mem[series], pts...)
@@ -284,7 +337,12 @@ func (e *Engine) Insert(series string, t, v int64) error {
 }
 
 // InsertBatch adds many points to one series. Writers on series that hash to
-// different stripes proceed in parallel; only the WAL append is serialized.
+// different stripes proceed in parallel; the WAL record is framed into the
+// forming commit group under the stripe lock (memory only) and made durable
+// by the group's leader after every lock is released, so a slow WAL sync
+// never blocks writers on other stripes. If the WAL write fails the points
+// remain buffered (and flushable) but the error is returned, so callers know
+// durability was not achieved.
 func (e *Engine) InsertBatch(series string, pts []tsfile.Point) error {
 	if len(pts) == 0 {
 		return nil
@@ -295,131 +353,27 @@ func (e *Engine) InsertBatch(series string, pts []tsfile.Point) error {
 		st.mu.Unlock()
 		return ErrClosed
 	}
-	if len(st.memF[series]) > 0 {
+	if len(st.memF[series]) > 0 || len(st.flushF[series]) > 0 {
 		st.mu.Unlock()
 		return fmt.Errorf("%w: %q has float points", ErrSeriesKind, series)
 	}
+	var g *walGroup
+	var leader bool
 	if e.log != nil {
-		e.walMu.Lock()
-		err := e.log.append(series, pts)
-		if err == nil && e.opt.SyncWAL {
-			err = e.log.sync()
-		}
-		e.walMu.Unlock()
-		if err != nil {
-			st.mu.Unlock()
-			return err
-		}
+		g, leader = e.walEnqueue(func(dst []byte) []byte {
+			return appendInsertPayload(dst, series, pts)
+		})
 	}
 	st.mem[series] = append(st.mem[series], pts...)
 	total := e.memPts.Add(int64(len(pts)))
 	st.mu.Unlock()
-	if total >= int64(e.opt.flushThreshold()) {
-		return e.Flush()
-	}
-	return nil
-}
-
-// Flush writes the memtable to a new data file. A no-op when empty.
-func (e *Engine) Flush() error {
-	e.structMu.Lock()
-	defer e.structMu.Unlock()
-	if e.closed.Load() {
-		return ErrClosed
-	}
-	e.lockStripes()
-	defer e.unlockStripes()
-	return e.flushStripesLocked()
-}
-
-// flushStripesLocked writes every buffered point to a new data file. Caller
-// holds structMu and every stripe lock, so no insert can be in flight and
-// the WAL can be truncated atomically with the memtable.
-func (e *Engine) flushStripesLocked() error {
-	if e.memPts.Load() == 0 {
-		return nil
-	}
-	seq := e.nextSeq
-	path := filepath.Join(e.opt.Dir, fmt.Sprintf("data-%06d.tsf", seq))
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("engine: %w", err)
-	}
-	w := tsfile.NewWriter(f, e.opt.File)
-	var names []string
-	for i := range e.stripes {
-		for name := range e.stripes[i].mem {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		pts := dedupeSort(e.stripe(name).mem[name])
-		if err := w.Append(name, pts); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return fmt.Errorf("engine: flush %s: %w", name, err)
-		}
-	}
-	var fnames []string
-	for i := range e.stripes {
-		for name := range e.stripes[i].memF {
-			fnames = append(fnames, name)
-		}
-	}
-	sort.Strings(fnames)
-	for _, name := range fnames {
-		pts := dedupeSortFloat(e.stripe(name).memF[name])
-		if err := w.AppendFloats(name, pts); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return fmt.Errorf("engine: flush %s: %w", name, err)
-		}
-	}
-	if err := w.Close(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("engine: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("engine: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("engine: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("engine: %w", err)
-	}
-	df, err := e.openDataFile(path)
-	if err != nil {
-		return err
-	}
-	e.files = append(e.files, df)
-	e.nextSeq = seq + 1
-	e.gen++ // in-flight scan cursors revalidate against the new file list
-	for i := range e.stripes {
-		e.stripes[i].mem = map[string][]tsfile.Point{}
-		e.stripes[i].memF = map[string][]tsfile.FloatPoint{}
-	}
-	e.memPts.Store(0)
-	if e.log != nil {
-		// The memtable is on disk; the log restarts with only the still
-		// pending tombstones (they mask file data until compaction).
-		e.walMu.Lock()
-		defer e.walMu.Unlock()
-		if err := e.log.reset(); err != nil {
+	if g != nil {
+		if err := e.walAwait(g, leader); err != nil {
 			return err
 		}
-		for _, ts := range e.tombs {
-			if err := e.log.appendTombstone(ts); err != nil {
-				return err
-			}
-		}
+	}
+	if total >= int64(e.opt.flushThreshold()) {
+		return e.maybeFlush()
 	}
 	return nil
 }
@@ -441,13 +395,24 @@ func dedupeSort(pts []tsfile.Point) []tsfile.Point {
 }
 
 // memSnapshot returns a deduped, sorted copy of the series' buffered integer
-// points within [minT, maxT], taken under the stripe read lock.
+// points within [minT, maxT], taken under the stripe read lock. While a
+// flush is in flight, the snapshot being encoded is merged in ahead of the
+// live buffer (it is older, so the live buffer wins timestamp collisions),
+// masked by any tombstone that arrived after the snapshot was taken —
+// DeleteRange cannot prune the in-flight maps. Callers hold structMu shared
+// (masked reads e.tombs and e.flushSeq).
 func (e *Engine) memSnapshot(series string, minT, maxT int64) []tsfile.Point {
 	st := e.stripe(series)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	buf := st.mem[series]
-	filtered := make([]tsfile.Point, 0, len(buf))
+	flush := st.flush[series]
+	filtered := make([]tsfile.Point, 0, len(buf)+len(flush))
+	for _, p := range flush {
+		if p.T >= minT && p.T <= maxT && !e.masked(series, e.flushSeq, p.T) {
+			filtered = append(filtered, p)
+		}
+	}
 	for _, p := range buf {
 		if p.T >= minT && p.T <= maxT {
 			filtered = append(filtered, p)
@@ -527,14 +492,18 @@ func (e *Engine) Series() []string {
 	for i := range e.stripes {
 		st := &e.stripes[i]
 		st.mu.RLock()
-		for s, pts := range st.mem {
-			if len(pts) > 0 {
-				set[s] = true
+		for _, m := range []map[string][]tsfile.Point{st.mem, st.flush} {
+			for s, pts := range m {
+				if len(pts) > 0 {
+					set[s] = true
+				}
 			}
 		}
-		for s, pts := range st.memF {
-			if len(pts) > 0 {
-				set[s] = true
+		for _, m := range []map[string][]tsfile.FloatPoint{st.memF, st.flushF} {
+			for s, pts := range m {
+				if len(pts) > 0 {
+					set[s] = true
+				}
 			}
 		}
 		st.mu.RUnlock()
@@ -559,6 +528,11 @@ type Stats struct {
 	CompactedFiles    int64
 	CompactedBytesIn  int64 // encoded chunk bytes entering committed compactions
 	CompactedBytesOut int64 // encoded chunk bytes after repacking
+	// Lifetime WAL group-commit counters since Open: WALRecords/WALGroups
+	// is the achieved batching factor (fsyncs amortized per group under
+	// SyncWAL).
+	WALGroups  int64
+	WALRecords int64
 	// Cache reports the decoded-chunk cache (zero when disabled).
 	Cache chunkcache.Stats
 }
@@ -573,6 +547,8 @@ func (e *Engine) Stats() Stats {
 		CompactedFiles:    e.compactedFiles,
 		CompactedBytesIn:  e.compactedBytesIn,
 		CompactedBytesOut: e.compactedBytesOut,
+		WALGroups:         e.walGroups.Load(),
+		WALRecords:        e.walRecords.Load(),
 	}
 	set := map[string]bool{}
 	for _, df := range e.files {
@@ -598,14 +574,18 @@ func (e *Engine) Stats() Stats {
 	for i := range e.stripes {
 		st := &e.stripes[i]
 		st.mu.RLock()
-		for name, pts := range st.mem {
-			if len(pts) > 0 {
-				set[name] = true
+		for _, m := range []map[string][]tsfile.Point{st.mem, st.flush} {
+			for name, pts := range m {
+				if len(pts) > 0 {
+					set[name] = true
+				}
 			}
 		}
-		for name, pts := range st.memF {
-			if len(pts) > 0 {
-				set[name] = true
+		for _, m := range []map[string][]tsfile.FloatPoint{st.memF, st.flushF} {
+			for name, pts := range m {
+				if len(pts) > 0 {
+					set[name] = true
+				}
 			}
 		}
 		st.mu.RUnlock()
@@ -625,24 +605,35 @@ func (e *Engine) closeFiles() {
 
 // Close flushes and releases the engine.
 func (e *Engine) Close() error {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
 	e.structMu.Lock()
-	defer e.structMu.Unlock()
 	if e.closed.Load() {
+		e.structMu.Unlock()
 		return nil
 	}
+	// closed flips first, while every stripe is held, so no insert can get
+	// past its check afterwards — the final flush below then sees a frozen
+	// memtable, and no new WAL group can form under the closing log.
 	e.lockStripes()
-	if err := e.flushStripesLocked(); err != nil {
-		e.unlockStripes()
-		return err
-	}
-	// closed flips while every stripe is held, so no insert can be mid-WAL
-	// when the log is closed below.
 	e.closed.Store(true)
 	e.unlockStripes()
+	e.structMu.Unlock()
+	if err := e.flushSnapshot(true); err != nil {
+		return err
+	}
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
 	e.gen++
 	e.closeFiles()
 	if e.log != nil {
 		e.walMu.Lock()
+		// A group enqueued before closed flipped may still be in flight
+		// (its leader commits it without structMu); wait it out so the
+		// file handle is not yanked from under the leader.
+		for e.walBusy || e.walGroup != nil {
+			e.walCond.Wait()
+		}
 		err := e.log.close()
 		e.log = nil
 		e.walMu.Unlock()

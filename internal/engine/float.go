@@ -23,7 +23,8 @@ func (e *Engine) InsertFloat(series string, t int64, v float64) error {
 	return e.InsertFloatBatch(series, []tsfile.FloatPoint{{T: t, V: v}})
 }
 
-// InsertFloatBatch adds many float points to one series.
+// InsertFloatBatch adds many float points to one series, with the same
+// group-commit durability protocol as InsertBatch.
 func (e *Engine) InsertFloatBatch(series string, pts []tsfile.FloatPoint) error {
 	if len(pts) == 0 {
 		return nil
@@ -34,27 +35,27 @@ func (e *Engine) InsertFloatBatch(series string, pts []tsfile.FloatPoint) error 
 		st.mu.Unlock()
 		return ErrClosed
 	}
-	if len(st.mem[series]) > 0 {
+	if len(st.mem[series]) > 0 || len(st.flush[series]) > 0 {
 		st.mu.Unlock()
 		return fmt.Errorf("%w: %q has integer points", ErrSeriesKind, series)
 	}
+	var g *walGroup
+	var leader bool
 	if e.log != nil {
-		e.walMu.Lock()
-		err := e.log.appendFloat(series, pts)
-		if err == nil && e.opt.SyncWAL {
-			err = e.log.sync()
-		}
-		e.walMu.Unlock()
-		if err != nil {
-			st.mu.Unlock()
-			return err
-		}
+		g, leader = e.walEnqueue(func(dst []byte) []byte {
+			return appendFloatPayload(dst, series, pts)
+		})
 	}
 	st.memF[series] = append(st.memF[series], pts...)
 	total := e.memPts.Add(int64(len(pts)))
 	st.mu.Unlock()
+	if g != nil {
+		if err := e.walAwait(g, leader); err != nil {
+			return err
+		}
+	}
 	if total >= int64(e.opt.flushThreshold()) {
-		return e.Flush()
+		return e.maybeFlush()
 	}
 	return nil
 }
@@ -109,12 +110,25 @@ func (e *Engine) QueryFloats(series string, minT, maxT int64) ([]tsfile.FloatPoi
 }
 
 // memSnapshotFloat returns a deduped, sorted copy of the series' buffered
-// float points, taken under the stripe read lock.
+// float points, taken under the stripe read lock. Like memSnapshot it merges
+// an in-flight flush snapshot ahead of the live buffer, applying mid-flight
+// tombstones to the snapshot points; callers hold structMu shared.
 func (e *Engine) memSnapshotFloat(series string) []tsfile.FloatPoint {
 	st := e.stripe(series)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return dedupeSortFloat(st.memF[series])
+	flush := st.flushF[series]
+	if len(flush) == 0 {
+		return dedupeSortFloat(st.memF[series])
+	}
+	merged := make([]tsfile.FloatPoint, 0, len(flush)+len(st.memF[series]))
+	for _, p := range flush {
+		if !e.masked(series, e.flushSeq, p.T) {
+			merged = append(merged, p)
+		}
+	}
+	merged = append(merged, st.memF[series]...)
+	return dedupeSortFloat(merged)
 }
 
 // dedupeSortFloat mirrors dedupeSort for float points.
@@ -135,18 +149,20 @@ func dedupeSortFloat(pts []tsfile.FloatPoint) []tsfile.FloatPoint {
 // walFloat is the WAL record kind for float insert batches.
 const walFloat byte = 2
 
-// appendFloat writes a durable float insert record (values as raw bits).
-func (l *wal) appendFloat(series string, pts []tsfile.FloatPoint) error {
-	payload := make([]byte, 0, 17+len(series)+len(pts)*10)
-	payload = append(payload, walFloat)
-	payload = binary.AppendUvarint(payload, uint64(len(series)))
-	payload = append(payload, series...)
-	payload = binary.AppendUvarint(payload, uint64(len(pts)))
+// appendFloatPayload builds one float insert record payload (values as raw
+// bits) into dst.
+//
+//bos:hotpath
+func appendFloatPayload(dst []byte, series string, pts []tsfile.FloatPoint) []byte {
+	dst = append(dst, walFloat)
+	dst = binary.AppendUvarint(dst, uint64(len(series)))
+	dst = append(dst, series...)
+	dst = binary.AppendUvarint(dst, uint64(len(pts)))
 	for _, p := range pts {
-		payload = binary.AppendVarint(payload, p.T)
-		payload = binary.AppendUvarint(payload, math.Float64bits(p.V))
+		dst = binary.AppendVarint(dst, p.T)
+		dst = binary.AppendUvarint(dst, math.Float64bits(p.V))
 	}
-	return l.appendPayload(payload)
+	return dst
 }
 
 func decodeFloatPayload(payload []byte) (string, []tsfile.FloatPoint, bool) {

@@ -1,0 +1,137 @@
+package engine
+
+import "runtime"
+
+// WAL group commit: concurrent insert batches enqueue framed records into a
+// forming group under walMu, and exactly one of them — the leader, the
+// caller that created the group — writes and fsyncs the whole group with
+// walMu released (holding the walBusy token instead). Followers wait on the
+// group's done channel. While a leader is on the disk, the next group keeps
+// forming, so the log runs at one fsync per group of concurrent batches and
+// no stripe lock is ever held across WAL I/O.
+//
+// The invariants, all under walMu:
+//
+//   - walGroup is the forming group; records are appended to it only while
+//     it is the forming group, so the leader reads its buffer race-free
+//     after detaching it.
+//   - walBusy is true exactly while a detached group is being written with
+//     walMu released. Everything else that touches the wal struct (seal,
+//     rotate, tombstone re-append, close) must first wait for !walBusy.
+//   - walCond (paired with walMu) broadcasts every commit and walBusy
+//     hand-off.
+
+// walGroup is one group of framed records committed by a single leader.
+type walGroup struct {
+	buf       []byte // framed records, appended under walMu while forming
+	recs      int
+	err       error
+	committed bool
+	done      chan struct{} // closed once err/committed are final
+}
+
+// walEnqueue frames one record into the forming group, creating the group —
+// and becoming its leader — if none is forming. The payload is built into
+// the wal's reusable scratch buffer by build. Called with the caller's
+// stripe lock (or structMu) held; walMu sits above both in the hierarchy,
+// and only memory is touched here, never the disk.
+func (e *Engine) walEnqueue(build func(dst []byte) []byte) (g *walGroup, leader bool) {
+	e.walMu.Lock()
+	l := e.log
+	l.scratch = build(l.scratch[:0])
+	g = e.walGroup
+	if g == nil {
+		g = &walGroup{buf: l.groupBuf[:0], done: make(chan struct{})}
+		l.groupBuf = nil
+		e.walGroup = g
+		leader = true
+	}
+	g.buf = frameRecord(g.buf, l.scratch)
+	g.recs++
+	e.walMu.Unlock()
+	return g, leader
+}
+
+// walAwait blocks until the caller's group is durable (per Options.SyncWAL)
+// and returns the commit error. The leader performs the write; it is called
+// after every lock is released, so a slow disk stalls only the batches in
+// the group, not writers on other stripes or queries.
+func (e *Engine) walAwait(g *walGroup, leader bool) error {
+	if !leader {
+		<-g.done
+		return g.err
+	}
+	// With SyncWAL, give concurrently arriving writers one scheduling window
+	// to join the group before it detaches: runnable writers enqueue now and
+	// share this commit's fsync; without the yield, a leader that reaches an
+	// idle log commits alone even under heavy concurrency (acutely so on few
+	// cores, where the leader's fsync starves the joiners). Async commits
+	// skip it — their write is a cheap buffered append, so a scheduling
+	// round-trip per group would cost more than the batching saves.
+	if e.opt.SyncWAL {
+		runtime.Gosched()
+	}
+	e.walMu.Lock()
+	// A previous group may still be on the disk; and a concurrent flush may
+	// seal this group for us while we wait (then committed is set).
+	for !g.committed && e.walBusy {
+		e.walCond.Wait()
+	}
+	if g.committed {
+		e.walMu.Unlock()
+		return g.err
+	}
+	e.walGroup = nil // no further enqueues; the buffer is now ours alone
+	e.walBusy = true
+	l := e.log
+	doSync := e.opt.SyncWAL
+	e.walMu.Unlock()
+
+	err := l.writeBuf(g.buf)
+	if testWALSyncHook != nil {
+		testWALSyncHook()
+	}
+	if err == nil && doSync {
+		err = l.sync()
+	}
+
+	e.walMu.Lock()
+	e.walBusy = false
+	g.err = err
+	g.committed = true
+	l.groupBuf = g.buf
+	e.walGroups.Add(1)
+	e.walRecords.Add(int64(g.recs))
+	close(g.done)
+	e.walCond.Broadcast()
+	e.walMu.Unlock()
+	return err
+}
+
+// sealFormingGroup commits any forming group inline, on the current segment.
+// The flush pipeline calls it before rotating the log: every record enqueued
+// so far belongs to points already in the memtable (enqueue and memtable
+// append happen under the same stripe lock, and the caller holds every
+// stripe), so they are part of the snapshot and must land in the segment the
+// snapshot's data file supersedes — otherwise a clean shutdown would replay
+// them from the new segment and resurrect flushed points. Caller holds walMu
+// with walBusy false.
+func (e *Engine) sealFormingGroup() error {
+	g := e.walGroup
+	if g == nil {
+		return nil
+	}
+	e.walGroup = nil
+	err := e.log.writeBuf(g.buf)
+	if err == nil && e.opt.SyncWAL {
+		err = e.log.sync()
+	}
+	g.err = err
+	g.committed = true
+	e.log.groupBuf = g.buf
+	e.walGroups.Add(1)
+	e.walRecords.Add(int64(g.recs))
+	close(g.done)
+	e.walCond.Broadcast()
+	return err
+}

@@ -3,6 +3,8 @@ package engine
 import (
 	"math"
 	"sort"
+
+	"bos/internal/tsfile"
 )
 
 // Per-series statistics: the serving layer's /stats endpoint reports these so
@@ -64,34 +66,39 @@ func (e *Engine) SeriesStats() []SeriesStat {
 	for i := range e.stripes {
 		st := &e.stripes[i]
 		st.mu.RLock()
-		for name, pts := range st.mem {
-			if len(pts) == 0 {
-				continue
-			}
-			s := get(name)
-			s.MemPoints += len(pts)
-			for _, p := range pts {
-				if p.T < s.MinT {
-					s.MinT = p.T
+		// An in-flight flush snapshot still counts as buffered memory.
+		for _, m := range []map[string][]tsfile.Point{st.mem, st.flush} {
+			for name, pts := range m {
+				if len(pts) == 0 {
+					continue
 				}
-				if p.T > s.MaxT {
-					s.MaxT = p.T
+				s := get(name)
+				s.MemPoints += len(pts)
+				for _, p := range pts {
+					if p.T < s.MinT {
+						s.MinT = p.T
+					}
+					if p.T > s.MaxT {
+						s.MaxT = p.T
+					}
 				}
 			}
 		}
-		for name, pts := range st.memF {
-			if len(pts) == 0 {
-				continue
-			}
-			s := get(name)
-			s.Kind = "float"
-			s.MemPoints += len(pts)
-			for _, p := range pts {
-				if p.T < s.MinT {
-					s.MinT = p.T
+		for _, m := range []map[string][]tsfile.FloatPoint{st.memF, st.flushF} {
+			for name, pts := range m {
+				if len(pts) == 0 {
+					continue
 				}
-				if p.T > s.MaxT {
-					s.MaxT = p.T
+				s := get(name)
+				s.Kind = "float"
+				s.MemPoints += len(pts)
+				for _, p := range pts {
+					if p.T < s.MinT {
+						s.MinT = p.T
+					}
+					if p.T > s.MaxT {
+						s.MaxT = p.T
+					}
 				}
 			}
 		}
@@ -116,7 +123,8 @@ func (e *Engine) SeriesKind(series string) string {
 	}
 	st := e.stripe(series)
 	st.mu.RLock()
-	memF, mem := len(st.memF[series]), len(st.mem[series])
+	memF := len(st.memF[series]) + len(st.flushF[series])
+	mem := len(st.mem[series]) + len(st.flush[series])
 	st.mu.RUnlock()
 	if memF > 0 {
 		return "float"

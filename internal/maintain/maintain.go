@@ -330,7 +330,10 @@ func pickRun(infos []engine.FileInfo, cfg Config) (seqs []int, totalBytes int64)
 }
 
 // chooser returns the adaptive per-series packer selector, or nil when
-// adaptive repacking is off.
+// adaptive repacking is off. The returned closure must stay safe for
+// concurrent calls: compaction fans series across its encode workers, so
+// several series may be measured at once (packers.ByName returns a fresh
+// instance per call, and the closure itself only reads config).
 func (m *Maintainer) chooser() engine.PackerChooser {
 	if !m.cfg.Adaptive {
 		return nil

@@ -449,7 +449,11 @@ type StatsResponse struct {
 	IngestPoints  int64   `json:"ingest_points"`
 	IngestBatches int64   `json:"ingest_batches"`
 	IngestGroups  int64   `json:"ingest_groups"`
-	Queries       int64   `json:"queries"`
+	// WAL group-commit counters: records/groups is the batching factor the
+	// engine's commit groups achieve under the current write load.
+	WALGroups  int64 `json:"wal_groups"`
+	WALRecords int64 `json:"wal_records"`
+	Queries    int64 `json:"queries"`
 	// Engine-level compaction counters (all compactions, any caller).
 	Compactions       int64 `json:"compactions"`
 	CompactedFiles    int64 `json:"compacted_files"`
@@ -482,6 +486,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IngestPoints:  s.coal.points.Load(),
 		IngestBatches: s.coal.batches.Load(),
 		IngestGroups:  s.coal.groups.Load(),
+		WALGroups:     st.WALGroups,
+		WALRecords:    st.WALRecords,
 		Queries:       s.queries.Load(),
 
 		Compactions:       st.Compactions,

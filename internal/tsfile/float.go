@@ -43,27 +43,38 @@ func (w *Writer) AppendFloatsPacked(series string, points []FloatPoint, packerNa
 	if w.closed {
 		return errors.New("tsfile: writer closed")
 	}
-	if len(points) == 0 {
-		return nil
-	}
-	packer, err := w.chunkPacker(packerName)
+	c, err := EncodeFloatSeries(w.opt, points, packerName)
 	if err != nil {
 		return err
+	}
+	return w.AppendEncoded(series, c)
+}
+
+// EncodeFloatSeries encodes one float chunk without a Writer, mirroring
+// EncodeSeries: same validation, precision detection and packing as
+// AppendFloatsPacked, safe for concurrent use (the packer is resolved fresh
+// per call).
+func EncodeFloatSeries(opt Options, points []FloatPoint, packerName string) (EncodedChunk, error) {
+	if len(points) == 0 {
+		return EncodedChunk{}, nil
+	}
+	packer, err := encodePacker(opt, packerName)
+	if err != nil {
+		return EncodedChunk{}, err
 	}
 	times := make([]int64, len(points))
 	vals := make([]float64, len(points))
 	for i, p := range points {
 		if i > 0 && p.T <= points[i-1].T {
-			return fmt.Errorf("%w: t[%d]=%d after %d", ErrUnsorted, i, p.T, points[i-1].T)
+			return EncodedChunk{}, fmt.Errorf("%w: t[%d]=%d after %d", ErrUnsorted, i, p.T, points[i-1].T)
 		}
 		times[i] = p.T
 		vals[i] = p.V
 	}
 	meta := ChunkMeta{
-		Offset: w.off,
-		Count:  len(points),
-		MinT:   times[0],
-		MaxT:   times[len(times)-1],
+		Count: len(points),
+		MinT:  times[0],
+		MaxT:  times[len(times)-1],
 	}
 	meta.Packer = packerName
 	var body []byte
@@ -73,7 +84,7 @@ func (w *Writer) AppendFloatsPacked(series string, points []FloatPoint, packerNa
 			meta.Kind = kindScaled
 			meta.Precision = p
 			meta.MinV, meta.MaxV = minMax(scaled)
-			body = encodeFloatChunk(packer, w.opt.BlockSize, kindScaled, p, times, scaled)
+			body = encodeFloatChunk(packer, opt.BlockSize, kindScaled, p, times, scaled)
 		}
 	}
 	if body == nil {
@@ -85,10 +96,10 @@ func (w *Writer) AppendFloatsPacked(series string, points []FloatPoint, packerNa
 		// Raw chunks carry no orderable statistics; value pruning is
 		// disabled for them via the full-range sentinel.
 		meta.MinV, meta.MaxV = math.MinInt64, math.MaxInt64
-		body = encodeFloatChunk(packer, w.opt.BlockSize, kindRaw, 0, times, bits)
+		body = encodeFloatChunk(packer, opt.BlockSize, kindRaw, 0, times, bits)
 	}
 	meta.EncodedBytes = len(body)
-	return w.writeChunk(series, meta, body)
+	return EncodedChunk{Meta: meta, Body: body}, nil
 }
 
 func minMax(vals []int64) (lo, hi int64) {

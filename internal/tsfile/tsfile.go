@@ -129,26 +129,50 @@ func (w *Writer) AppendPacked(series string, points []Point, packerName string) 
 	if w.closed {
 		return errors.New("tsfile: writer closed")
 	}
-	if len(points) == 0 {
-		return nil
-	}
-	p, err := w.chunkPacker(packerName)
+	c, err := EncodeSeries(w.opt, points, packerName)
 	if err != nil {
 		return err
 	}
+	return w.AppendEncoded(series, c)
+}
+
+// EncodedChunk is one chunk encoded off-writer: the body bytes plus the
+// footer metadata, with Meta.Offset left unset until AppendEncoded assigns
+// the chunk its position in the file. Encoding is the expensive part of a
+// flush or compaction merge; splitting it from the sequential write lets
+// callers fan series out across workers and still produce byte-identical
+// files by appending the results in deterministic order.
+type EncodedChunk struct {
+	Meta ChunkMeta
+	Body []byte
+}
+
+// EncodeSeries encodes one integer chunk without a Writer. It performs the
+// same validation, statistics and packing as AppendPacked and returns a
+// chunk AppendEncoded can install; empty input returns a zero chunk that
+// AppendEncoded skips. EncodeSeries is safe for concurrent use: the packer
+// is resolved fresh per call (packer instances must not be shared across
+// goroutines), so parallel encoders never share planning state.
+func EncodeSeries(opt Options, points []Point, packerName string) (EncodedChunk, error) {
+	if len(points) == 0 {
+		return EncodedChunk{}, nil
+	}
+	p, err := encodePacker(opt, packerName)
+	if err != nil {
+		return EncodedChunk{}, err
+	}
 	meta := ChunkMeta{
-		Offset: w.off,
-		Count:  len(points),
-		MinT:   points[0].T,
-		MaxT:   points[len(points)-1].T,
-		MinV:   points[0].V,
-		MaxV:   points[0].V,
+		Count: len(points),
+		MinT:  points[0].T,
+		MaxT:  points[len(points)-1].T,
+		MinV:  points[0].V,
+		MaxV:  points[0].V,
 	}
 	times := make([]int64, len(points))
 	vals := make([]int64, len(points))
 	for i, p := range points {
 		if i > 0 && p.T <= points[i-1].T {
-			return fmt.Errorf("%w: t[%d]=%d after %d", ErrUnsorted, i, p.T, points[i-1].T)
+			return EncodedChunk{}, fmt.Errorf("%w: t[%d]=%d after %d", ErrUnsorted, i, p.T, points[i-1].T)
 		}
 		times[i] = p.T
 		vals[i] = p.V
@@ -161,9 +185,27 @@ func (w *Writer) AppendPacked(series string, points []Point, packerName string) 
 	}
 	meta.Kind = kindInt
 	meta.Packer = packerName
-	body := encodeChunk(p, w.opt.BlockSize, times, vals)
+	body := encodeChunk(p, opt.BlockSize, times, vals)
 	meta.EncodedBytes = len(body)
-	return w.writeChunk(series, meta, body)
+	return EncodedChunk{Meta: meta, Body: body}, nil
+}
+
+// AppendEncoded installs a chunk produced by EncodeSeries (or
+// EncodeFloatSeries), assigning its file offset. Chunks must be appended in
+// the same order a serial Append sequence would have used for the file bytes
+// to be identical. A zero chunk (Count 0) is a no-op.
+func (w *Writer) AppendEncoded(series string, c EncodedChunk) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("tsfile: writer closed")
+	}
+	if c.Meta.Count == 0 {
+		return nil
+	}
+	c.Meta.Offset = w.off
+	return w.writeChunk(series, c.Meta, c.Body)
 }
 
 // chunkPacker resolves a per-chunk packer override ("" = file default).
@@ -176,6 +218,30 @@ func (w *Writer) chunkPacker(name string) (codec.Packer, error) {
 		return nil, fmt.Errorf("tsfile: %w", err)
 	}
 	return p, nil
+}
+
+// encodePacker resolves the packer for an off-writer encode. Unlike
+// chunkPacker it returns a fresh instance even for the file default
+// (re-resolving configured packers through the registry by name), because
+// registry packers carry planning state and must not be shared between the
+// concurrent encoders a parallel flush runs. A custom Options.Packer not in
+// the registry is returned as-is; such implementations must tolerate
+// concurrent Pack calls if the caller encodes in parallel.
+func encodePacker(opt Options, name string) (codec.Packer, error) {
+	if name != "" {
+		p, err := packers.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("tsfile: %w", err)
+		}
+		return p, nil
+	}
+	if opt.Packer == nil {
+		return core.NewPacker(core.SeparationBitWidth), nil
+	}
+	if p, err := packers.ByName(opt.Packer.Name()); err == nil {
+		return p, nil
+	}
+	return opt.Packer, nil
 }
 
 // SeriesEncodedBytes sums the encoded chunk payload bytes written so far for

@@ -290,3 +290,102 @@ func BenchmarkQuery(b *testing.B) {
 		}
 	}
 }
+
+// TestEncodeSeriesByteIdentity builds the same file twice — once through the
+// Append/AppendFloats writer path and once by pre-encoding every chunk with
+// EncodeSeries/EncodeFloatSeries and installing them via AppendEncoded — and
+// requires the bytes to match exactly. This is the contract the parallel
+// flush relies on: encoding off-writer must not change the file.
+func TestEncodeSeriesByteIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, opt := range []Options{
+		{},
+		{Packer: bitpack.Packer{}},
+		{Packer: core.NewPacker(core.SeparationMedian), BlockSize: 256},
+	} {
+		ints := map[string][]Point{}
+		for _, s := range []string{"root.sg.a", "root.sg.b", "root.sg.c"} {
+			ints[s] = makePoints(rng, 0, 400+rng.Intn(400))
+		}
+		floats := map[string][]FloatPoint{}
+		for _, s := range []string{"root.sg.f1", "root.sg.f2"} {
+			pts := make([]FloatPoint, 300)
+			for i := range pts {
+				pts[i] = FloatPoint{T: int64(i * 2), V: float64(rng.Intn(5000)) / 100}
+			}
+			// f2 is non-decimal to exercise the raw-bits branch.
+			if s == "root.sg.f2" {
+				for i := range pts {
+					pts[i].V = rng.NormFloat64()
+				}
+			}
+			floats[s] = pts
+		}
+		order := []string{"root.sg.a", "root.sg.b", "root.sg.c"}
+		forder := []string{"root.sg.f1", "root.sg.f2"}
+
+		var serial bytes.Buffer
+		w := NewWriter(&serial, opt)
+		for _, s := range order {
+			if err := w.Append(s, ints[s]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, s := range forder {
+			if err := w.AppendFloats(s, floats[s]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		var staged bytes.Buffer
+		w2 := NewWriter(&staged, opt)
+		for _, s := range order {
+			c, err := EncodeSeries(opt, ints[s], "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.AppendEncoded(s, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, s := range forder {
+			c, err := EncodeFloatSeries(opt, floats[s], "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.AppendEncoded(s, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if !bytes.Equal(serial.Bytes(), staged.Bytes()) {
+			t.Fatalf("staged file differs from serial file (%d vs %d bytes)",
+				staged.Len(), serial.Len())
+		}
+	}
+}
+
+// TestAppendEncodedEmpty verifies a zero chunk is a clean no-op.
+func TestAppendEncodedEmpty(t *testing.T) {
+	c, err := EncodeSeries(Options{}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{})
+	if err := w.AppendEncoded("root.sg.x", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.order) != 0 {
+		t.Fatalf("empty chunk registered series %v", w.order)
+	}
+}
