@@ -12,7 +12,6 @@ import (
 	"sync"
 	"time"
 
-	"bos/internal/engine"
 	"bos/internal/server"
 	"bos/internal/tsfile"
 )
@@ -62,13 +61,24 @@ type benchReport struct {
 	} `json:"storage"`
 }
 
-func runBench(eng *engine.Engine, cfg benchConfig) error {
-	if cfg.Writers < 1 || cfg.Readers < 0 || cfg.Batch < 1 || cfg.Points < cfg.Writers {
-		return fmt.Errorf("bench: bad config %+v", cfg)
-	}
-	api, err := server.New(server.Options{Engine: eng, PackerName: cfg.Packer})
+func runBench(be server.Backend, cfg benchConfig) error {
+	rep, err := benchRun(be, cfg)
 	if err != nil {
 		return err
+	}
+	return emitJSON(rep)
+}
+
+// benchRun drives one full load-generation pass against a backend — a single
+// engine or a sharded router, same driver either way — and returns the report.
+func benchRun(be server.Backend, cfg benchConfig) (benchReport, error) {
+	var zero benchReport
+	if cfg.Writers < 1 || cfg.Readers < 0 || cfg.Batch < 1 || cfg.Points < cfg.Writers {
+		return zero, fmt.Errorf("bench: bad config %+v", cfg)
+	}
+	api, err := server.New(server.Options{Backend: be, PackerName: cfg.Packer})
+	if err != nil {
+		return zero, err
 	}
 	ts := httptest.NewServer(api.Handler())
 	defer ts.Close()
@@ -172,12 +182,12 @@ func runBench(eng *engine.Engine, cfg benchConfig) error {
 	rep.Query = summarize(readLat, readErrs, wallSeconds)
 	rep.Query.Points = readPoints
 
-	if err := eng.Flush(); err != nil {
-		return err
+	if err := be.Flush(); err != nil {
+		return zero, err
 	}
 	st, err := server.NewClient(ts.URL, newBenchHTTPClient()).Stats()
 	if err != nil {
-		return err
+		return zero, err
 	}
 	rep.Storage.Files = st.Files
 	rep.Storage.DiskPoints = st.DiskPoints
@@ -189,11 +199,15 @@ func runBench(eng *engine.Engine, cfg benchConfig) error {
 
 	ts.Close()
 	if err := api.Close(); err != nil {
-		return err
+		return zero, err
 	}
+	return rep, nil
+}
+
+func emitJSON(v any) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return enc.Encode(v)
 }
 
 // newBenchHTTPClient returns an HTTP client with a connection pool sized for

@@ -18,6 +18,16 @@
 // plus p50/p99 latency as JSON on stdout:
 //
 //	bosserver -bench -dir ./benchdata -writers 8 -readers 4 -points 400000
+//
+// Cluster mode: -cluster N shards the keyspace across N in-process engines
+// behind the same HTTP API (consistent hashing on series names; shard map
+// persisted at <dir>/shardmap.json, override with -shard-map). -rebalance
+// newmap.json prints the per-series move plan onto a new map and exits.
+// -bench -cluster N runs the workload against a single engine and an N-shard
+// cluster and reports both with the ingest speedup:
+//
+//	bosserver -dir ./data -cluster 4
+//	bosserver -bench -dir ./benchdata -cluster 4 -writers 16
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"bos/internal/cluster"
 	"bos/internal/engine"
 	"bos/internal/maintain"
 	"bos/internal/packers"
@@ -50,6 +61,10 @@ func main() {
 		encode = flag.Int("encode-workers", 0, "parallel chunk encoders for flush and compaction (0 = GOMAXPROCS)")
 		cache  = flag.Int64("cache-bytes", 0, "decoded-chunk cache budget in bytes (0 = 64 MiB default, negative = disabled)")
 		pprofA = flag.String("pprof", "", "listen address for net/http/pprof on a separate listener (empty = disabled)")
+
+		clusterN  = flag.Int("cluster", 1, "shard count; >1 serves a sharded cluster of in-process engines (see -shard-map)")
+		shardMap  = flag.String("shard-map", "", "cluster: shard-map manifest path (default <dir>/shardmap.json; may name remote shards)")
+		rebalance = flag.String("rebalance", "", "cluster: plan moves from the serving shard map onto the manifest at this path, print JSON, exit")
 
 		doMaint   = flag.Bool("maintain", true, "serve: run background storage maintenance")
 		maintIvl  = flag.Duration("maintain-interval", 30*time.Second, "serve: base maintenance interval (jittered)")
@@ -72,16 +87,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := engine.Open(engine.Options{
-		Dir:            *dir,
+	engOpts := engine.Options{
 		FlushThreshold: *flush,
 		SyncWAL:        *sync,
 		EncodeWorkers:  *encode,
 		CacheBytes:     *cache,
 		File:           tsfile.Options{Packer: p},
-	})
-	if err != nil {
-		fatal(err)
 	}
 	if *pprofA != "" {
 		// The pprof handlers self-register on http.DefaultServeMux; serving
@@ -93,16 +104,66 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bosserver: pprof on http://%s/debug/pprof/\n", ln.Addr())
 		go http.Serve(ln, nil)
 	}
+
+	benchCfg := benchConfig{
+		Packer:          p.Name(),
+		Writers:         *writers,
+		Readers:         *readers,
+		Points:          *points,
+		Batch:           *batch,
+		Seed:            *seed,
+		SeriesPerWriter: *perSerie,
+	}
+	maintCfg := maintain.Config{
+		Interval:    *maintIvl,
+		BytesPerSec: *maintRate,
+		Adaptive:    *adaptive,
+	}
+
+	// Cluster mode: any of the cluster flags swaps the single engine for a
+	// sharded Router behind the same HTTP API. The default path below stays
+	// exactly what it was.
+	if *clusterN > 1 || *shardMap != "" || *rebalance != "" {
+		if *bench {
+			if *clusterN < 2 {
+				fatal(errors.New("-bench cluster comparison needs -cluster >= 2"))
+			}
+			if err := runClusterBench(*dir, engOpts, benchCfg, *clusterN); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		man, mapPath, err := loadOrInitManifest(*dir, *shardMap, *clusterN)
+		if err != nil {
+			fatal(err)
+		}
+		if *rebalance != "" {
+			if err := runRebalance(man, *dir, engOpts, *rebalance); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		var mc *maintain.Config
+		if *doMaint {
+			mc = &maintCfg
+		}
+		router, err := openRouter(man, *dir, engOpts, mc)
+		if err != nil {
+			fatal(err)
+		}
+		if err := serveCluster(router, *addr, p.Name(), mapPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	engOpts.Dir = *dir
+	eng, err := engine.Open(engOpts)
+	if err != nil {
+		fatal(err)
+	}
 	if *bench {
-		err = runBench(eng, benchConfig{
-			Packer:          p.Name(),
-			Writers:         *writers,
-			Readers:         *readers,
-			Points:          *points,
-			Batch:           *batch,
-			Seed:            *seed,
-			SeriesPerWriter: *perSerie,
-		})
+		err = runBench(server.NewEngineBackend(eng), benchCfg)
 		if cerr := eng.Close(); err == nil {
 			err = cerr
 		}
@@ -113,11 +174,7 @@ func main() {
 	}
 	var mnt *maintain.Maintainer
 	if *doMaint {
-		mnt = maintain.New(eng, maintain.Config{
-			Interval:    *maintIvl,
-			BytesPerSec: *maintRate,
-			Adaptive:    *adaptive,
-		})
+		mnt = maintain.New(eng, maintCfg)
 	}
 	if err := serve(eng, mnt, *addr, p.Name()); err != nil {
 		fatal(err)
@@ -168,6 +225,51 @@ func serve(eng *engine.Engine, mnt *maintain.Maintainer, addr, packerName string
 		fmt.Fprintf(os.Stderr, "bosserver: maintenance stopped (%s)\n", mnt.Stats())
 	}
 	if err := eng.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "bosserver: clean shutdown")
+	return nil
+}
+
+// serveCluster is serve for a sharded Router: same listener, signal handling
+// and drain order, but shard lifecycles (each local engine's maintenance
+// loop, flush and close) belong to the router.
+func serveCluster(router *cluster.Router, addr, packerName, mapPath string) error {
+	api, err := server.New(server.Options{Backend: router, PackerName: packerName})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: api.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bosserver: serving %d-shard cluster on %s (packer %s, shard map %s)\n",
+		len(router.Shards()), ln.Addr(), packerName, mapPath)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "bosserver: %v, shutting down\n", s)
+	case err := <-errc:
+		return err
+	}
+	// Same drain order as single-engine serve: listener and in-flight HTTP,
+	// then the ingest committer, then every shard (maintainer stop + engine
+	// flush/close, in parallel across shards).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := api.Close(); err != nil {
+		return err
+	}
+	if err := router.Close(); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "bosserver: clean shutdown")

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The shard map is a small versioned JSON manifest on disk. It is the
+// cluster's source of truth: which shards exist, where each lives (local
+// data dir or remote base URL), and the exact hash layout (function name +
+// vnode count) series were placed with. Serving refuses to start on a
+// version or hash mismatch rather than silently routing reads away from
+// where earlier writes landed.
+
+// ManifestVersion is the format this code reads and writes.
+const ManifestVersion = 1
+
+// HashName identifies the placement function; a manifest naming any other
+// hash is rejected instead of being reinterpreted.
+const HashName = "fnv1a-ring-v1"
+
+// Backend kinds a ShardSpec may name.
+const (
+	BackendLocal  = "local"
+	BackendRemote = "remote"
+)
+
+// ShardSpec locates one shard.
+type ShardSpec struct {
+	ID      int    `json:"id"`
+	Backend string `json:"backend"`        // "local" or "remote"
+	Dir     string `json:"dir,omitempty"`  // local: data dir, relative to the cluster root
+	Addr    string `json:"addr,omitempty"` // remote: base URL of a bosserver
+}
+
+// Manifest is the versioned shard map.
+type Manifest struct {
+	Version int         `json:"format_version"`
+	Hash    string      `json:"hash"`
+	VNodes  int         `json:"vnodes"`
+	Shards  []ShardSpec `json:"shards"`
+}
+
+// DefaultManifest builds an all-local manifest for n shards with the default
+// hash layout, dirs shard-000..shard-(n-1).
+func DefaultManifest(n int) *Manifest {
+	m := &Manifest{Version: ManifestVersion, Hash: HashName, VNodes: DefaultVNodes}
+	for i := 0; i < n; i++ {
+		m.Shards = append(m.Shards, ShardSpec{
+			ID:      i,
+			Backend: BackendLocal,
+			Dir:     fmt.Sprintf("shard-%03d", i),
+		})
+	}
+	return m
+}
+
+// ErrManifestVersion reports a manifest written by a different format
+// version (or placed with a different hash function) — refusing it is what
+// keeps reads routed where writes landed.
+var ErrManifestVersion = errors.New("cluster: shard-map version or hash mismatch")
+
+// Validate checks structural invariants: exactly version 1, the known hash,
+// positive vnodes, and shard IDs 0..n-1 in order with each backend's
+// location filled in.
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("%w: format_version %d, want %d", ErrManifestVersion, m.Version, ManifestVersion)
+	}
+	if m.Hash != HashName {
+		return fmt.Errorf("%w: hash %q, want %q", ErrManifestVersion, m.Hash, HashName)
+	}
+	if m.VNodes < 1 {
+		return fmt.Errorf("cluster: shard map: vnodes %d, want >= 1", m.VNodes)
+	}
+	if len(m.Shards) == 0 {
+		return errors.New("cluster: shard map has no shards")
+	}
+	for i, s := range m.Shards {
+		if s.ID != i {
+			return fmt.Errorf("cluster: shard map: shards[%d] has id %d, want ids 0..%d in order", i, s.ID, len(m.Shards)-1)
+		}
+		switch s.Backend {
+		case BackendLocal:
+			if s.Dir == "" {
+				return fmt.Errorf("cluster: shard %d: local backend requires dir", i)
+			}
+		case BackendRemote:
+			if s.Addr == "" {
+				return fmt.Errorf("cluster: shard %d: remote backend requires addr", i)
+			}
+		default:
+			return fmt.Errorf("cluster: shard %d: unknown backend %q", i, s.Backend)
+		}
+	}
+	return nil
+}
+
+// Ring builds the manifest's consistent-hash ring.
+func (m *Manifest) Ring() *Ring {
+	return NewRing(len(m.Shards), m.VNodes)
+}
+
+// LoadManifest reads and validates a shard map.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard map: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("cluster: shard map %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Save writes the manifest atomically (temp file + rename) so a crash
+// mid-write never leaves a torn shard map behind.
+func (m *Manifest) Save(path string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cluster: shard map: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("cluster: shard map: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: shard map: %w", err)
+	}
+	return nil
+}
+
+// ResolveDir joins a local shard's dir with the cluster root, leaving
+// absolute dirs untouched.
+func ResolveDir(root, dir string) string {
+	if filepath.IsAbs(dir) {
+		return dir
+	}
+	return filepath.Join(root, dir)
+}

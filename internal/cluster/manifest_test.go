@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shardmap.json")
+	m := DefaultManifest(4)
+	m.Shards[2] = ShardSpec{ID: 2, Backend: BackendRemote, Addr: "http://127.0.0.1:9999"}
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip:\nwant %+v\ngot  %+v", m, got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestManifestVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shardmap.json")
+
+	m := DefaultManifest(2)
+	m.Version = ManifestVersion + 1
+	data := `{"format_version": 2, "hash": "fnv1a-ring-v1", "vnodes": 512,
+		"shards": [{"id": 0, "backend": "local", "dir": "shard-000"}]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); !errors.Is(err, ErrManifestVersion) {
+		t.Fatalf("future version: err = %v, want ErrManifestVersion", err)
+	}
+	// Save refuses to write a mismatched manifest too.
+	if err := m.Save(filepath.Join(dir, "bad.json")); !errors.Is(err, ErrManifestVersion) {
+		t.Fatalf("save future version: err = %v, want ErrManifestVersion", err)
+	}
+}
+
+func TestManifestHashMismatch(t *testing.T) {
+	m := DefaultManifest(2)
+	m.Hash = "xxhash-ring-v9"
+	if err := m.Validate(); !errors.Is(err, ErrManifestVersion) {
+		t.Fatalf("err = %v, want ErrManifestVersion", err)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Manifest)
+		want string
+	}{
+		{"vnodes zero", func(m *Manifest) { m.VNodes = 0 }, "vnodes"},
+		{"no shards", func(m *Manifest) { m.Shards = nil }, "no shards"},
+		{"ids out of order", func(m *Manifest) { m.Shards[1].ID = 5 }, "in order"},
+		{"local without dir", func(m *Manifest) { m.Shards[0].Dir = "" }, "requires dir"},
+		{"remote without addr", func(m *Manifest) {
+			m.Shards[1] = ShardSpec{ID: 1, Backend: BackendRemote}
+		}, "requires addr"},
+		{"unknown backend", func(m *Manifest) { m.Shards[0].Backend = "carrier-pigeon" }, "unknown backend"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := DefaultManifest(2)
+			tc.mut(m)
+			err := m.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	if err := DefaultManifest(16).Validate(); err != nil {
+		t.Fatalf("default manifest invalid: %v", err)
+	}
+}
+
+func TestPlanRebalance(t *testing.T) {
+	series := ringSeries(2000)
+	oldMan, newMan := DefaultManifest(4), DefaultManifest(5)
+	plan, err := PlanRebalance(oldMan, newMan, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Series != len(series) {
+		t.Fatalf("plan.Series = %d, want %d", plan.Series, len(series))
+	}
+	if len(plan.Moves) == 0 || len(plan.Moves) > len(series)/2 {
+		t.Fatalf("grow 4->5 planned %d moves of %d series", len(plan.Moves), len(series))
+	}
+	for _, mv := range plan.Moves {
+		if mv.To != 4 {
+			t.Fatalf("move %+v: growth may only move onto the new shard", mv)
+		}
+		if mv.From < 0 || mv.From > 3 || mv.From == mv.To {
+			t.Fatalf("bad move %+v", mv)
+		}
+	}
+	// Identical maps plan nothing.
+	plan, err = PlanRebalance(oldMan, DefaultManifest(4), series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 0 {
+		t.Fatalf("identical maps planned %d moves", len(plan.Moves))
+	}
+	// Invalid manifests are rejected.
+	bad := DefaultManifest(4)
+	bad.Hash = "other"
+	if _, err := PlanRebalance(oldMan, bad, series); err == nil {
+		t.Fatal("invalid new manifest accepted")
+	}
+}

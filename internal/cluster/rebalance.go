@@ -1,0 +1,45 @@
+package cluster
+
+// Offline rebalance planning: diff two shard maps over a known series
+// population and emit the per-series moves that bring placement in line with
+// the new map. The planner is pure — it never touches data; an operator (or
+// a future mover) replays each move by copying the series to its new owner
+// and deleting it from the old one, while scatter-gather reads keep every
+// series visible throughout.
+
+// Move relocates one series from its old owning shard to its new one.
+type Move struct {
+	Series string `json:"series"`
+	From   int    `json:"from"`
+	To     int    `json:"to"`
+}
+
+// RebalancePlan is the full move list between two shard maps.
+type RebalancePlan struct {
+	Series int    `json:"series"` // total series considered
+	Moves  []Move `json:"moves"`  // series whose owner changed, in input order
+}
+
+// PlanRebalance diffs placement of series between two validated manifests.
+// Series whose owner is the same shard ID under both maps stay put; the rest
+// become moves. Consistent hashing keeps the move list short: growing N
+// shards to N+1 relocates roughly 1/(N+1) of the series.
+func PlanRebalance(oldMan, newMan *Manifest, series []string) (*RebalancePlan, error) {
+	if err := oldMan.Validate(); err != nil {
+		return nil, err
+	}
+	if err := newMan.Validate(); err != nil {
+		return nil, err
+	}
+	oldRing := oldMan.Ring()
+	newRing := newMan.Ring()
+	plan := &RebalancePlan{Series: len(series)}
+	for _, name := range series {
+		from := oldRing.Owner(name)
+		to := newRing.Owner(name)
+		if from != to {
+			plan.Moves = append(plan.Moves, Move{Series: name, From: from, To: to})
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringSeries generates n distinct series names shaped like real metric paths.
+func ringSeries(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("root.fleet.dev%04d.metric%d", i/8, i%8)
+	}
+	return out
+}
+
+// The acceptance bar for placement: 10k series over 16 shards land within
+// ±20% of the even share.
+func TestRingBalance(t *testing.T) {
+	const shards, n = 16, 10000
+	r := NewRing(shards, DefaultVNodes)
+	counts := make([]int, shards)
+	for _, s := range ringSeries(n) {
+		counts[r.Owner(s)]++
+	}
+	even := float64(n) / shards
+	lo, hi := even*0.8, even*1.2
+	for id, c := range counts {
+		if float64(c) < lo || float64(c) > hi {
+			t.Errorf("shard %d owns %d series, outside [%.0f, %.0f] (±20%% of %.0f)", id, c, lo, hi, even)
+		}
+	}
+	t.Logf("counts = %v (even share %.0f)", counts, even)
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(8, 64)
+	b := NewRing(8, 64)
+	for _, s := range ringSeries(1000) {
+		if a.Owner(s) != b.Owner(s) {
+			t.Fatalf("same layout, different owner for %q", s)
+		}
+	}
+}
+
+// Growing the ring by one shard must only move series TO the new shard —
+// the consistent-hashing contract that keeps rebalances minimal.
+func TestRingGrowthStability(t *testing.T) {
+	const n = 10000
+	old := NewRing(4, DefaultVNodes)
+	grown := NewRing(5, DefaultVNodes)
+	moved := 0
+	for _, s := range ringSeries(n) {
+		was, is := old.Owner(s), grown.Owner(s)
+		if was != is {
+			moved++
+			if is != 4 {
+				t.Fatalf("series %q moved %d -> %d; growth may only move onto the new shard 4", s, was, is)
+			}
+		}
+	}
+	// Expect ~1/5 of series to move; allow a wide band around it.
+	if moved < n/10 || moved > n*3/10 {
+		t.Errorf("grow 4->5 moved %d of %d series, want roughly %d", moved, n, n/5)
+	}
+	t.Logf("grow 4->5 moved %d/%d series", moved, n)
+}
+
+func TestRingOwnerInRange(t *testing.T) {
+	r := NewRing(3, 16)
+	for _, s := range ringSeries(500) {
+		if id := r.Owner(s); id < 0 || id > 2 {
+			t.Fatalf("owner %d out of range", id)
+		}
+	}
+}

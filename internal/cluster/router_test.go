@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"bos/internal/engine"
+	"bos/internal/server"
+)
+
+// mount serves a backend over httptest and returns its typed client. The
+// same HTTP layer fronts the single engine and the router, so comparing
+// client responses compares the full serving stack byte for byte.
+func mount(t *testing.T, be server.Backend) (*server.Client, func()) {
+	t.Helper()
+	api, err := server.New(server.Options{Backend: be, PackerName: "BOS-B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api.Handler())
+	cleanup := func() {
+		ts.Close()
+		if err := api.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	}
+	return server.NewClient(ts.URL, ts.Client()), cleanup
+}
+
+// testWorkload builds deterministic ingest payloads: intN integer series and
+// floatN float series with shuffled timestamps and cross-payload duplicate
+// timestamps (so last-write-wins ordering is exercised).
+func testWorkload(intN, floatN, pointsPer int) (payloads [][]byte, intSeries, floatSeries []string) {
+	rng := rand.New(rand.NewSource(42))
+	var a, b bytes.Buffer
+	for i := 0; i < intN; i++ {
+		name := fmt.Sprintf("root.fleet.dev%02d.cnt", i)
+		intSeries = append(intSeries, name)
+		perm := rng.Perm(pointsPer)
+		for _, ti := range perm {
+			fmt.Fprintf(&a, "%s,%d,%d\n", name, ti, rng.Int63n(1<<20)-1<<10)
+		}
+		// Second payload overwrites a handful of timestamps.
+		for j := 0; j < 5; j++ {
+			fmt.Fprintf(&b, "%s,%d,%d\n", name, rng.Intn(pointsPer), rng.Int63n(1000))
+		}
+	}
+	for i := 0; i < floatN; i++ {
+		name := fmt.Sprintf("root.fleet.dev%02d.temp", i)
+		floatSeries = append(floatSeries, name)
+		for _, ti := range rng.Perm(pointsPer) {
+			fmt.Fprintf(&a, "%s,%d,%.4f\n", name, ti, rng.NormFloat64()*40)
+		}
+		for j := 0; j < 5; j++ {
+			fmt.Fprintf(&b, "%s,%d,%.4f\n", name, rng.Intn(pointsPer), rng.NormFloat64())
+		}
+	}
+	return [][]byte{a.Bytes(), b.Bytes()}, intSeries, floatSeries
+}
+
+// compareBackends asserts the cluster client answers byte-identically to the
+// single-engine client across the read API.
+func compareBackends(t *testing.T, single, clustered *server.Client, intSeries, floatSeries []string, pointsPer int) {
+	t.Helper()
+	wantNames, err := single.Series()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNames, err := clustered.Series()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantNames, gotNames) {
+		t.Fatalf("series lists differ:\nsingle  %v\ncluster %v", wantNames, gotNames)
+	}
+	ranges := [][2]int64{{0, int64(pointsPer)}, {3, 17}, {int64(pointsPer / 2), int64(pointsPer)}}
+	for _, name := range append(append([]string{}, intSeries...), floatSeries...) {
+		for _, r := range ranges {
+			want, err := single.QueryRaw(name, r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := clustered.QueryRaw(name, r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("%s [%d,%d]: CSV differs\nsingle:\n%scluster:\n%s", name, r[0], r[1], want, got)
+			}
+		}
+		wantKind, err := single.SeriesKind(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotKind, err := clustered.SeriesKind(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantKind != gotKind {
+			t.Fatalf("%s: kind %q vs %q", name, wantKind, gotKind)
+		}
+	}
+	for _, name := range intSeries {
+		wantAgg, err := single.Agg(name, 0, int64(pointsPer))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAgg, err := clustered.Agg(name, 0, int64(pointsPer))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantAgg != gotAgg {
+			t.Fatalf("%s: agg %+v vs %+v", name, wantAgg, gotAgg)
+		}
+		wantDS, err := single.Downsample(name, 0, int64(pointsPer), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotDS, err := clustered.Downsample(name, 0, int64(pointsPer), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantDS, gotDS) {
+			t.Fatalf("%s: downsample %+v vs %+v", name, wantDS, gotDS)
+		}
+	}
+}
+
+// The tentpole acceptance test: a 4-shard cluster answers every read
+// byte-identically to a single engine fed the same ingest — through fresh
+// writes, full compaction, and a close/reopen of every shard.
+func TestRouterMatchesSingleEngine(t *testing.T) {
+	const pointsPer = 60
+	payloads, intSeries, floatSeries := testWorkload(12, 6, pointsPer)
+
+	eng, err := engine.Open(engine.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	single, singleDone := mount(t, server.NewEngineBackend(eng))
+	defer singleDone()
+
+	root := t.TempDir()
+	man := DefaultManifest(4)
+	router, err := Open(man, root, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, clusterDone := mount(t, router)
+
+	for _, p := range payloads {
+		if _, err := single.IngestLines(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clustered.IngestLines(p); err != nil {
+			t.Fatal(err)
+		}
+		// Flush after each round so both sides hold multiple disk files and
+		// the full compaction below has real merging to do.
+		if err := eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := router.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareBackends(t, single, clustered, intSeries, floatSeries, pointsPer)
+
+	// Every series must be placed on its ring owner.
+	for i, sh := range router.Shards() {
+		names, err := sh.Series()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			if own := router.Owner(name); own != i {
+				t.Fatalf("series %q on shard %d, owner is %d", name, i, own)
+			}
+		}
+	}
+
+	// Full compaction on both sides must not change any answer.
+	if _, err := single.Compact("full"); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := clustered.Compact("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Series == 0 || cr.Points == 0 {
+		t.Fatalf("cluster compaction compacted nothing: %+v", cr)
+	}
+	compareBackends(t, single, clustered, intSeries, floatSeries, pointsPer)
+
+	// Cluster health and per-shard stats.
+	if err := clustered.Health(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := clustered.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats shards = %d, want 4", len(st.Shards))
+	}
+	var shardPoints int
+	for _, sh := range st.Shards {
+		if !sh.Healthy {
+			t.Fatalf("shard %d unhealthy: %s", sh.ID, sh.Error)
+		}
+		shardPoints += sh.MemPoints + sh.DiskPoints
+	}
+	if total := st.MemPoints + st.DiskPoints; shardPoints != total {
+		t.Fatalf("per-shard points %d != rolled-up total %d", shardPoints, total)
+	}
+
+	// Close every shard and reopen the cluster from disk: WAL replay and
+	// chunk reads must still answer identically.
+	clusterDone()
+	if err := router.Close(); err != nil {
+		t.Fatal(err)
+	}
+	router2, err := Open(man, root, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := router2.Close(); err != nil {
+			t.Errorf("router close: %v", err)
+		}
+	}()
+	clustered2, cluster2Done := mount(t, router2)
+	defer cluster2Done()
+	compareBackends(t, single, clustered2, intSeries, floatSeries, pointsPer)
+}

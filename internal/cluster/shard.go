@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"bos/internal/engine"
+	"bos/internal/maintain"
+	"bos/internal/server"
+	"bos/internal/tsfile"
+)
+
+// Shard is one storage lane of the cluster. The Router only talks to this
+// interface, so in-process engines and remote bosservers mix freely in one
+// shard map.
+type Shard interface {
+	// Target identifies the shard for stats and error messages (the data
+	// dir of a local shard, the base URL of a remote one).
+	Target() string
+	// InsertGrouped commits one per-shard slice of a commit group.
+	InsertGrouped(ints map[string][]tsfile.Point, floats map[string][]tsfile.FloatPoint) error
+	QueryEach(series string, minT, maxT int64, fn func(tsfile.Point) error) error
+	QueryFloats(series string, minT, maxT int64) ([]tsfile.FloatPoint, error)
+	Downsample(series string, minT, maxT, window int64) ([]engine.Bucket, error)
+	Series() ([]string, error)
+	SeriesKind(series string) (string, error)
+	SeriesStats() ([]engine.SeriesStat, error)
+	Stats() (engine.Stats, error)
+	CompactAll() (engine.CompactStats, error)
+	Flush() error
+	// Health returns nil when the shard can serve.
+	Health() error
+	// Close releases resources the shard owns (a local shard's engine and
+	// maintainer; a no-op for remote shards, whose server owns its engine).
+	Close() error
+}
+
+// LocalShard is an in-process engine shard: its own data dir, WAL, flush
+// pipeline, and optionally its own maintenance loop.
+type LocalShard struct {
+	eng   *engine.Engine
+	maint *maintain.Maintainer
+	dir   string
+}
+
+// NewLocalShard wraps an open engine. maint may be nil; when set, the caller
+// has started it and Close stops it before closing the engine.
+func NewLocalShard(eng *engine.Engine, maint *maintain.Maintainer, dir string) *LocalShard {
+	return &LocalShard{eng: eng, maint: maint, dir: dir}
+}
+
+// Engine exposes the underlying engine (tests and the rebalance planner).
+func (s *LocalShard) Engine() *engine.Engine { return s.eng }
+
+func (s *LocalShard) Target() string { return s.dir }
+
+func (s *LocalShard) InsertGrouped(ints map[string][]tsfile.Point, floats map[string][]tsfile.FloatPoint) error {
+	for _, name := range sortedKeys(ints) {
+		if err := s.eng.InsertBatch(name, ints[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(floats) {
+		if err := s.eng.InsertFloatBatch(name, floats[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *LocalShard) QueryEach(series string, minT, maxT int64, fn func(tsfile.Point) error) error {
+	return s.eng.QueryEach(series, minT, maxT, fn)
+}
+
+func (s *LocalShard) QueryFloats(series string, minT, maxT int64) ([]tsfile.FloatPoint, error) {
+	return s.eng.QueryFloats(series, minT, maxT)
+}
+
+func (s *LocalShard) Downsample(series string, minT, maxT, window int64) ([]engine.Bucket, error) {
+	return s.eng.Downsample(series, minT, maxT, window)
+}
+
+func (s *LocalShard) Series() ([]string, error) { return s.eng.Series(), nil }
+
+func (s *LocalShard) SeriesKind(series string) (string, error) {
+	return s.eng.SeriesKind(series), nil
+}
+
+func (s *LocalShard) SeriesStats() ([]engine.SeriesStat, error) {
+	return s.eng.SeriesStats(), nil
+}
+
+func (s *LocalShard) Stats() (engine.Stats, error) { return s.eng.Stats(), nil }
+
+func (s *LocalShard) CompactAll() (engine.CompactStats, error) {
+	if s.maint != nil {
+		return s.maint.CompactAll()
+	}
+	return s.eng.CompactWith(nil)
+}
+
+func (s *LocalShard) Flush() error { return s.eng.Flush() }
+
+// Health of an in-process shard is the process's health.
+func (s *LocalShard) Health() error { return nil }
+
+func (s *LocalShard) Close() error {
+	if s.maint != nil {
+		s.maint.Stop()
+	}
+	return s.eng.Close()
+}
+
+// RemoteShard serves a shard over the existing HTTP/line protocol through
+// the typed client — the same wire format a human client speaks, so a remote
+// shard is just another bosserver.
+type RemoteShard struct {
+	c    *server.Client
+	addr string
+}
+
+// NewRemoteShard builds a shard over a bosserver at addr. Client options
+// (e.g. server.WithRetry) pass through; a nil hc gets a connection-pooled
+// default sized for scatter-gather fan-out.
+func NewRemoteShard(addr string, hc *http.Client, opts ...server.ClientOption) *RemoteShard {
+	if hc == nil {
+		hc = defaultRemoteHTTPClient()
+	}
+	return &RemoteShard{c: server.NewClient(addr, hc, opts...), addr: addr}
+}
+
+func (s *RemoteShard) Target() string { return s.addr }
+
+// notFound reports a 404 — for query paths, "this shard has no such series",
+// which scatter-gather treats as an empty result rather than a failure.
+func notFound(err error) bool {
+	var se *server.StatusError
+	return errors.As(err, &se) && se.Code == http.StatusNotFound
+}
+
+func (s *RemoteShard) InsertGrouped(ints map[string][]tsfile.Point, floats map[string][]tsfile.FloatPoint) error {
+	if len(ints) == 0 && len(floats) == 0 {
+		return nil
+	}
+	_, err := s.c.IngestBatch(ints, floats)
+	return err
+}
+
+func (s *RemoteShard) QueryEach(series string, minT, maxT int64, fn func(tsfile.Point) error) error {
+	err := s.c.QueryEach(series, minT, maxT, fn)
+	if notFound(err) {
+		return nil
+	}
+	return err
+}
+
+func (s *RemoteShard) QueryFloats(series string, minT, maxT int64) ([]tsfile.FloatPoint, error) {
+	pts, err := s.c.QueryFloats(series, minT, maxT)
+	if notFound(err) {
+		return nil, nil
+	}
+	return pts, err
+}
+
+func (s *RemoteShard) Downsample(series string, minT, maxT, window int64) ([]engine.Bucket, error) {
+	buckets, err := s.c.Downsample(series, minT, maxT, window)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]engine.Bucket, len(buckets))
+	for i, b := range buckets {
+		out[i] = engine.Bucket{Start: b.Start, Count: b.Count, Min: b.Min, Max: b.Max, Sum: b.Sum}
+	}
+	return out, nil
+}
+
+func (s *RemoteShard) Series() ([]string, error) { return s.c.Series() }
+
+func (s *RemoteShard) SeriesKind(series string) (string, error) {
+	return s.c.SeriesKind(series)
+}
+
+func (s *RemoteShard) SeriesStats() ([]engine.SeriesStat, error) {
+	st, err := s.c.Stats()
+	if err != nil {
+		return nil, err
+	}
+	return st.Series, nil
+}
+
+func (s *RemoteShard) Stats() (engine.Stats, error) {
+	st, err := s.c.Stats()
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	out := engine.Stats{
+		Files:             st.Files,
+		MemPoints:         st.MemPoints,
+		DiskPoints:        st.DiskPoints,
+		DiskBytes:         st.DiskBytes,
+		SeriesCount:       st.SeriesCount,
+		Compactions:       st.Compactions,
+		CompactedFiles:    st.CompactedFiles,
+		CompactedBytesIn:  st.CompactedBytesIn,
+		CompactedBytesOut: st.CompactedBytesOut,
+		WALGroups:         st.WALGroups,
+		WALRecords:        st.WALRecords,
+	}
+	out.Cache = st.Cache.Stats
+	return out, nil
+}
+
+func (s *RemoteShard) CompactAll() (engine.CompactStats, error) {
+	resp, err := s.c.Compact("full")
+	if err != nil {
+		return engine.CompactStats{}, err
+	}
+	return engine.CompactStats{
+		Files:         resp.Files,
+		Series:        resp.Series,
+		Points:        resp.Points,
+		BytesBefore:   resp.BytesBefore,
+		BytesAfter:    resp.BytesAfter,
+		SeriesPackers: resp.SeriesPackers,
+	}, nil
+}
+
+// Flush is a no-op: the remote bosserver owns its engine's flush lifecycle
+// (its ingest path acknowledges only WAL-durable writes, and it flushes on
+// its own shutdown).
+func (s *RemoteShard) Flush() error { return nil }
+
+func (s *RemoteShard) Health() error { return s.c.Health() }
+
+// Close is a no-op: the remote server owns its engine.
+func (s *RemoteShard) Close() error { return nil }
+
+// defaultRemoteHTTPClient pools connections for scatter-gather fan-out.
+func defaultRemoteHTTPClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+}

@@ -10,39 +10,88 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"bos/internal/tsfile"
 )
 
 // Client is the typed Go client for the serving API. It speaks the same line
 // protocol and JSON shapes the handlers emit, and is what cmd/bosserver's
-// load generator drives.
+// load generator and internal/cluster's remote shards drive.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// retry configuration (retry.go); retryAttempts 1 = no retries.
+	retryAttempts int
+	retryBase     time.Duration
 }
 
 // NewClient returns a client for a server at base (e.g. "http://127.0.0.1:8086").
-func NewClient(base string, hc *http.Client) *Client {
+func NewClient(base string, hc *http.Client, opts ...ClientOption) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: hc, retryAttempts: 1}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
-// decodeError turns a non-2xx JSON error body into an error.
+// StatusError is a non-2xx API response: the HTTP status plus the
+// server-supplied error message, if the body carried one.
+type StatusError struct {
+	Code    int    // e.g. 404
+	Status  string // e.g. "404 Not Found"
+	Message string // server error body, may be empty
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server: %s: %s", e.Status, e.Message)
+	}
+	return "server: " + e.Status
+}
+
+// decodeError turns a non-2xx JSON error body into a *StatusError.
 func decodeError(resp *http.Response) error {
 	defer resp.Body.Close()
+	se := &StatusError{Code: resp.StatusCode, Status: resp.Status}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if err == nil {
 		var e struct {
 			Error string `json:"error"`
 		}
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s: %s", resp.Status, e.Error)
+		if json.Unmarshal(body, &e) == nil {
+			se.Message = e.Error
 		}
 	}
-	return fmt.Errorf("server: %s", resp.Status)
+	return se
+}
+
+// get issues a GET through the retry layer.
+func (c *Client) get(u string) (*http.Response, error) {
+	return c.doRetry(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, u, nil)
+	})
+}
+
+// post issues a POST through the retry layer; the body is rebuilt per
+// attempt, so replays resend the full payload.
+func (c *Client) post(u, contentType string, body []byte) (*http.Response, error) {
+	return c.doRetry(func() (*http.Request, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(http.MethodPost, u, rd)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		return req, nil
+	})
 }
 
 func (c *Client) getJSON(path string, q url.Values, out any) error {
@@ -50,7 +99,7 @@ func (c *Client) getJSON(path string, q url.Values, out any) error {
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	resp, err := c.hc.Get(u)
+	resp, err := c.get(u)
 	if err != nil {
 		return err
 	}
@@ -64,7 +113,7 @@ func (c *Client) getJSON(path string, q url.Values, out any) error {
 // IngestLines posts a raw line-protocol payload.
 func (c *Client) IngestLines(payload []byte) (IngestResponse, error) {
 	var out IngestResponse
-	resp, err := c.hc.Post(c.base+"/ingest", "text/plain", bytes.NewReader(payload))
+	resp, err := c.post(c.base+"/ingest", "text/plain", payload)
 	if err != nil {
 		return out, err
 	}
@@ -89,6 +138,32 @@ func (c *Client) Ingest(series string, pts []tsfile.Point) (IngestResponse, erro
 // formatted so they always take the protocol's float path.
 func (c *Client) IngestFloats(series string, pts []tsfile.FloatPoint) (IngestResponse, error) {
 	var buf bytes.Buffer
+	appendFloatLines(&buf, series, pts)
+	return c.IngestLines(buf.Bytes())
+}
+
+// IngestBatch posts many series — integer and float — as one line-protocol
+// payload, series in sorted order. This is the grouped form sharded routers
+// use: one request per shard per commit group instead of one per series.
+func (c *Client) IngestBatch(ints map[string][]tsfile.Point, floats map[string][]tsfile.FloatPoint) (IngestResponse, error) {
+	var buf bytes.Buffer
+	for _, s := range sortedKeys(ints) {
+		for _, p := range ints[s] {
+			buf.WriteString(s)
+			buf.WriteByte(',')
+			buf.Write(strconv.AppendInt(nil, p.T, 10))
+			buf.WriteByte(',')
+			buf.Write(strconv.AppendInt(nil, p.V, 10))
+			buf.WriteByte('\n')
+		}
+	}
+	for _, s := range sortedKeys(floats) {
+		appendFloatLines(&buf, s, floats[s])
+	}
+	return c.IngestLines(buf.Bytes())
+}
+
+func appendFloatLines(buf *bytes.Buffer, series string, pts []tsfile.FloatPoint) {
 	for _, p := range pts {
 		buf.WriteString(series)
 		buf.WriteByte(',')
@@ -97,7 +172,6 @@ func (c *Client) IngestFloats(series string, pts []tsfile.FloatPoint) (IngestRes
 		buf.Write(appendFloatValue(nil, p.V))
 		buf.WriteByte('\n')
 	}
-	return c.IngestLines(buf.Bytes())
 }
 
 func (c *Client) queryCSV(series string, from, to int64) (*http.Response, error) {
@@ -105,7 +179,7 @@ func (c *Client) queryCSV(series string, from, to int64) (*http.Response, error)
 	q.Set("series", series)
 	q.Set("from", strconv.FormatInt(from, 10))
 	q.Set("to", strconv.FormatInt(to, 10))
-	resp, err := c.hc.Get(c.base + "/query?" + q.Encode())
+	resp, err := c.get(c.base + "/query?" + q.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +187,45 @@ func (c *Client) queryCSV(series string, from, to int64) (*http.Response, error)
 		return nil, decodeError(resp)
 	}
 	return resp, nil
+}
+
+// QueryEach streams the integer points of a series in [from, to] through fn
+// without buffering the whole result. fn returning an error aborts the scan
+// and returns that error.
+func (c *Client) QueryEach(series string, from, to int64, fn func(tsfile.Point) error) error {
+	resp, err := c.queryCSV(series, from, to)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		t, v, err := splitCSVLine(sc.Text())
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("client: value %q: %w", v, err)
+		}
+		if err := fn(tsfile.Point{T: t, V: n}); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// SeriesKind reports the value kind of a series over GET /kind: "int",
+// "float", or "" when the server does not know the series.
+func (c *Client) SeriesKind(series string) (string, error) {
+	q := url.Values{}
+	q.Set("series", series)
+	var out KindResponse
+	if err := c.getJSON("/kind", q, &out); err != nil {
+		return "", err
+	}
+	return out.Kind, nil
 }
 
 // QueryRaw returns the raw CSV body of a range scan — the byte-exact wire
@@ -225,7 +338,7 @@ func (c *Client) Compact(mode string) (CompactResponse, error) {
 		u += "?" + url.Values{"mode": {mode}}.Encode()
 	}
 	var out CompactResponse
-	resp, err := c.hc.Post(u, "application/json", nil)
+	resp, err := c.post(u, "application/json", nil)
 	if err != nil {
 		return out, err
 	}
@@ -244,14 +357,21 @@ func (c *Client) Stats() (StatsResponse, error) {
 	return out, err
 }
 
-// Health checks /healthz.
+// Health checks /healthz. A degraded sharded server answers 503 with
+// per-shard detail; that body is folded into the returned error.
 func (c *Client) Health() error {
-	var out map[string]string
-	if err := c.getJSON("/healthz", nil, &out); err != nil {
+	resp, err := c.get(c.base + "/healthz")
+	if err != nil {
 		return err
 	}
-	if out["status"] != "ok" {
-		return fmt.Errorf("client: unhealthy: %v", out)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
 	}
-	return nil
+	var out HealthResponse
+	if json.Unmarshal(body, &out) == nil && out.Status == "ok" && resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	return fmt.Errorf("client: unhealthy: %s: %s", resp.Status, body)
 }

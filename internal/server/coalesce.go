@@ -2,11 +2,9 @@ package server
 
 import (
 	"errors"
-	"sort"
 	"sync"
 	"sync/atomic"
 
-	"bos/internal/engine"
 	"bos/internal/tsfile"
 )
 
@@ -29,7 +27,7 @@ type ingestReq struct {
 }
 
 type coalescer struct {
-	eng  *engine.Engine
+	be   Backend
 	ch   chan *ingestReq
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -43,9 +41,9 @@ type coalescer struct {
 	groups  atomic.Int64 // engine commit groups
 }
 
-func newCoalescer(eng *engine.Engine) *coalescer {
+func newCoalescer(be Backend) *coalescer {
 	c := &coalescer{
-		eng:  eng,
+		be:   be,
 		ch:   make(chan *ingestReq, 256),
 		quit: make(chan struct{}),
 	}
@@ -115,10 +113,11 @@ func (c *coalescer) gather(first *ingestReq) []*ingestReq {
 }
 
 // commit merges the group's batches per series (request order preserved, so
-// last-write-wins stays deterministic) and runs the grouped engine inserts.
-// The first engine error fails the whole group: callers may retry, and
-// re-inserting an already-applied point with the same value is harmless under
-// the engine's last-write-wins timestamps.
+// last-write-wins stays deterministic) and hands the grouped inserts to the
+// backend in one call — a sharded backend splits the group by owning shard
+// once and commits shards in parallel. A backend error fails the whole group:
+// callers may retry, and re-inserting an already-applied point with the same
+// value is harmless under the engine's last-write-wins timestamps.
 func (c *coalescer) commit(group []*ingestReq) {
 	ints := map[string][]tsfile.Point{}
 	floats := map[string][]tsfile.FloatPoint{}
@@ -132,19 +131,7 @@ func (c *coalescer) commit(group []*ingestReq) {
 		}
 		points += req.b.points
 	}
-	var err error
-	for _, s := range sortedKeys(ints) {
-		if err = c.eng.InsertBatch(s, ints[s]); err != nil {
-			break
-		}
-	}
-	if err == nil {
-		for _, s := range sortedKeys(floats) {
-			if err = c.eng.InsertFloatBatch(s, floats[s]); err != nil {
-				break
-			}
-		}
-	}
+	err := c.be.InsertGrouped(ints, floats)
 	if err == nil {
 		c.points.Add(int64(points))
 		c.batches.Add(int64(len(group)))
@@ -153,13 +140,4 @@ func (c *coalescer) commit(group []*ingestReq) {
 	for _, req := range group {
 		req.done <- err
 	}
-}
-
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"syscall"
+	"time"
+)
+
+// Client retry: transient connection errors (refused, reset, dropped
+// mid-handshake) are the normal weather of a sharded deployment — a shard
+// restarting, a connection idling out under the router. WithRetry makes the
+// client absorb them with capped exponential backoff plus jitter. It is off
+// by default: retries change timing-sensitive callers (benchmarks) and every
+// replayed ingest re-inserts points, which is only safe because the engine's
+// timestamps are last-write-wins.
+
+// maxRetryDelay caps the exponential backoff growth.
+const maxRetryDelay = 2 * time.Second
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetry retries requests that fail with a transient transport error.
+// maxAttempts counts the initial try (2 = one retry); base is the first
+// backoff delay, doubled per retry up to a 2s cap, each sleep jittered to
+// 50–100% of the nominal delay. HTTP error statuses are never retried — a
+// response means the connection works and the server said no.
+func WithRetry(maxAttempts int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		if maxAttempts < 1 {
+			maxAttempts = 1
+		}
+		if base <= 0 {
+			base = 50 * time.Millisecond
+		}
+		c.retryAttempts = maxAttempts
+		c.retryBase = base
+	}
+}
+
+// doRetry runs one request, rebuilding it per attempt (the body reader must
+// be fresh on a replay). Only transport errors are retried; any received
+// response is returned as-is.
+func (c *Client) doRetry(build func() (*http.Request, error)) (*http.Response, error) {
+	delay := c.retryBase
+	for attempt := 1; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil || attempt >= c.retryAttempts || !transientErr(err) {
+			return resp, err
+		}
+		time.Sleep(jitter(delay))
+		delay *= 2
+		if delay > maxRetryDelay {
+			delay = maxRetryDelay
+		}
+	}
+}
+
+// jitter spreads a nominal delay over [d/2, d] so a fleet of retrying
+// clients does not reconverge on the recovering server in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// transientErr reports whether a transport error is worth retrying: the
+// connection-level failures a restarting or briefly overloaded server emits.
+// Context cancellation is the caller's decision and is never retried.
+func transientErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}

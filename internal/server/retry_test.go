@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// flakyServer serves /ingest but kills the first failN connections at the
+// TCP level (hijack + close), the failure shape of a shard mid-restart. It
+// counts every request that reached the handler.
+type flakyServer struct {
+	ts   *httptest.Server
+	mu   sync.Mutex
+	hits int
+	fail int
+}
+
+func newFlakyServer(t *testing.T, failN int) *flakyServer {
+	t.Helper()
+	fs := &flakyServer{fail: failN}
+	fs.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fs.mu.Lock()
+		fs.hits++
+		drop := fs.fail > 0
+		if drop {
+			fs.fail--
+		}
+		fs.mu.Unlock()
+		if drop {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"points":1,"series":1}`)
+	}))
+	t.Cleanup(fs.ts.Close)
+	return fs
+}
+
+func (fs *flakyServer) requests() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.hits
+}
+
+// retryTestHTTPClient disables keep-alives so net/http's own silent replay of
+// requests on dead reused connections cannot mask (or double) our retries.
+func retryTestHTTPClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+}
+
+func TestRetryRecoversFromConnectionDrops(t *testing.T) {
+	fs := newFlakyServer(t, 2)
+	c := NewClient(fs.ts.URL, retryTestHTTPClient(), WithRetry(4, time.Millisecond))
+	ack, err := c.IngestLines([]byte("root.r,1,2\n"))
+	if err != nil {
+		t.Fatalf("ingest with retry: %v", err)
+	}
+	if ack.Points != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if got := fs.requests(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 drops + 1 success)", got)
+	}
+}
+
+func TestRetryOffByDefault(t *testing.T) {
+	fs := newFlakyServer(t, 1)
+	c := NewClient(fs.ts.URL, retryTestHTTPClient())
+	if _, err := c.IngestLines([]byte("root.r,1,2\n")); err == nil {
+		t.Fatal("first attempt hit a dropped connection and the default client retried it")
+	}
+	if got := fs.requests(); got != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1", got)
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	fs := newFlakyServer(t, 100)
+	c := NewClient(fs.ts.URL, retryTestHTTPClient(), WithRetry(3, time.Millisecond))
+	if _, err := c.IngestLines([]byte("root.r,1,2\n")); err == nil {
+		t.Fatal("ingest succeeded against a permanently failing server")
+	}
+	if got := fs.requests(); got != 3 {
+		t.Fatalf("server saw %d requests, want exactly maxAttempts=3", got)
+	}
+}
+
+// An HTTP error status is a working connection: never retried, no matter the
+// retry budget.
+func TestRetryNeverRetriesStatusErrors(t *testing.T) {
+	var hits int
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		httpError(w, http.StatusNotFound, errors.New("unknown series"))
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL, retryTestHTTPClient(), WithRetry(5, time.Millisecond))
+	_, err := c.Query("root.nope", 0, 10)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 StatusError", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits)
+	}
+}
+
+func TestRetryRefusedConnection(t *testing.T) {
+	// Grab a port that nothing listens on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	c := NewClient("http://"+addr, retryTestHTTPClient(), WithRetry(2, time.Millisecond))
+	start := time.Now()
+	if _, err := c.IngestLines([]byte("root.r,1,2\n")); err == nil {
+		t.Fatal("ingest succeeded against a closed port")
+	}
+	// Two attempts with ~1ms backoff must not take anywhere near the cap.
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("retries took %v", d)
+	}
+}
+
+func TestTransientErr(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{fmt.Errorf("do: %w", context.Canceled), false},
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{syscall.ECONNREFUSED, true},
+		{&net.OpError{Op: "read", Err: syscall.ECONNRESET}, true},
+		{errors.New("server: 404 Not Found"), false},
+	}
+	for _, tc := range cases {
+		if got := transientErr(tc.err); got != tc.want {
+			t.Errorf("transientErr(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	d := 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		j := jitter(d)
+		if j < d/2 || j > d {
+			t.Fatalf("jitter(%v) = %v, outside [%v, %v]", d, j, d/2, d)
+		}
+	}
+}

@@ -19,12 +19,17 @@ import (
 
 // Options configures a Server.
 type Options struct {
-	// Engine is the storage engine to serve (required). The caller keeps
-	// ownership: Server.Close flushes it but does not close it.
+	// Engine is the single-node storage engine to serve. The caller keeps
+	// ownership: Server.Close flushes it but does not close it. Exactly one
+	// of Engine and Backend must be set.
 	Engine *engine.Engine
+	// Backend serves a storage backend other than a single in-process
+	// engine — internal/cluster's Router routes here for sharded serving.
+	Backend Backend
 	// Maintainer, when set, backs the POST /compact admin endpoint and adds
 	// maintenance counters to /stats. The caller keeps ownership (start and
-	// stop it around the HTTP lifecycle).
+	// stop it around the HTTP lifecycle). Single-engine only: a sharded
+	// backend implements Compactor instead.
 	Maintainer *maintain.Maintainer
 	// PackerName is reported by /stats (informational).
 	PackerName string
@@ -45,22 +50,28 @@ func (o Options) maxBody() int64 {
 // connections).
 type Server struct {
 	opt     Options
-	eng     *engine.Engine
+	be      Backend
 	coal    *coalescer
 	mux     *http.ServeMux
 	start   time.Time
 	queries atomic.Int64
 }
 
-// New builds a Server over an open engine.
+// New builds a Server over an open engine or a sharded backend.
 func New(opt Options) (*Server, error) {
-	if opt.Engine == nil {
-		return nil, errors.New("server: Options.Engine is required")
+	be := opt.Backend
+	switch {
+	case be == nil && opt.Engine == nil:
+		return nil, errors.New("server: one of Options.Engine or Options.Backend is required")
+	case be != nil && opt.Engine != nil:
+		return nil, errors.New("server: Options.Engine and Options.Backend are mutually exclusive")
+	case be == nil:
+		be = engineBackend{eng: opt.Engine}
 	}
 	s := &Server{
 		opt:   opt,
-		eng:   opt.Engine,
-		coal:  newCoalescer(opt.Engine),
+		be:    be,
+		coal:  newCoalescer(be),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
@@ -69,6 +80,7 @@ func New(opt Options) (*Server, error) {
 	s.mux.HandleFunc("GET /agg", s.handleAgg)
 	s.mux.HandleFunc("GET /downsample", s.handleDownsample)
 	s.mux.HandleFunc("GET /series", s.handleSeries)
+	s.mux.HandleFunc("GET /kind", s.handleKind)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /compact", s.handleCompact)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -79,11 +91,11 @@ func New(opt Options) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close drains the ingest committer (every acknowledged write is in the
-// engine, and through its WAL, before Close returns) and flushes the
-// memtable to disk. Call after the HTTP listener has stopped accepting work.
+// backend, and through its WAL, before Close returns) and flushes buffered
+// writes to disk. Call after the HTTP listener has stopped accepting work.
 func (s *Server) Close() error {
 	s.coal.stop()
-	return s.eng.Flush()
+	return s.be.Flush()
 }
 
 // httpError writes a JSON error body with the given status.
@@ -173,7 +185,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
-	kind := s.eng.SeriesKind(series)
+	kind, err := s.be.SeriesKind(series)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	if kind == "" {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", series))
 		return
@@ -182,7 +198,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Series-Kind", kind)
 	cw := newChunkedCSV(w)
 	if kind == "float" {
-		pts, err := s.eng.QueryFloats(series, from, to)
+		pts, err := s.be.QueryFloats(series, from, to)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
@@ -194,7 +210,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else {
-		err := s.eng.QueryEach(series, from, to, func(p tsfile.Point) error {
+		err := s.be.QueryEach(series, from, to, func(p tsfile.Point) error {
 			return cw.writeInt(p.T, p.V)
 		})
 		if err != nil {
@@ -293,7 +309,7 @@ func (s *Server) handleAgg(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queries.Add(1)
 	resp := AggResponse{Series: series, Min: math.MaxInt64, Max: math.MinInt64}
-	err = s.eng.QueryEach(series, from, to, func(p tsfile.Point) error {
+	err = s.be.QueryEach(series, from, to, func(p tsfile.Point) error {
 		resp.Count++
 		resp.Sum += p.V
 		if p.V < resp.Min {
@@ -349,7 +365,7 @@ func (s *Server) handleDownsample(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
-	buckets, err := s.eng.Downsample(series, from, to, window)
+	buckets, err := s.be.Downsample(series, from, to, window)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, engine.ErrBadWindow) {
@@ -366,7 +382,34 @@ func (s *Server) handleDownsample(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.eng.Series())
+	names, err := s.be.Series()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, names)
+}
+
+// KindResponse is the GET /kind payload: the value kind of one series, ""
+// when the series is unknown. Sharded routers use it to probe remote shards
+// without transferring data.
+type KindResponse struct {
+	Series string `json:"series"`
+	Kind   string `json:"kind"`
+}
+
+func (s *Server) handleKind(w http.ResponseWriter, r *http.Request) {
+	series := r.FormValue("series")
+	if series == "" {
+		httpError(w, http.StatusBadRequest, errors.New("series is required"))
+		return
+	}
+	kind, err := s.be.SeriesKind(series)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, KindResponse{Series: series, Kind: kind})
 }
 
 // CompactResponse acknowledges one POST /compact admin request.
@@ -382,8 +425,9 @@ type CompactResponse struct {
 
 // handleCompact triggers maintenance on demand. mode=policy (default with a
 // maintainer) runs one policy decision; mode=full merges every file. Without
-// a maintainer only mode=full is available and uses the engine default
-// packer.
+// a maintainer only mode=full is available and runs through the backend (the
+// engine default packer on a single node, a parallel per-shard fan-out on a
+// sharded backend).
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	mode := r.FormValue("mode")
 	if mode == "" {
@@ -408,8 +452,11 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	case "full":
 		if s.opt.Maintainer != nil {
 			st, err = s.opt.Maintainer.CompactAll()
+		} else if comp, ok := s.be.(Compactor); ok {
+			st, err = comp.CompactAll()
 		} else {
-			st, err = s.eng.CompactWith(nil)
+			httpError(w, http.StatusBadRequest, errors.New("backend does not support compaction"))
+			return
 		}
 		ran = st.Files > 0
 	default:
@@ -464,6 +511,9 @@ type StatsResponse struct {
 	// Maintenance reports the background maintainer, when one is attached.
 	Maintenance *maintain.Stats     `json:"maintenance,omitempty"`
 	Series      []engine.SeriesStat `json:"series,omitempty"`
+	// Shards reports per-shard footprints and health when the backend is
+	// sharded (absent on single-engine servers).
+	Shards []ShardStatus `json:"shards,omitempty"`
 }
 
 // CacheStats is the decoded-chunk cache block of /stats: the raw counters
@@ -474,7 +524,11 @@ type CacheStats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
+	st, err := s.be.Stats()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	resp := StatsResponse{
 		Packer:        s.opt.PackerName,
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -505,11 +559,45 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.BytesPerPoint = float64(st.DiskBytes) / float64(st.DiskPoints)
 	}
 	if r.FormValue("series") != "0" {
-		resp.Series = s.eng.SeriesStats()
+		ss, err := s.be.SeriesStats()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Series = ss
+	}
+	if sh, ok := s.be.(ShardStatuser); ok {
+		resp.Shards = sh.ShardStatuses()
 	}
 	writeJSON(w, resp)
 }
 
+// HealthResponse is the /healthz payload. Single-engine servers report only
+// the status; sharded backends add per-shard detail, and any unhealthy shard
+// degrades the whole endpoint to 503.
+type HealthResponse struct {
+	Status string        `json:"status"` // "ok" or "degraded"
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+	sh, ok := s.be.(ShardStatuser)
+	if !ok {
+		writeJSON(w, map[string]string{"status": "ok"})
+		return
+	}
+	statuses := sh.ShardStatuses()
+	resp := HealthResponse{Status: "ok", Shards: statuses}
+	for _, st := range statuses {
+		if !st.Healthy {
+			resp.Status = "degraded"
+		}
+	}
+	if resp.Status != "ok" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
 }
