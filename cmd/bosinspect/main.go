@@ -5,9 +5,16 @@
 //
 //	boscli -c -in values.txt -out values.bos
 //	bosinspect -in values.bos
+//
+// Pointed at a TSF2 file (an engine data-*.tsf), it prints the footer index
+// instead: per series, each chunk's packer, time bounds, and the statistics
+// block the compressed-domain query executor prunes with (count/min/max/sum).
+//
+//	bosinspect -in data/data-000001.tsf
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -15,6 +22,7 @@ import (
 	"os"
 
 	"bos/internal/core"
+	"bos/internal/tsfile"
 )
 
 func main() {
@@ -48,6 +56,9 @@ const (
 )
 
 func inspect(w io.Writer, data []byte) error {
+	if bytes.HasPrefix(data, []byte("TSF2")) {
+		return inspectTSF(w, data)
+	}
 	if len(data) < 4 || data[0] != magic0 || data[1] != magic1 {
 		// No stream header: try a bare segment file from bos.Writer.
 		return inspectSegments(w, data)
@@ -133,6 +144,40 @@ func printBlock(w io.Writer, i int, info core.BlockInfo) {
 		fmt.Fprintf(w, "block %3d: plain n=%-5d width=%-2d xmin=%d %d bytes\n",
 			i, info.N, info.Width, info.Xmin, info.BodyBytes)
 	}
+}
+
+// inspectTSF prints a TSF2 file's footer index: per series, each chunk's
+// layout and the per-chunk statistics block (count/min/max/sum) the pushdown
+// executor answers aggregates from without decoding. Chunks written before
+// the v2 footer print "stats=none" — queries fall back to full decode there.
+func inspectTSF(w io.Writer, data []byte) error {
+	r, err := tsfile.OpenReader(bytes.NewReader(data), int64(len(data)), tsfile.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "tsfile: %d bytes, %d series\n", len(data), len(r.Series()))
+	for _, name := range r.Series() {
+		chunks, err := r.Chunks(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "series %q: %d chunks\n", name, len(chunks))
+		for ci, m := range chunks {
+			kind := map[byte]string{0: "int", 1: "scaled", 2: "raw"}[m.Kind]
+			packer := m.Packer
+			if packer == "" {
+				packer = "default"
+			}
+			fmt.Fprintf(w, "  chunk %3d: %-6s packer=%-10s n=%-6d t=[%d,%d] %d bytes",
+				ci, kind, packer, m.Count, m.MinT, m.MaxT, m.EncodedBytes)
+			if m.HasStats {
+				fmt.Fprintf(w, " stats: min=%d max=%d sum=%d\n", m.MinV, m.MaxV, m.Sum)
+			} else {
+				fmt.Fprintf(w, " stats=none\n")
+			}
+		}
+	}
+	return nil
 }
 
 // inspectSegments handles bos.Writer segment files: varint length + stream.

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"bos/internal/engine"
+	"bos/internal/pushdown"
+	"bos/internal/tsfile"
+)
+
+// The pushdown bench: load a time-ordered series into many disjoint
+// single-chunk files (one flush per chunk, the engine's steady state), then
+// answer the same windowed aggregate, whole-range aggregate and selective
+// value filter two ways — the classic full-decode scan fold, and the
+// compressed-domain executor — and report the per-operation times, the
+// speedups, and which tier answered each chunk. Results are verified equal
+// between the passes before any number is reported; BENCH_pushdown.json in
+// the repo root records the checked-in baseline.
+//
+// The decoded-chunk cache is disabled for both passes: the comparison is
+// decode work avoided, not cache hits traded.
+
+type pushdownBenchConfig struct {
+	Packer    string `json:"packer"`
+	Points    int    `json:"points"`
+	ChunkSize int    `json:"chunk_size"`
+	Window    int64  `json:"window"`
+	Iters     int    `json:"iters"`
+	Seed      int64  `json:"seed"`
+}
+
+// pushdownOpReport compares one operation across the two passes.
+type pushdownOpReport struct {
+	FullMsPerOp     float64 `json:"full_ms_per_op"`
+	PushdownMsPerOp float64 `json:"pushdown_ms_per_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type pushdownBenchReport struct {
+	Config    pushdownBenchConfig `json:"config"`
+	Windowed  pushdownOpReport    `json:"windowed"`
+	Aggregate pushdownOpReport    `json:"aggregate"`
+	Filtered  pushdownOpReport    `json:"filtered"`
+	// Tiers are the engine's lifetime counters after the pushdown pass:
+	// windowed/aggregate chunks land in the stats tier, the selective filter
+	// in the inlier tier (outlier planes only).
+	Tiers pushdown.Snapshot `json:"tiers"`
+}
+
+func runPushdownBench(dir string, opts engine.Options, points int, seed int64) (err error) {
+	const chunkSize = 4096
+	opts.Dir = dir
+	opts.CacheBytes = -1
+	// One explicit flush per batch writes one chunk per file; skip the flush
+	// threshold so batches never split.
+	opts.FlushThreshold = 1 << 30
+	eng, err := engine.Open(opts)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := eng.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
+	cfg := pushdownBenchConfig{
+		Packer:    opts.File.Packer.Name(),
+		Points:    points,
+		ChunkSize: chunkSize,
+		Window:    2 * chunkSize,
+		Iters:     20,
+		Seed:      seed,
+	}
+	const series = "root.bench.pushdown"
+	rng := rand.New(rand.NewSource(seed))
+	const outlierFloor = 1 << 18
+	for base := 0; base < points; base += chunkSize {
+		n := min(chunkSize, points-base)
+		pts := make([]tsfile.Point, n)
+		for i := range pts {
+			// Same IoT shape as the serving bench: a tight inlier band with
+			// ~1% spikes, so the filter below can skip whole inlier planes.
+			v := int64(rng.NormFloat64()*50) + 1000
+			if rng.Intn(100) == 0 {
+				v += outlierFloor + int64(rng.Intn(1<<19))
+			}
+			pts[i] = tsfile.Point{T: int64(base + i), V: v}
+		}
+		if err := eng.InsertBatch(series, pts); err != nil {
+			return err
+		}
+		if err := eng.Flush(); err != nil {
+			return err
+		}
+	}
+	maxT := int64(points - 1)
+
+	// Pushdown pass.
+	var pdWindowed []engine.Bucket
+	windowedPD, err := timeOp(cfg.Iters, func() error {
+		pdWindowed, err = eng.Downsample(series, 0, maxT, cfg.Window)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	var pdAgg engine.Bucket
+	aggPD, err := timeOp(cfg.Iters, func() error {
+		pdAgg, err = eng.Aggregate(series, 0, maxT)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	var pdFiltered []tsfile.Point
+	filteredPD, err := timeOp(cfg.Iters, func() error {
+		pdFiltered = pdFiltered[:0]
+		return eng.QueryFilterEach(series, 0, maxT, outlierFloor, math.MaxInt64, func(p tsfile.Point) error {
+			pdFiltered = append(pdFiltered, p)
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	tiers := readTiers(eng)
+
+	// Full-decode reference pass: stream every point and fold client-side,
+	// the pre-pushdown serving strategy.
+	var refWindowed []engine.Bucket
+	windowedRef, err := timeOp(cfg.Iters, func() error {
+		w := pushdown.NewWindows(0, cfg.Window)
+		err := eng.QueryEach(series, 0, maxT, func(p tsfile.Point) error {
+			w.Add(p.T, p.V)
+			return nil
+		})
+		refWindowed = w.Buckets()
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	var refAgg engine.Bucket
+	aggRef, err := timeOp(cfg.Iters, func() error {
+		w := pushdown.NewWindows(0, 0)
+		err := eng.QueryEach(series, 0, maxT, func(p tsfile.Point) error {
+			w.Add(p.T, p.V)
+			return nil
+		})
+		if b := w.Buckets(); len(b) > 0 {
+			refAgg = b[0]
+		} else {
+			refAgg = engine.Bucket{}
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	var refFiltered []tsfile.Point
+	filteredRef, err := timeOp(cfg.Iters, func() error {
+		refFiltered = refFiltered[:0]
+		return eng.QueryEach(series, 0, maxT, func(p tsfile.Point) error {
+			if p.V >= outlierFloor {
+				refFiltered = append(refFiltered, p)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// The speedup only counts if the answers agree.
+	if len(pdWindowed) != len(refWindowed) {
+		return fmt.Errorf("bench: windowed pushdown %d buckets, full decode %d", len(pdWindowed), len(refWindowed))
+	}
+	for i := range refWindowed {
+		if pdWindowed[i] != refWindowed[i] {
+			return fmt.Errorf("bench: windowed bucket %d: pushdown %+v, full decode %+v", i, pdWindowed[i], refWindowed[i])
+		}
+	}
+	if pdAgg != refAgg {
+		return fmt.Errorf("bench: aggregate: pushdown %+v, full decode %+v", pdAgg, refAgg)
+	}
+	if len(pdFiltered) != len(refFiltered) {
+		return fmt.Errorf("bench: filtered pushdown %d points, full decode %d", len(pdFiltered), len(refFiltered))
+	}
+	for i := range refFiltered {
+		if pdFiltered[i] != refFiltered[i] {
+			return fmt.Errorf("bench: filtered point %d: pushdown %+v, full decode %+v", i, pdFiltered[i], refFiltered[i])
+		}
+	}
+
+	rep := pushdownBenchReport{
+		Config:    cfg,
+		Windowed:  opReport(windowedRef, windowedPD, cfg.Iters),
+		Aggregate: opReport(aggRef, aggPD, cfg.Iters),
+		Filtered:  opReport(filteredRef, filteredPD, cfg.Iters),
+		Tiers:     tiers,
+	}
+	return emitJSON(rep)
+}
+
+// timeOp runs fn iters times and returns the total wall time.
+func timeOp(iters int, fn func() error) (time.Duration, error) {
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(t0), nil
+}
+
+func opReport(full, pd time.Duration, iters int) pushdownOpReport {
+	rep := pushdownOpReport{
+		FullMsPerOp:     millis(full / time.Duration(iters)),
+		PushdownMsPerOp: millis(pd / time.Duration(iters)),
+	}
+	if pd > 0 {
+		rep.Speedup = round3(float64(full) / float64(pd))
+	}
+	return rep
+}
+
+func readTiers(eng *engine.Engine) pushdown.Snapshot { return eng.Stats().Pushdown }

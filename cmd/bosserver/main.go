@@ -19,6 +19,12 @@
 //
 //	bosserver -bench -dir ./benchdata -writers 8 -readers 4 -points 400000
 //
+// -bench-pushdown compares the compressed-domain query executor (footer
+// statistics + inlier-plane partial decode) against full-decode scan folds on
+// the same windowed aggregate, whole-range aggregate and value filter:
+//
+//	bosserver -bench-pushdown -dir ./benchdata -points 400000
+//
 // Cluster mode: -cluster N shards the keyspace across N in-process engines
 // behind the same HTTP API (consistent hashing on series names; shard map
 // persisted at <dir>/shardmap.json, override with -shard-map). -rebalance
@@ -71,13 +77,14 @@ func main() {
 		maintRate = flag.Int64("maintain-rate", 0, "serve: maintenance rate limit in input bytes/sec (0 = unlimited)")
 		adaptive  = flag.Bool("adaptive", true, "serve: adaptive per-series repacking during maintenance")
 
-		bench    = flag.Bool("bench", false, "run the load generator instead of serving")
-		writers  = flag.Int("writers", 8, "bench: concurrent ingest clients")
-		readers  = flag.Int("readers", 4, "bench: concurrent query clients")
-		points   = flag.Int("points", 400000, "bench: total points to ingest")
-		batch    = flag.Int("batch", 1000, "bench: points per ingest request")
-		seed     = flag.Int64("seed", 1, "bench: value generator seed")
-		perSerie = flag.Int("series-per-writer", 4, "bench: series per writer")
+		bench         = flag.Bool("bench", false, "run the load generator instead of serving")
+		benchPushdown = flag.Bool("bench-pushdown", false, "bench the compressed-domain query executor against full decode, print JSON, exit")
+		writers       = flag.Int("writers", 8, "bench: concurrent ingest clients")
+		readers       = flag.Int("readers", 4, "bench: concurrent query clients")
+		points        = flag.Int("points", 400000, "bench: total points to ingest")
+		batch         = flag.Int("batch", 1000, "bench: points per ingest request")
+		seed          = flag.Int64("seed", 1, "bench: value generator seed")
+		perSerie      = flag.Int("series-per-writer", 4, "bench: series per writer")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -118,6 +125,13 @@ func main() {
 		Interval:    *maintIvl,
 		BytesPerSec: *maintRate,
 		Adaptive:    *adaptive,
+	}
+
+	if *benchPushdown {
+		if err := runPushdownBench(*dir, engOpts, *points, *seed); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// Cluster mode: any of the cluster flags swaps the single engine for a

@@ -57,8 +57,33 @@ func (s *stubShard) QueryFloats(string, int64, int64) ([]tsfile.FloatPoint, erro
 	return nil, nil
 }
 
+func (s *stubShard) QueryFilterEach(series string, minT, maxT, minV, maxV int64, fn func(tsfile.Point) error) error {
+	return s.QueryEach(series, minT, maxT, func(p tsfile.Point) error {
+		if p.V < minV || p.V > maxV {
+			return nil
+		}
+		return fn(p)
+	})
+}
+
 func (s *stubShard) Downsample(string, int64, int64, int64) ([]engine.Bucket, error) {
 	return nil, nil
+}
+
+func (s *stubShard) Aggregate(series string, minT, maxT int64) (engine.Bucket, error) {
+	b := engine.Bucket{Start: minT}
+	err := s.QueryEach(series, minT, maxT, func(p tsfile.Point) error {
+		if b.Count == 0 || p.V < b.Min {
+			b.Min = p.V
+		}
+		if b.Count == 0 || p.V > b.Max {
+			b.Max = p.V
+		}
+		b.Count++
+		b.Sum += p.V
+		return nil
+	})
+	return b, err
 }
 
 func (s *stubShard) Series() ([]string, error)                 { return []string{"root.stub"}, nil }

@@ -178,7 +178,30 @@ func (r *Router) QueryEach(series string, minT, maxT int64, fn func(tsfile.Point
 	if len(r.shards) == 1 {
 		return r.shards[0].QueryEach(series, minT, maxT, fn)
 	}
-	owner := r.ring.Owner(series)
+	return r.scatterMerge(r.ring.Owner(series), fn, func(sh Shard, emit func(tsfile.Point) error) error {
+		return sh.QueryEach(series, minT, maxT, emit)
+	})
+}
+
+// QueryFilterEach scatter-gathers a value-filtered scan with the same merge
+// as QueryEach. The filter runs on each shard (that is the point: shards
+// answer from chunk statistics and partial decode), so mid-move a shadowed
+// stale point can pass a filter the owner's fresher point fails — the same
+// documented window as Downsample's per-shard aggregation, exact once the
+// rebalance completes.
+func (r *Router) QueryFilterEach(series string, minT, maxT, minV, maxV int64, fn func(tsfile.Point) error) error {
+	if len(r.shards) == 1 {
+		return r.shards[0].QueryFilterEach(series, minT, maxT, minV, maxV, fn)
+	}
+	return r.scatterMerge(r.ring.Owner(series), fn, func(sh Shard, emit func(tsfile.Point) error) error {
+		return sh.QueryFilterEach(series, minT, maxT, minV, maxV, emit)
+	})
+}
+
+// scatterMerge runs query on every shard concurrently and k-way merges the
+// streams into fn in time order; the owner shard wins timestamp collisions,
+// then the highest shard ID.
+func (r *Router) scatterMerge(owner int, fn func(tsfile.Point) error, query func(sh Shard, emit func(tsfile.Point) error) error) error {
 	done := make(chan struct{})
 	var closeDone sync.Once
 	abort := func() { closeDone.Do(func() { close(done) }) }
@@ -191,7 +214,7 @@ func (r *Router) QueryEach(series string, minT, maxT int64, fn func(tsfile.Point
 		go func(sh Shard) {
 			defer close(st.ch)
 			page := make([]tsfile.Point, 0, streamPage)
-			err := sh.QueryEach(series, minT, maxT, func(p tsfile.Point) error {
+			err := query(sh, func(p tsfile.Point) error {
 				page = append(page, p)
 				if len(page) == streamPage {
 					select {
@@ -319,6 +342,44 @@ func (r *Router) QueryFloats(series string, minT, maxT int64) ([]tsfile.FloatPoi
 		out[i] = tsfile.FloatPoint{T: t, V: merged[t]}
 	}
 	return out, nil
+}
+
+// Aggregate fans the whole-range fold out per shard and merges the single
+// buckets (summed count/sum, widened min/max — empty shards contribute
+// nothing, so a lone-shard answer passes through untouched). Mid-move
+// double-counting matches Downsample's documented tradeoff.
+func (r *Router) Aggregate(series string, minT, maxT int64) (engine.Bucket, error) {
+	if len(r.shards) == 1 {
+		return r.shards[0].Aggregate(series, minT, maxT)
+	}
+	results := make([]engine.Bucket, len(r.shards))
+	err := r.fanOut(func(i int, sh Shard) error {
+		b, err := sh.Aggregate(series, minT, maxT)
+		results[i] = b
+		return err
+	})
+	if err != nil {
+		return engine.Bucket{}, err
+	}
+	sum := engine.Bucket{Start: minT}
+	for _, b := range results {
+		if b.Count == 0 {
+			continue
+		}
+		if sum.Count == 0 {
+			sum.Count, sum.Min, sum.Max, sum.Sum = b.Count, b.Min, b.Max, b.Sum
+			continue
+		}
+		sum.Count += b.Count
+		sum.Sum += b.Sum
+		if b.Min < sum.Min {
+			sum.Min = b.Min
+		}
+		if b.Max > sum.Max {
+			sum.Max = b.Max
+		}
+	}
+	return sum, nil
 }
 
 // Downsample fans the windowed aggregation out per shard and merges buckets
@@ -498,6 +559,7 @@ func (r *Router) Stats() (engine.Stats, error) {
 		sum.Cache.Entries += st.Cache.Entries
 		sum.Cache.Bytes += st.Cache.Bytes
 		sum.Cache.MaxBytes += st.Cache.MaxBytes
+		sum.Pushdown.Add(st.Pushdown)
 	}
 	return sum, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"bos/internal/engine"
 	"bos/internal/server"
+	"bos/internal/tsfile"
 )
 
 // mount serves a backend over httptest and returns its typed client. The
@@ -126,6 +127,48 @@ func compareBackends(t *testing.T, single, clustered *server.Client, intSeries, 
 		}
 		if !reflect.DeepEqual(wantDS, gotDS) {
 			t.Fatalf("%s: downsample %+v vs %+v", name, wantDS, gotDS)
+		}
+		// The streaming windowed pushdown (/query?window=) must agree with
+		// /downsample and across backends.
+		collect := func(c *server.Client) []server.Bucket {
+			var out []server.Bucket
+			err := c.Window(name, 0, int64(pointsPer), 7, func(b server.Bucket) error {
+				out = append(out, b)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		wantW, gotW := collect(single), collect(clustered)
+		if !reflect.DeepEqual(wantW, gotW) {
+			t.Fatalf("%s: window %+v vs %+v", name, wantW, gotW)
+		}
+		if len(wantW) != len(wantDS) {
+			t.Fatalf("%s: window %d buckets vs downsample %d", name, len(wantW), len(wantDS))
+		}
+		for i, b := range wantW {
+			d := wantDS[i]
+			if b.Start != d.Start || b.Count != d.Count || b.Min != d.Min || b.Max != d.Max || b.Sum != d.Sum {
+				t.Fatalf("%s: window bucket %d %+v != downsample %+v", name, i, b, d)
+			}
+		}
+		// Value-filtered scans must agree across backends too.
+		filt := func(c *server.Client) []string {
+			var out []string
+			err := c.QueryFilterEach(name, 0, int64(pointsPer), -1<<9, 1<<16, func(p tsfile.Point) error {
+				out = append(out, fmt.Sprintf("%d,%d", p.T, p.V))
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		wantF, gotF := filt(single), filt(clustered)
+		if !reflect.DeepEqual(wantF, gotF) {
+			t.Fatalf("%s: filtered scan differs\nsingle  %v\ncluster %v", name, wantF, gotF)
 		}
 	}
 }

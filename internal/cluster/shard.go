@@ -22,7 +22,12 @@ type Shard interface {
 	InsertGrouped(ints map[string][]tsfile.Point, floats map[string][]tsfile.FloatPoint) error
 	QueryEach(series string, minT, maxT int64, fn func(tsfile.Point) error) error
 	QueryFloats(series string, minT, maxT int64) ([]tsfile.FloatPoint, error)
+	// QueryFilterEach streams the shard's points with values in [minV, maxV],
+	// in time order.
+	QueryFilterEach(series string, minT, maxT, minV, maxV int64, fn func(tsfile.Point) error) error
 	Downsample(series string, minT, maxT, window int64) ([]engine.Bucket, error)
+	// Aggregate folds the shard's points over [minT, maxT] into one bucket.
+	Aggregate(series string, minT, maxT int64) (engine.Bucket, error)
 	Series() ([]string, error)
 	SeriesKind(series string) (string, error)
 	SeriesStats() ([]engine.SeriesStat, error)
@@ -77,8 +82,16 @@ func (s *LocalShard) QueryFloats(series string, minT, maxT int64) ([]tsfile.Floa
 	return s.eng.QueryFloats(series, minT, maxT)
 }
 
+func (s *LocalShard) QueryFilterEach(series string, minT, maxT, minV, maxV int64, fn func(tsfile.Point) error) error {
+	return s.eng.QueryFilterEach(series, minT, maxT, minV, maxV, fn)
+}
+
 func (s *LocalShard) Downsample(series string, minT, maxT, window int64) ([]engine.Bucket, error) {
 	return s.eng.Downsample(series, minT, maxT, window)
+}
+
+func (s *LocalShard) Aggregate(series string, minT, maxT int64) (engine.Bucket, error) {
+	return s.eng.Aggregate(series, minT, maxT)
 }
 
 func (s *LocalShard) Series() ([]string, error) { return s.eng.Series(), nil }
@@ -163,6 +176,27 @@ func (s *RemoteShard) QueryFloats(series string, minT, maxT int64) ([]tsfile.Flo
 	return pts, err
 }
 
+func (s *RemoteShard) QueryFilterEach(series string, minT, maxT, minV, maxV int64, fn func(tsfile.Point) error) error {
+	err := s.c.QueryFilterEach(series, minT, maxT, minV, maxV, fn)
+	if notFound(err) {
+		return nil
+	}
+	return err
+}
+
+// Aggregate folds the remote /agg answer into a bucket anchored at minT, the
+// same start a local shard's single-bucket aggregate reports.
+func (s *RemoteShard) Aggregate(series string, minT, maxT int64) (engine.Bucket, error) {
+	resp, err := s.c.Agg(series, minT, maxT)
+	if notFound(err) {
+		return engine.Bucket{Start: minT}, nil
+	}
+	if err != nil {
+		return engine.Bucket{}, err
+	}
+	return engine.Bucket{Start: minT, Count: resp.Count, Min: resp.Min, Max: resp.Max, Sum: resp.Sum}, nil
+}
+
 func (s *RemoteShard) Downsample(series string, minT, maxT, window int64) ([]engine.Bucket, error) {
 	buckets, err := s.c.Downsample(series, minT, maxT, window)
 	if err != nil {
@@ -208,6 +242,7 @@ func (s *RemoteShard) Stats() (engine.Stats, error) {
 		WALRecords:        st.WALRecords,
 	}
 	out.Cache = st.Cache.Stats
+	out.Pushdown = st.Pushdown
 	return out, nil
 }
 

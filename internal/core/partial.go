@@ -1,0 +1,491 @@
+package core
+
+import (
+	"bos/internal/bitio"
+)
+
+// This file gives compressed-domain access to encoded blocks, the kernels
+// under internal/pushdown's tiered chunk evaluator:
+//
+//   - SkipBlock finds a block boundary from its header alone — the value
+//     section's bit length is fully determined by the counts and widths, so
+//     skipping costs O(header) instead of O(n) decode.
+//   - DecodeBlockRange materializes only a positional sub-range, bit-skipping
+//     the values before and after it.
+//   - FilterBlock evaluates a value predicate against the per-class bands
+//     first: a class whose representable range [base, base+2^width) cannot
+//     intersect [minV, maxV] is skipped without touching its bits. For
+//     predicates inside the inlier band this reads the center plane only;
+//     for predicates outside it, only the outlier planes.
+//
+// Parts-mode blocks (Figure 14) interleave Huffman-tagged sections whose
+// length the header alone does not determine, so all three fall back to full
+// decode there. None of these run on the bulk decode hot path, so they are
+// deliberately not //bos:hotpath.
+
+// bosHead is the parsed fixed header of a modeBOS block (Figure 7).
+type bosHead struct {
+	xmin, minXc, minXu int64
+	nl, nu             int
+	alpha, beta, gamma uint
+}
+
+// widthOf returns the bit-width of one value of class c.
+func (h *bosHead) widthOf(c class) uint {
+	switch c {
+	case classLower:
+		return h.alpha
+	case classUpper:
+		return h.gamma
+	default:
+		return h.beta
+	}
+}
+
+// baseOf returns the class minimum values of class c are stored relative to.
+func (h *bosHead) baseOf(c class) int64 {
+	switch c {
+	case classLower:
+		return h.xmin
+	case classUpper:
+		return h.minXu
+	default:
+		return h.minXc
+	}
+}
+
+// bitmapBits is the exact bit length of the positional bitmap: one bit per
+// value plus a second bit per declared outlier.
+func (h *bosHead) bitmapBits(n int) int { return n + h.nl + h.nu }
+
+// valueBits is the exact bit length of the value section as declared by the
+// header. Bounded by maxBlockLen * 64 bits, so it cannot overflow int.
+func (h *bosHead) valueBits(n int) int {
+	return (n-h.nl-h.nu)*int(h.beta) + h.nl*int(h.alpha) + h.nu*int(h.gamma)
+}
+
+// parseBOSHead reads the modeBOS header after the count and mode byte,
+// applying the same validation as decodeBOS.
+func parseBOSHead(r *bitio.Reader, n int) (bosHead, error) {
+	var h bosHead
+	xmin, err := r.ReadVarint()
+	if err != nil {
+		return h, corrupte("xmin", err)
+	}
+	nl64, err := r.ReadUvarint()
+	if err != nil {
+		return h, corrupte("nl", err)
+	}
+	nu64, err := r.ReadUvarint()
+	if err != nil {
+		return h, corrupte("nu", err)
+	}
+	// Checked individually before the sum so a wrapping uint64 sum cannot
+	// sneak absurd counts past the bound.
+	if nl64 > uint64(n) || nu64 > uint64(n) || nl64+nu64 > uint64(n) {
+		return h, corruptn("outlier counts exceed block size", int64(nl64), int64(nu64), int64(n))
+	}
+	offC, err := r.ReadUvarint()
+	if err != nil {
+		return h, corrupte("minXc", err)
+	}
+	offU, err := r.ReadUvarint()
+	if err != nil {
+		return h, corrupte("minXu", err)
+	}
+	widths, err := r.ReadBits(24)
+	if err != nil {
+		return h, corrupte("widths", err)
+	}
+	h.alpha = uint(widths >> 16 & 0xff)
+	h.beta = uint(widths >> 8 & 0xff)
+	h.gamma = uint(widths & 0xff)
+	if h.alpha > 64 || h.beta > 64 || h.gamma > 64 {
+		return h, corruptn("widths", int64(h.alpha), int64(h.beta), int64(h.gamma))
+	}
+	h.xmin = xmin
+	h.nl, h.nu = int(nl64), int(nu64)
+	h.minXc = int64(uint64(xmin) + offC)
+	h.minXu = int64(uint64(xmin) + offU)
+	return h, nil
+}
+
+// readClasses walks the positional bitmap exactly as decodeBOS does and
+// returns the class of every position, leaving r at the value section.
+func readClasses(r *bitio.Reader, n int, h *bosHead) ([]class, error) {
+	data, pos := r.Data()
+	if pos+h.bitmapBits(n) > len(data)*8 {
+		return nil, corrupte("bitmap", bitio.ErrUnexpectedEOF)
+	}
+	classes := make([]class, n)
+	declared := h.nl + h.nu
+	outliers := 0
+	for i := 0; i < n; {
+		if pos&7 == 0 && i+8 <= n && data[pos>>3] == 0 {
+			i += 8 // classes are zero-initialized to classCenter
+			pos += 8
+			continue
+		}
+		if data[pos>>3]>>(7-uint(pos&7))&1 == 0 {
+			pos++
+			i++
+			continue
+		}
+		if outliers == declared {
+			return nil, corruptn("bitmap marks more outliers than declared", int64(declared))
+		}
+		outliers++
+		pos++
+		if data[pos>>3]>>(7-uint(pos&7))&1 == 0 {
+			classes[i] = classLower
+		} else {
+			classes[i] = classUpper
+		}
+		pos++
+		i++
+	}
+	r.SetBitPos(pos)
+	return classes, nil
+}
+
+// advanceBits moves r forward by exactly `bits` payload bits, failing rather
+// than clamping when the buffer is too short.
+func advanceBits(r *bitio.Reader, bits int) error {
+	data, pos := r.Data()
+	if bits < 0 || pos+bits > len(data)*8 {
+		return corrupte("body", bitio.ErrUnexpectedEOF)
+	}
+	r.SetBitPos(pos + bits)
+	return nil
+}
+
+// SkipBlock advances past one block from the front of src without decoding
+// its values and returns the block's value count plus the unread remainder.
+// Plain and BOS bodies are skipped arithmetically from the header; parts
+// blocks fall back to a full decode to find the boundary.
+func SkipBlock(src []byte) (int, []byte, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return 0, nil, corrupte("count", err)
+	}
+	if n64 > maxBlockLen {
+		return 0, nil, corruptn("implausible count", int64(n64))
+	}
+	n := int(n64)
+	if n == 0 {
+		return 0, r.Rest(), nil
+	}
+	mode, err := r.ReadBits(8)
+	if err != nil {
+		return 0, nil, corrupte("mode", err)
+	}
+	switch byte(mode) {
+	case modePlain:
+		if _, err := r.ReadVarint(); err != nil {
+			return 0, nil, corrupte("xmin", err)
+		}
+		width, err := r.ReadBits(8)
+		if err != nil {
+			return 0, nil, corrupte("width", err)
+		}
+		if width > 64 {
+			return 0, nil, corruptn("width", int64(width))
+		}
+		if err := advanceBits(r, n*int(width)); err != nil {
+			return 0, nil, err
+		}
+		return n, r.Rest(), nil
+	case modeBOS:
+		h, err := parseBOSHead(r, n)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := advanceBits(r, h.bitmapBits(n)+h.valueBits(n)); err != nil {
+			return 0, nil, err
+		}
+		return n, r.Rest(), nil
+	case modeParts:
+		_, rest, err := DecodeBlock(src, nil)
+		if err != nil {
+			return 0, nil, err
+		}
+		return n, rest, nil
+	default:
+		return 0, nil, corruptn("unknown mode", int64(mode))
+	}
+}
+
+// DecodeBlockRange decodes one block from the front of src but materializes
+// only the values at positions [lo, hi) (clamped to the block), appending
+// them to out. The values outside the range are bit-skipped, not decoded. It
+// returns the grown slice and the unread remainder after the whole block.
+func DecodeBlockRange(src []byte, out []int64, lo, hi int) ([]int64, []byte, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return out, nil, corrupte("count", err)
+	}
+	if n64 > maxBlockLen {
+		return out, nil, corruptn("implausible count", int64(n64))
+	}
+	n := int(n64)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if n == 0 {
+		return out, r.Rest(), nil
+	}
+	mode, err := r.ReadBits(8)
+	if err != nil {
+		return out, nil, corrupte("mode", err)
+	}
+	switch byte(mode) {
+	case modePlain:
+		xmin, err := r.ReadVarint()
+		if err != nil {
+			return out, nil, corrupte("xmin", err)
+		}
+		width, err := r.ReadBits(8)
+		if err != nil {
+			return out, nil, corrupte("width", err)
+		}
+		if width > 64 {
+			return out, nil, corruptn("width", int64(width))
+		}
+		data, pos := r.Data()
+		if pos+n*int(width) > len(data)*8 {
+			return out, nil, corrupte("values", bitio.ErrUnexpectedEOF)
+		}
+		if lo < hi {
+			r.SetBitPos(pos + lo*int(width))
+			base := len(out)
+			out = append(out, make([]int64, hi-lo)...)
+			if err := r.ReadBulkInt64(out[base:], uint(width), uint64(xmin)); err != nil {
+				return out[:base], nil, corrupte("values", err)
+			}
+		}
+		r.SetBitPos(pos + n*int(width))
+		return out, r.Rest(), nil
+	case modeBOS:
+		h, err := parseBOSHead(r, n)
+		if err != nil {
+			return out, nil, err
+		}
+		classes, err := readClasses(r, n, &h)
+		if err != nil {
+			return out, nil, err
+		}
+		// Bit offsets within the value section, from the actual classes
+		// (exact even when the bitmap declared more outliers than it marked).
+		skip, total := 0, 0
+		for i, c := range classes {
+			w := int(h.widthOf(c))
+			if i < lo {
+				skip += w
+			}
+			total += w
+		}
+		data, pos := r.Data()
+		if pos+total > len(data)*8 {
+			return out, nil, corrupte("values", bitio.ErrUnexpectedEOF)
+		}
+		if lo < hi {
+			r.SetBitPos(pos + skip)
+			base := len(out)
+			out = append(out, make([]int64, hi-lo)...)
+			for i := lo; i < hi; {
+				if classes[i] == classCenter {
+					j := i + 1
+					for j < hi && classes[j] == classCenter {
+						j++
+					}
+					if err := r.ReadBulkInt64(out[base+i-lo:base+j-lo], h.beta, uint64(h.minXc)); err != nil {
+						return out[:base], nil, corruptne("values at", int64(i), err)
+					}
+					i = j
+					continue
+				}
+				d, err := r.ReadBits(h.widthOf(classes[i]))
+				if err != nil {
+					return out[:base], nil, corruptne("value", int64(i), err)
+				}
+				out[base+i-lo] = int64(uint64(h.baseOf(classes[i])) + d)
+				i++
+			}
+		}
+		r.SetBitPos(pos + total)
+		return out, r.Rest(), nil
+	case modeParts:
+		vals, rest, err := DecodeBlock(src, nil)
+		if err != nil {
+			return out, nil, err
+		}
+		return append(out, vals[lo:hi]...), rest, nil
+	default:
+		return out, nil, corruptn("unknown mode", int64(mode))
+	}
+}
+
+// bandMax returns the largest value a class with minimum `base` and width w
+// can represent (base + 2^w - 1) and whether that bound is meaningful — a
+// width of 64 or an int64 wraparound makes the band unbounded, which callers
+// must treat as "may contain anything".
+func bandMax(base int64, w uint) (int64, bool) {
+	if w >= 64 {
+		return 0, false
+	}
+	hi := int64(uint64(base) + (uint64(1) << w) - 1)
+	return hi, hi >= base
+}
+
+// bandDisjoint reports whether a class with the given minimum and width is
+// provably disjoint from [minV, maxV].
+func bandDisjoint(base int64, w uint, minV, maxV int64) bool {
+	hi, ok := bandMax(base, w)
+	return ok && (hi < minV || base > maxV)
+}
+
+// FilterBlock decodes one block from the front of src and calls emit(i, v),
+// in position order, for each value v at block position i with
+// minV <= v <= maxV. Classes whose representable band is provably disjoint
+// from the predicate are bit-skipped without decoding — the inlier-plane (or
+// outlier-plane-only) scan. It returns the block's value count, whether any
+// present class was skipped that way, and the unread remainder.
+func FilterBlock(src []byte, minV, maxV int64, emit func(i int, v int64)) (int, bool, []byte, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return 0, false, nil, corrupte("count", err)
+	}
+	if n64 > maxBlockLen {
+		return 0, false, nil, corruptn("implausible count", int64(n64))
+	}
+	n := int(n64)
+	if n == 0 {
+		return 0, false, r.Rest(), nil
+	}
+	mode, err := r.ReadBits(8)
+	if err != nil {
+		return 0, false, nil, corrupte("mode", err)
+	}
+	switch byte(mode) {
+	case modePlain:
+		xmin, err := r.ReadVarint()
+		if err != nil {
+			return 0, false, nil, corrupte("xmin", err)
+		}
+		w, err := r.ReadBits(8)
+		if err != nil {
+			return 0, false, nil, corrupte("width", err)
+		}
+		if w > 64 {
+			return 0, false, nil, corruptn("width", int64(w))
+		}
+		if bandDisjoint(xmin, uint(w), minV, maxV) {
+			if err := advanceBits(r, n*int(w)); err != nil {
+				return 0, false, nil, err
+			}
+			return n, true, r.Rest(), nil
+		}
+		vals := make([]int64, n)
+		if err := r.ReadBulkInt64(vals, uint(w), uint64(xmin)); err != nil {
+			return 0, false, nil, corrupte("values", err)
+		}
+		for i, v := range vals {
+			if v >= minV && v <= maxV {
+				emit(i, v)
+			}
+		}
+		return n, false, r.Rest(), nil
+	case modeBOS:
+		h, err := parseBOSHead(r, n)
+		if err != nil {
+			return 0, false, nil, err
+		}
+		classes, err := readClasses(r, n, &h)
+		if err != nil {
+			return 0, false, nil, err
+		}
+		skipClass := [3]bool{
+			classCenter: bandDisjoint(h.minXc, h.beta, minV, maxV),
+			classLower:  bandDisjoint(h.xmin, h.alpha, minV, maxV),
+			classUpper:  bandDisjoint(h.minXu, h.gamma, minV, maxV),
+		}
+		data, pos := r.Data()
+		total := 0
+		for _, c := range classes {
+			total += int(h.widthOf(c))
+		}
+		if pos+total > len(data)*8 {
+			return 0, false, nil, corrupte("values", bitio.ErrUnexpectedEOF)
+		}
+		skipped := false
+		var scratch []int64
+		for i := 0; i < n; {
+			c := classes[i]
+			if c == classCenter {
+				j := i + 1
+				for j < n && classes[j] == classCenter {
+					j++
+				}
+				if skipClass[classCenter] {
+					if err := advanceBits(r, (j-i)*int(h.beta)); err != nil {
+						return 0, false, nil, err
+					}
+					skipped = true
+					i = j
+					continue
+				}
+				if cap(scratch) < j-i {
+					scratch = make([]int64, j-i)
+				}
+				scratch = scratch[:j-i]
+				if err := r.ReadBulkInt64(scratch, h.beta, uint64(h.minXc)); err != nil {
+					return 0, false, nil, corruptne("values at", int64(i), err)
+				}
+				for k, v := range scratch {
+					if v >= minV && v <= maxV {
+						emit(i+k, v)
+					}
+				}
+				i = j
+				continue
+			}
+			w := h.widthOf(c)
+			if skipClass[c] {
+				if err := advanceBits(r, int(w)); err != nil {
+					return 0, false, nil, err
+				}
+				skipped = true
+				i++
+				continue
+			}
+			d, err := r.ReadBits(w)
+			if err != nil {
+				return 0, false, nil, corruptne("value", int64(i), err)
+			}
+			if v := int64(uint64(h.baseOf(c)) + d); v >= minV && v <= maxV {
+				emit(i, v)
+			}
+			i++
+		}
+		return n, skipped, r.Rest(), nil
+	case modeParts:
+		vals, rest, err := DecodeBlock(src, nil)
+		if err != nil {
+			return 0, false, nil, err
+		}
+		for i, v := range vals {
+			if v >= minV && v <= maxV {
+				emit(i, v)
+			}
+		}
+		return n, false, rest, nil
+	default:
+		return 0, false, nil, corruptn("unknown mode", int64(mode))
+	}
+}

@@ -3,57 +3,29 @@ package engine
 import (
 	"errors"
 
+	"bos/internal/pushdown"
 	"bos/internal/tsfile"
 )
 
-// Bucket is one downsampled window.
-type Bucket struct {
-	Start    int64 // window start timestamp (inclusive)
-	Count    int
-	Min, Max int64
-	Sum      int64
-}
-
-// Avg returns the window mean.
-func (b Bucket) Avg() float64 {
-	if b.Count == 0 {
-		return 0
-	}
-	return float64(b.Sum) / float64(b.Count)
-}
+// Bucket is one downsampled window. It is internal/pushdown's bucket type:
+// the compressed-domain executor fills the same shape whether a window was
+// answered from footer statistics, partial decode, or a merged scan.
+type Bucket = pushdown.Bucket
 
 // ErrBadWindow reports a non-positive downsampling window.
 var ErrBadWindow = errors.New("engine: window must be positive")
 
 // Downsample aggregates a series into fixed windows of `window` timestamp
 // units over [minT, maxT] — the classic dashboard query. Empty windows are
-// omitted.
+// omitted. It runs on the compressed-domain executor: chunks that sit alone
+// in their time range fold in from footer statistics or inlier-plane partial
+// decode, and only the intervals where files, memtable or tombstones overlap
+// pay for the classic merged scan.
 func (e *Engine) Downsample(series string, minT, maxT, window int64) ([]Bucket, error) {
 	if window <= 0 {
 		return nil, ErrBadWindow
 	}
-	pts, err := e.Query(series, minT, maxT)
-	if err != nil {
-		return nil, err
-	}
-	var out []Bucket
-	var cur *Bucket
-	for _, p := range pts {
-		start := minT + (p.T-minT)/window*window
-		if cur == nil || cur.Start != start {
-			out = append(out, Bucket{Start: start, Min: p.V, Max: p.V})
-			cur = &out[len(out)-1]
-		}
-		cur.Count++
-		if p.V < cur.Min {
-			cur.Min = p.V
-		}
-		if p.V > cur.Max {
-			cur.Max = p.V
-		}
-		cur.Sum += p.V
-	}
-	return out, nil
+	return e.WindowAgg(series, minT, maxT, window)
 }
 
 // DownsampleAvg is a convenience wrapper returning (window start, mean)

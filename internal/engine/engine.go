@@ -63,6 +63,7 @@ import (
 	"sync/atomic"
 
 	"bos/internal/chunkcache"
+	"bos/internal/pushdown"
 	"bos/internal/tsfile"
 )
 
@@ -172,6 +173,10 @@ type Engine struct {
 	walRecords atomic.Int64 // records across all groups
 
 	cache *chunkcache.Cache // nil when disabled
+
+	// Lifetime pushdown tier counters (internal/pushdown), reported in Stats:
+	// how chunks routed through the compressed-domain executor were answered.
+	ptiers pushdown.Tiers
 
 	compacting bool // one snapshot/merge/commit cycle at a time
 	// Lifetime maintenance counters, reported in Stats.
@@ -438,6 +443,13 @@ func (e *Engine) Query(series string, minT, maxT int64) ([]tsfile.Point, error) 
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
+	return e.queryLocked(series, minT, maxT)
+}
+
+// queryLocked is Query's merge body; the caller holds structMu (read
+// suffices) and has checked closed. The pushdown planner routes non-exclusive
+// time intervals through it so the merged-scan semantics stay in one place.
+func (e *Engine) queryLocked(series string, minT, maxT int64) ([]tsfile.Point, error) {
 	// Collect sources oldest to newest; later sources override equal
 	// timestamps by overwriting in the merge map pass.
 	merged := map[int64]int64{}
@@ -535,6 +547,10 @@ type Stats struct {
 	WALRecords int64
 	// Cache reports the decoded-chunk cache (zero when disabled).
 	Cache chunkcache.Stats
+	// Pushdown reports the compressed-domain query executor's tier hits:
+	// chunks answered from footer stats alone, from partial (inlier-plane)
+	// decode, and from full decode.
+	Pushdown pushdown.Snapshot
 }
 
 // Stats reports the current footprint.
@@ -549,6 +565,7 @@ func (e *Engine) Stats() Stats {
 		CompactedBytesOut: e.compactedBytesOut,
 		WALGroups:         e.walGroups.Load(),
 		WALRecords:        e.walRecords.Load(),
+		Pushdown:          e.ptiers.Snapshot(),
 	}
 	set := map[string]bool{}
 	for _, df := range e.files {

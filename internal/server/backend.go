@@ -23,7 +23,15 @@ type Backend interface {
 	// time order through fn; fn returning an error aborts the scan.
 	QueryEach(series string, minT, maxT int64, fn func(tsfile.Point) error) error
 	QueryFloats(series string, minT, maxT int64) ([]tsfile.FloatPoint, error)
+	// QueryFilterEach streams the points of a series with minT <= T <= maxT
+	// and minV <= V <= maxV through fn in time order. Engine-backed shards
+	// answer it in the compressed domain where chunk statistics allow.
+	QueryFilterEach(series string, minT, maxT, minV, maxV int64, fn func(tsfile.Point) error) error
 	Downsample(series string, minT, maxT, window int64) ([]engine.Bucket, error)
+	// Aggregate folds a series over [minT, maxT] into a single bucket
+	// (Count 0 when the range is empty) using chunk statistics and partial
+	// decode where possible.
+	Aggregate(series string, minT, maxT int64) (engine.Bucket, error)
 	Series() ([]string, error)
 	// SeriesKind reports "int", "float", or "" for an unknown series.
 	SeriesKind(series string) (string, error)
@@ -103,8 +111,16 @@ func (b engineBackend) QueryFloats(series string, minT, maxT int64) ([]tsfile.Fl
 	return b.eng.QueryFloats(series, minT, maxT)
 }
 
+func (b engineBackend) QueryFilterEach(series string, minT, maxT, minV, maxV int64, fn func(tsfile.Point) error) error {
+	return b.eng.QueryFilterEach(series, minT, maxT, minV, maxV, fn)
+}
+
 func (b engineBackend) Downsample(series string, minT, maxT, window int64) ([]engine.Bucket, error) {
 	return b.eng.Downsample(series, minT, maxT, window)
+}
+
+func (b engineBackend) Aggregate(series string, minT, maxT int64) (engine.Bucket, error) {
+	return b.eng.Aggregate(series, minT, maxT)
 }
 
 func (b engineBackend) Series() ([]string, error) { return b.eng.Series(), nil }

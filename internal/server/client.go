@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"bos/internal/engine"
 	"bos/internal/tsfile"
 )
 
@@ -196,6 +197,103 @@ func (c *Client) QueryEach(series string, from, to int64, fn func(tsfile.Point) 
 	resp, err := c.queryCSV(series, from, to)
 	if err != nil {
 		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		t, v, err := splitCSVLine(sc.Text())
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("client: value %q: %w", v, err)
+		}
+		if err := fn(tsfile.Point{T: t, V: n}); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Window streams windowed aggregates over GET /query?window= through fn in
+// window-start order, one engine.Bucket per non-empty window. Like every
+// client call it rides the retry layer, so transient connection failures
+// replay the whole request.
+func (c *Client) Window(series string, from, to, window int64, fn func(Bucket) error) error {
+	q := url.Values{}
+	q.Set("series", series)
+	q.Set("from", strconv.FormatInt(from, 10))
+	q.Set("to", strconv.FormatInt(to, 10))
+	q.Set("window", strconv.FormatInt(window, 10))
+	resp, err := c.get(c.base + "/query?" + q.Encode())
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		b, err := parseBucketRow(sc.Text())
+		if err != nil {
+			return err
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Bucket is one windowed-aggregate row as the client surfaces it.
+type Bucket = engine.Bucket
+
+// parseBucketRow parses one "start,count,min,max,sum,avg" CSV row. The avg
+// column is derived (it re-computes from sum/count) and is ignored.
+func parseBucketRow(line string) (Bucket, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 6 {
+		return Bucket{}, fmt.Errorf("client: malformed bucket row %q", line)
+	}
+	var b Bucket
+	var err error
+	if b.Start, err = strconv.ParseInt(fields[0], 10, 64); err == nil {
+		b.Count, err = strconv.Atoi(fields[1])
+	}
+	if err == nil {
+		b.Min, err = strconv.ParseInt(fields[2], 10, 64)
+	}
+	if err == nil {
+		b.Max, err = strconv.ParseInt(fields[3], 10, 64)
+	}
+	if err == nil {
+		b.Sum, err = strconv.ParseInt(fields[4], 10, 64)
+	}
+	if err != nil {
+		return Bucket{}, fmt.Errorf("client: bucket row %q: %w", line, err)
+	}
+	return b, nil
+}
+
+// QueryFilterEach streams the points of a series whose value falls in
+// [vmin, vmax] through fn in time order, over GET /query?vmin=&vmax=.
+func (c *Client) QueryFilterEach(series string, from, to, vmin, vmax int64, fn func(tsfile.Point) error) error {
+	q := url.Values{}
+	q.Set("series", series)
+	q.Set("from", strconv.FormatInt(from, 10))
+	q.Set("to", strconv.FormatInt(to, 10))
+	q.Set("vmin", strconv.FormatInt(vmin, 10))
+	q.Set("vmax", strconv.FormatInt(vmax, 10))
+	resp, err := c.get(c.base + "/query?" + q.Encode())
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
 	}
 	defer resp.Body.Close()
 	sc := bufio.NewScanner(resp.Body)

@@ -14,6 +14,7 @@ import (
 	"bos/internal/chunkcache"
 	"bos/internal/engine"
 	"bos/internal/maintain"
+	"bos/internal/pushdown"
 	"bos/internal/tsfile"
 )
 
@@ -173,6 +174,12 @@ func timeRange(r *http.Request) (int64, int64, error) {
 // series stream through the engine's paged scan (memory bounded by the page
 // size, not the series size); float series are read in one engine call and
 // streamed out incrementally.
+//
+// Two pushdown variants share the endpoint for integer series: window=N
+// streams windowed aggregate rows "start,count,min,max,sum,avg" (requires
+// from, like /downsample), and vmin/vmax stream only the points whose value
+// falls inside [vmin, vmax] — both answered in the compressed domain where
+// chunk statistics allow.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	series := r.FormValue("series")
 	if series == "" {
@@ -192,6 +199,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if kind == "" {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", series))
+		return
+	}
+	if r.FormValue("window") != "" {
+		s.queryWindowed(w, r, series, kind, from, to)
+		return
+	}
+	if r.FormValue("vmin") != "" || r.FormValue("vmax") != "" {
+		s.queryFiltered(w, r, series, kind, from, to)
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv")
@@ -223,6 +238,83 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	cw.flush()
 }
 
+// queryWindowed serves /query?window=N: windowed aggregate rows
+// "start,count,min,max,sum,avg", one CSV line per non-empty window.
+func (s *Server) queryWindowed(w http.ResponseWriter, r *http.Request, series, kind string, from, to int64) {
+	if kind != "int" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("window requires an integer series; %q is %s", series, kind))
+		return
+	}
+	window, err := strconv.ParseInt(r.FormValue("window"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("window: %w", err))
+		return
+	}
+	if from == math.MinInt64 {
+		// Window starts are computed relative to from, same as /downsample.
+		httpError(w, http.StatusBadRequest, errors.New("window requires from"))
+		return
+	}
+	buckets, err := s.be.Downsample(series, from, to, window)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, engine.ErrBadWindow) {
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("X-Series-Kind", kind)
+	cw := newChunkedCSV(w)
+	for _, b := range buckets {
+		if err := cw.writeBucket(b); err != nil {
+			return
+		}
+	}
+	//bos:nolint(checkederr): headers are already out; an aborted chunked body is the only remaining signal
+	cw.flush()
+}
+
+// queryFiltered serves /query?vmin=&vmax=: the points whose value falls in
+// [vmin, vmax] (either bound may be omitted), streamed as "timestamp,value".
+func (s *Server) queryFiltered(w http.ResponseWriter, r *http.Request, series, kind string, from, to int64) {
+	if kind != "int" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("vmin/vmax require an integer series; %q is %s", series, kind))
+		return
+	}
+	vmin, vmax := int64(math.MinInt64), int64(math.MaxInt64)
+	if v := r.FormValue("vmin"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("vmin: %w", err))
+			return
+		}
+		vmin = n
+	}
+	if v := r.FormValue("vmax"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("vmax: %w", err))
+			return
+		}
+		vmax = n
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("X-Series-Kind", kind)
+	cw := newChunkedCSV(w)
+	err := s.be.QueryFilterEach(series, from, to, vmin, vmax, func(p tsfile.Point) error {
+		return cw.writeInt(p.T, p.V)
+	})
+	if err != nil {
+		// Headers are already out; the best remaining signal is an aborted
+		// chunked body.
+		return
+	}
+	//bos:nolint(checkederr): headers are already out; an aborted chunked body is the only remaining signal
+	cw.flush()
+}
+
 // chunkedCSV batches CSV rows and flushes them through the ResponseWriter in
 // chunks, so long scans stream instead of accumulating.
 type chunkedCSV struct {
@@ -247,6 +339,22 @@ func (c *chunkedCSV) writeFloat(t int64, v float64) error {
 	c.buf = strconv.AppendInt(c.buf, t, 10)
 	c.buf = append(c.buf, ',')
 	c.buf = appendFloatValue(c.buf, v)
+	c.buf = append(c.buf, '\n')
+	return c.maybeFlush()
+}
+
+func (c *chunkedCSV) writeBucket(b engine.Bucket) error {
+	c.buf = strconv.AppendInt(c.buf, b.Start, 10)
+	c.buf = append(c.buf, ',')
+	c.buf = strconv.AppendInt(c.buf, int64(b.Count), 10)
+	c.buf = append(c.buf, ',')
+	c.buf = strconv.AppendInt(c.buf, b.Min, 10)
+	c.buf = append(c.buf, ',')
+	c.buf = strconv.AppendInt(c.buf, b.Max, 10)
+	c.buf = append(c.buf, ',')
+	c.buf = strconv.AppendInt(c.buf, b.Sum, 10)
+	c.buf = append(c.buf, ',')
+	c.buf = strconv.AppendFloat(c.buf, b.Avg(), 'g', -1, 64)
 	c.buf = append(c.buf, '\n')
 	return c.maybeFlush()
 }
@@ -308,26 +416,16 @@ func (s *Server) handleAgg(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
-	resp := AggResponse{Series: series, Min: math.MaxInt64, Max: math.MinInt64}
-	err = s.be.QueryEach(series, from, to, func(p tsfile.Point) error {
-		resp.Count++
-		resp.Sum += p.V
-		if p.V < resp.Min {
-			resp.Min = p.V
-		}
-		if p.V > resp.Max {
-			resp.Max = p.V
-		}
-		return nil
-	})
+	// The pushdown executor folds whole chunks in from footer statistics;
+	// an empty range returns a zero bucket, matching the old fold's shape.
+	b, err := s.be.Aggregate(series, from, to)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if resp.Count == 0 {
-		resp.Min, resp.Max = 0, 0
-	} else {
-		resp.Avg = float64(resp.Sum) / float64(resp.Count)
+	resp := AggResponse{Series: series, Count: b.Count, Min: b.Min, Max: b.Max, Sum: b.Sum}
+	if b.Count > 0 {
+		resp.Avg = b.Avg()
 	}
 	writeJSON(w, resp)
 }
@@ -508,6 +606,10 @@ type StatsResponse struct {
 	CompactedBytesOut int64 `json:"compacted_bytes_out"`
 	// Cache reports the engine's decoded-chunk cache.
 	Cache CacheStats `json:"cache"`
+	// Pushdown reports the compressed-domain executor's tier counters:
+	// chunks answered from footer statistics alone, from inlier-plane
+	// partial decode, and by full decode fallback.
+	Pushdown pushdown.Snapshot `json:"pushdown"`
 	// Maintenance reports the background maintainer, when one is attached.
 	Maintenance *maintain.Stats     `json:"maintenance,omitempty"`
 	Series      []engine.SeriesStat `json:"series,omitempty"`
@@ -549,7 +651,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CompactedBytesIn:  st.CompactedBytesIn,
 		CompactedBytesOut: st.CompactedBytesOut,
 
-		Cache: CacheStats{Stats: st.Cache, HitRate: st.Cache.HitRate()},
+		Cache:    CacheStats{Stats: st.Cache, HitRate: st.Cache.HitRate()},
+		Pushdown: st.Pushdown,
 	}
 	if s.opt.Maintainer != nil {
 		ms := s.opt.Maintainer.Stats()

@@ -16,8 +16,9 @@ type Aggregate struct {
 // beyond what statistics carry — are decoded.
 //
 // Count, Min and Max come from the footer alone when the range covers whole
-// chunks; Sum always needs the values, so fully-covered chunks are decoded
-// only when sums are requested via needSum.
+// chunks. Sum comes from the footer too for chunks written with v2 stats;
+// fully-covered chunks of older files are decoded only when sums are
+// requested via needSum.
 func (r *Reader) Aggregate(series string, minT, maxT int64, needSum bool) (Aggregate, error) {
 	chunks, ok := r.index[series]
 	if !ok {
@@ -39,11 +40,13 @@ func (r *Reader) Aggregate(series string, minT, maxT int64, needSum bool) (Aggre
 			continue
 		}
 		covered := m.MinT >= minT && m.MaxT <= maxT
-		if covered && !needSum {
-			// Pushdown: statistics answer count/min/max directly.
+		if covered && (!needSum || m.HasStats) {
+			// Pushdown: statistics answer count/min/max directly, and the
+			// v2 footer sum covers needSum without touching the chunk.
 			agg.Count += m.Count
 			add(m.MinV)
 			add(m.MaxV)
+			agg.Sum = int64(uint64(agg.Sum) + uint64(m.Sum))
 			continue
 		}
 		times, vals, err := r.readChunk(series, ci, m)

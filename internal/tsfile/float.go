@@ -84,6 +84,10 @@ func EncodeFloatSeries(opt Options, points []FloatPoint, packerName string) (Enc
 			meta.Kind = kindScaled
 			meta.Precision = p
 			meta.MinV, meta.MaxV = minMax(scaled)
+			for _, v := range scaled {
+				meta.Sum += v // wrapping sum of the scaled integers
+			}
+			meta.HasStats = true
 			body = encodeFloatChunk(packer, opt.BlockSize, kindScaled, p, times, scaled)
 		}
 	}

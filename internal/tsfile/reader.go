@@ -10,11 +10,27 @@ import (
 	"bos/internal/packers"
 )
 
-// encodeIndex serializes the footer: series count, then per series its name,
-// chunk count and chunk metadata (offsets and statistics delta-free, all
-// zigzag varints; the per-chunk packer-name override last).
+// indexV2Tag marks a versioned footer. The legacy footer began directly with
+// the series count, which parseIndex bounds by the index byte length; the tag
+// is far above any possible length (the index length is a u32), so a legacy
+// reader rejects a v2 file cleanly as corrupt while a v2 reader tells the two
+// apart from the first varint.
+const indexV2Tag = uint64(1) << 40
+
+// indexVersion is the current footer version written by encodeIndex.
+const indexVersion = 2
+
+// Per-chunk footer flag bits (v2 footers only).
+const chunkFlagStats = 1 << 0 // chunk carries a value Sum statistic
+
+// encodeIndex serializes the footer: version tag, series count, then per
+// series its name, chunk count and chunk metadata (offsets and statistics
+// delta-free, all zigzag varints; the per-chunk packer-name override, then a
+// flags byte and the optional value-sum statistic last).
 func encodeIndex(order []string, index map[string][]ChunkMeta) []byte {
-	out := codec.AppendUvarint(nil, uint64(len(order)))
+	out := codec.AppendUvarint(nil, indexV2Tag)
+	out = codec.AppendUvarint(out, indexVersion)
+	out = codec.AppendUvarint(out, uint64(len(order)))
 	for _, name := range order {
 		out = codec.AppendUvarint(out, uint64(len(name)))
 		out = append(out, name...)
@@ -31,6 +47,12 @@ func encodeIndex(order []string, index map[string][]ChunkMeta) []byte {
 			out = append(out, c.Kind, byte(c.Precision))
 			out = codec.AppendUvarint(out, uint64(len(c.Packer)))
 			out = append(out, c.Packer...)
+			if c.HasStats {
+				out = append(out, chunkFlagStats)
+				out = appendZig(out, c.Sum)
+			} else {
+				out = append(out, 0)
+			}
 		}
 	}
 	return out
@@ -133,7 +155,22 @@ func (r *Reader) packerFor(m ChunkMeta) codec.Packer {
 
 func (r *Reader) parseIndex(idx []byte, size int64) error {
 	nSeries, rest, err := codec.ReadUvarint(idx)
-	if err != nil || nSeries > uint64(len(idx)) {
+	if err != nil {
+		return fmt.Errorf("%w: series count", ErrCorrupt)
+	}
+	// Legacy footers (pre-v2) start directly with the series count; v2
+	// footers start with the tag. Legacy chunks simply have no stats.
+	v2 := nSeries == indexV2Tag
+	if v2 {
+		var version uint64
+		if version, rest, err = codec.ReadUvarint(rest); err != nil || version != indexVersion {
+			return fmt.Errorf("%w: footer version", ErrCorrupt)
+		}
+		if nSeries, rest, err = codec.ReadUvarint(rest); err != nil {
+			return fmt.Errorf("%w: series count", ErrCorrupt)
+		}
+	}
+	if nSeries > uint64(len(idx)) {
 		return fmt.Errorf("%w: series count", ErrCorrupt)
 	}
 	for s := uint64(0); s < nSeries; s++ {
@@ -190,6 +227,22 @@ func (r *Reader) parseIndex(idx []byte, size int64) error {
 			}
 			m.Packer = string(r4[:pnLen])
 			rest = r4[pnLen:]
+			if v2 {
+				if len(rest) < 1 {
+					return fmt.Errorf("%w: chunk flags", ErrCorrupt)
+				}
+				flags := rest[0]
+				rest = rest[1:]
+				if flags&^chunkFlagStats != 0 {
+					return fmt.Errorf("%w: chunk flags %#x", ErrCorrupt, flags)
+				}
+				if flags&chunkFlagStats != 0 {
+					m.HasStats = true
+					if m.Sum, rest, err = readZig(rest); err != nil {
+						return fmt.Errorf("%w: chunk sum", ErrCorrupt)
+					}
+				}
+			}
 			if m.Packer != "" {
 				if _, ok := r.named[m.Packer]; !ok {
 					p, err := packers.ByName(m.Packer)

@@ -62,6 +62,14 @@ type ChunkMeta struct {
 	Kind         byte   // kindInt, kindScaled or kindRaw
 	Precision    int    // decimal precision for kindScaled chunks
 	Packer       string // packer name override; "" = the file's default packer
+
+	// Sum is the wrapping int64 sum of the chunk's values (scaled integers
+	// for kindScaled chunks), valid only when HasStats is set. HasStats is
+	// false for raw float chunks, whose bit patterns have no orderable sum,
+	// and for every chunk of a file written before the v2 footer — readers
+	// of such chunks fall back to full decode.
+	Sum      int64
+	HasStats bool
 }
 
 // Options configures a Writer.
@@ -182,8 +190,10 @@ func EncodeSeries(opt Options, points []Point, packerName string) (EncodedChunk,
 		if p.V > meta.MaxV {
 			meta.MaxV = p.V
 		}
+		meta.Sum += p.V // wrapping, like Aggregate
 	}
 	meta.Kind = kindInt
+	meta.HasStats = true
 	meta.Packer = packerName
 	body := encodeChunk(p, opt.BlockSize, times, vals)
 	meta.EncodedBytes = len(body)
