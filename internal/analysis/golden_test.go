@@ -112,7 +112,7 @@ func TestGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	drv := &Driver{Loader: NewLoader(srcDir, "fix"), Analyzers: fixtureAnalyzers()}
-	for _, pkg := range []string{"lockorder", "checkederr", "checkederrapi", "hotpath", "mutexcopy", "nolint"} {
+	for _, pkg := range []string{"lockorder", "checkederr", "checkederrapi", "hotpath", "hotpathgen", "mutexcopy", "nolint"} {
 		t.Run(pkg, func(t *testing.T) {
 			diags, err := drv.CheckPatterns([]string{"fix/" + pkg})
 			if err != nil {

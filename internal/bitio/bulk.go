@@ -3,24 +3,103 @@ package bitio
 import "encoding/binary"
 
 // Bulk fixed-width paths for the hot loops of block packing: same stream
-// layout as repeated WriteBits/ReadBits calls, but with per-value work cut
-// to one unaligned 8-byte load (read) or one load-or-store pair (write). A
-// value of width <= 56 starting at any bit offset o (0..7) occupies at most
-// o+56 <= 63 bits, so it always fits in the 8 bytes beginning at its first
-// byte: load big-endian, shift, mask. Widths above 56 fall back to the
-// scalar path, as does the tail of the read buffer where an 8-byte load
-// would run past the end.
+// layout as repeated WriteBits/ReadBits calls, but executed block-at-a-time.
+// When the stream position is byte-aligned and at least 8 values remain, the
+// front doors dispatch into the width-specialized kernels of
+// kernels_*_gen.go (64 values per call, 8 for the tail; whole-word
+// loads/stores, no per-value width dispatch, one bounds check per block).
+// A bit-unaligned read of 8+ values — the BOS inlier plane sits after the
+// n+outliers-bit bitmap, so this is the common decode case — stages each
+// block through a stack buffer shifted to byte alignment (one word-sized
+// shift/or per 8 stream bytes) and runs the aligned kernel on that, for the
+// widths where that beats the scalar loop (see stageUnaligned). Short runs,
+// unaligned writes and buffer tails take the scalar paths below: a value of
+// width <= 56 starting at any bit offset o (0..7) occupies at most o+56 <=
+// 63 bits, so it always fits in the 8 bytes beginning at its first byte —
+// load big-endian, shift, mask. Widths above 56 fall back to per-value
+// ReadBits/WriteBits there, as does the tail of the read buffer where an
+// 8-byte load would run past the end.
 
 const bulkMaxWidth = 56
 
 // WriteBulk appends every value at the given width. The stream is
-// byte-identical to calling WriteBits for each value.
+// byte-identical to calling WriteBits for each value (the pack kernels mask
+// each value to `width` bits exactly like WriteBits does).
 //
 //bos:hotpath
 func (w *Writer) WriteBulk(vals []uint64, width uint) {
 	if width == 0 || len(vals) == 0 {
 		return
 	}
+	if width > 64 {
+		// Invalid width; preserve the historical WriteBits-per-value
+		// behavior rather than guessing a clamp.
+		for _, v := range vals {
+			w.WriteBits(v, width)
+		}
+		return
+	}
+	i := 0
+	if w.nbits == 0 && len(vals) >= kernelTail {
+		// Kernel path: byte-aligned, so blocks store whole big-endian
+		// words directly into the buffer. An 8-value tail block stores
+		// ceil(width/8) full words for width logical bytes; the slack
+		// bytes beyond the logical length are zeros that later writes
+		// overwrite (every logical byte is still written exactly once).
+		need := len(w.buf) + (len(vals)*int(width))>>3 + 8
+		buf := w.buf
+		if cap(buf) >= need {
+			buf = buf[:need]
+		} else {
+			buf = make([]byte, need)
+			copy(buf, w.buf)
+		}
+		k := len(w.buf)
+		for ; i+kernelBlock <= len(vals); i += kernelBlock {
+			kernelPack64(width, (*[64]uint64)(vals[i:]), buf[k:])
+			k += int(width) * 8
+		}
+		for ; i+kernelTail <= len(vals); i += kernelTail {
+			kernelPack8(width, (*[8]uint64)(vals[i:]), buf[k:])
+			k += int(width)
+		}
+		w.buf = buf[:k]
+	}
+	if i < len(vals) {
+		w.writeBulkScalar(vals[i:], width)
+	}
+}
+
+// WriteBulkInt64 appends (uint64(v) - base) & (2^width - 1) for every value
+// — the fused frame-of-reference encode loop shared by the block encoders.
+// The stream is byte-identical to computing the offsets by hand and calling
+// WriteBulk (or WriteBits per value); fusing saves callers a heap-allocated
+// scratch slice.
+//
+//bos:hotpath
+func (w *Writer) WriteBulkInt64(vals []int64, base uint64, width uint) {
+	var tmp [kernelBlock]uint64
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > kernelBlock {
+			n = kernelBlock
+		}
+		for i := 0; i < n; i++ {
+			tmp[i] = uint64(vals[i]) - base
+		}
+		w.WriteBulk(tmp[:n], width)
+		vals = vals[n:]
+	}
+}
+
+// writeBulkScalar is the pre-kernel WriteBulk body: a left-aligned 64-bit
+// accumulator window flushed with one big-endian store per 8 output bytes.
+// It handles any starting bit alignment; widths above 56 go through
+// WriteBits per value. Kept verbatim as the fallback (and as the baseline
+// the differential tests and benchmarks compare the kernels against).
+//
+//bos:hotpath
+func (w *Writer) writeBulkScalar(vals []uint64, width uint) {
 	if width > bulkMaxWidth {
 		for _, v := range vals {
 			w.WriteBits(v, width)
@@ -79,26 +158,115 @@ func (w *Writer) WriteBulk(vals []uint64, width uint) {
 	}
 }
 
-// ReadBulk fills out with len(out) consecutive values at the given width.
+// ReadBulk fills out with consecutive values at the given width and reports
+// how many it decoded. On success that is len(out). When the stream is too
+// short it decodes every value that fits completely, leaves the position
+// after the last decoded value, and returns the count alongside
+// ErrUnexpectedEOF — callers no longer need to re-derive the decoded prefix
+// from BitPos. A width above 64 decodes nothing and returns ErrOverflow.
 //
 //bos:hotpath
-func (r *Reader) ReadBulk(out []uint64, width uint) error {
-	if len(out) == 0 {
-		return nil
-	}
+func (r *Reader) ReadBulk(out []uint64, width uint) (int, error) {
 	if width > 64 {
-		return ErrOverflow
+		return 0, ErrOverflow
 	}
-	need := len(out) * int(width)
-	if r.pos+need > len(r.data)*8 {
-		return ErrUnexpectedEOF
+	if len(out) == 0 {
+		return 0, nil
 	}
 	if width == 0 {
 		for i := range out {
 			out[i] = 0
 		}
-		return nil
+		return len(out), nil
 	}
+	n := len(out)
+	var short bool
+	if avail := len(r.data)*8 - r.pos; n*int(width) > avail {
+		n = avail / int(width)
+		short = true
+	}
+	out = out[:n]
+	i := 0
+	if r.pos&7 == 0 && n >= kernelTail {
+		data := r.data[r.pos>>3:]
+		k := 0
+		for ; i+kernelBlock <= n; i += kernelBlock {
+			kernelUnpack64(width, data[k:], (*[64]uint64)(out[i:]))
+			k += int(width) * 8
+		}
+		for need := tailBytes(width); i+kernelTail <= n && k+need <= len(data); i += kernelTail {
+			kernelUnpack8(width, data[k:], (*[8]uint64)(out[i:]))
+			k += int(width)
+		}
+		r.pos += i * int(width)
+	} else if n >= kernelTail && stageUnaligned(width) {
+		// Unaligned: 64 values span exactly width*8 bytes and 8 values
+		// exactly width bytes, so the sub-byte offset repeats block to
+		// block. Stage each block through a stack buffer shifted to byte
+		// alignment (one word-sized shift/or per 8 stream bytes) and run
+		// the aligned kernel on it. The staging arrays are scoped so a
+		// short run only pays for zeroing the 64-byte one.
+		o := uint(r.pos) & 7
+		k := r.pos >> 3
+		if n >= kernelBlock {
+			var tmp [kernelBlock * 8]byte
+			bb := int(width) * 8
+			for ; i+kernelBlock <= n && k+bb < len(r.data); i += kernelBlock {
+				realign(r.data, k, o, tmp[:bb])
+				kernelUnpack64(width, tmp[:bb], (*[64]uint64)(out[i:]))
+				k += bb
+			}
+		}
+		var tmp8 [kernelTail * 8]byte
+		for need := tailBytes(width); i+kernelTail <= n && k+need < len(r.data); i += kernelTail {
+			realign(r.data, k, o, tmp8[:need])
+			kernelUnpack8(width, tmp8[:need], (*[8]uint64)(out[i:]))
+			k += int(width)
+		}
+		r.pos += i * int(width)
+	}
+	if err := r.readBulkScalar(out[i:], width); err != nil {
+		return i, err // unreachable: the prefix is sized to fit
+	}
+	if short {
+		return n, ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+// stageUnaligned reports whether the staged-realignment path beats the
+// scalar fallback for a bit-unaligned read at the given width. Staging
+// copies one stream byte per value per 8 values before unpacking, so in the
+// mid-range (33..56 bits) the copy alone costs as much as the scalar loop's
+// single unaligned load per value and scalar wins; at 32 and below the
+// kernel's shared loads amortize the copy, and above 56 the scalar path
+// itself degrades to per-value ReadBits, so staging wins on both sides.
+func stageUnaligned(width uint) bool {
+	return width <= 32 || width > bulkMaxWidth
+}
+
+// realign copies len(dst) stream bytes starting o bits (1..7) into data[k]
+// out to dst, shifted left so dst begins at a byte boundary. len(dst) must
+// be a multiple of 8 and data[k+len(dst)] must exist: the byte after the
+// window feeds the final word's carry.
+//
+//bos:hotpath
+func realign(data []byte, k int, o uint, dst []byte) {
+	_ = data[k+len(dst)]
+	for j := 0; j < len(dst); j += 8 {
+		w := binary.BigEndian.Uint64(data[k+j:])<<o | uint64(data[k+j+8])>>(8-o)
+		binary.BigEndian.PutUint64(dst[j:], w)
+	}
+}
+
+// readBulkScalar is the pre-kernel ReadBulk inner loop: one unaligned
+// 8-byte big-endian load per value while the buffer allows it, per-value
+// ReadBits near the end and for widths above 56. The caller guarantees
+// len(out)*width bits remain. Kept verbatim as the unaligned/short-run
+// fallback and the differential-test baseline.
+//
+//bos:hotpath
+func (r *Reader) readBulkScalar(out []uint64, width uint) error {
 	if width > bulkMaxWidth {
 		for i := range out {
 			v, err := r.ReadBits(width)
@@ -131,7 +299,9 @@ func (r *Reader) ReadBulk(out []uint64, width uint) error {
 
 // ReadBulkInt64 reads len(out) consecutive width-bit offsets and stores
 // base+offset as int64 — the fused frame-of-reference decode loop shared by
-// the block decoders (saves a scratch buffer and a second pass).
+// the block decoders (saves a scratch buffer and a second pass). Unlike
+// ReadBulk it is all-or-nothing: a stream too short for len(out) values
+// returns ErrUnexpectedEOF without decoding anything or moving the position.
 //
 //bos:hotpath
 func (r *Reader) ReadBulkInt64(out []int64, width uint, base uint64) error {
@@ -141,8 +311,7 @@ func (r *Reader) ReadBulkInt64(out []int64, width uint, base uint64) error {
 	if width > 64 {
 		return ErrOverflow
 	}
-	need := len(out) * int(width)
-	if r.pos+need > len(r.data)*8 {
+	if r.pos+len(out)*int(width) > len(r.data)*8 {
 		return ErrUnexpectedEOF
 	}
 	if width == 0 {
@@ -151,6 +320,49 @@ func (r *Reader) ReadBulkInt64(out []int64, width uint, base uint64) error {
 		}
 		return nil
 	}
+	i := 0
+	if r.pos&7 == 0 && len(out) >= kernelTail {
+		data := r.data[r.pos>>3:]
+		k := 0
+		for ; i+kernelBlock <= len(out); i += kernelBlock {
+			kernelUnpack64Int64(width, data[k:], (*[64]int64)(out[i:]), base)
+			k += int(width) * 8
+		}
+		for need := tailBytes(width); i+kernelTail <= len(out) && k+need <= len(data); i += kernelTail {
+			kernelUnpack8Int64(width, data[k:], (*[8]int64)(out[i:]), base)
+			k += int(width)
+		}
+		r.pos += i * int(width)
+	} else if len(out) >= kernelTail && stageUnaligned(width) {
+		// Unaligned staging, as in ReadBulk: shift each block to byte
+		// alignment on the stack, then run the aligned kernel.
+		o := uint(r.pos) & 7
+		k := r.pos >> 3
+		if len(out) >= kernelBlock {
+			var tmp [kernelBlock * 8]byte
+			bb := int(width) * 8
+			for ; i+kernelBlock <= len(out) && k+bb < len(r.data); i += kernelBlock {
+				realign(r.data, k, o, tmp[:bb])
+				kernelUnpack64Int64(width, tmp[:bb], (*[64]int64)(out[i:]), base)
+				k += bb
+			}
+		}
+		var tmp8 [kernelTail * 8]byte
+		for need := tailBytes(width); i+kernelTail <= len(out) && k+need < len(r.data); i += kernelTail {
+			realign(r.data, k, o, tmp8[:need])
+			kernelUnpack8Int64(width, tmp8[:need], (*[8]int64)(out[i:]), base)
+			k += int(width)
+		}
+		r.pos += i * int(width)
+	}
+	return r.readBulkInt64Scalar(out[i:], width, base)
+}
+
+// readBulkInt64Scalar is the pre-kernel ReadBulkInt64 inner loop; see
+// readBulkScalar.
+//
+//bos:hotpath
+func (r *Reader) readBulkInt64Scalar(out []int64, width uint, base uint64) error {
 	if width > bulkMaxWidth {
 		for i := range out {
 			v, err := r.ReadBits(width)

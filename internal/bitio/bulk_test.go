@@ -1,6 +1,7 @@
 package bitio
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -45,8 +46,8 @@ func TestBulkMatchesScalar(t *testing.T) {
 			t.Fatal(err)
 		}
 		got := make([]uint64, n)
-		if err := r.ReadBulk(got, width); err != nil {
-			t.Fatal(err)
+		if m, err := r.ReadBulk(got, width); err != nil || m != n {
+			t.Fatalf("ReadBulk = %d, %v; want %d, nil", m, err, n)
 		}
 		for i := range vals {
 			if got[i] != vals[i] {
@@ -115,56 +116,223 @@ func TestWriteBulkMidStream(t *testing.T) {
 	}
 }
 
+// TestBulkReadPastEnd pins the short-buffer contract: ReadBulk decodes the
+// values that fit completely, reports how many, leaves the position after
+// the last decoded value, and returns ErrUnexpectedEOF.
 func TestBulkReadPastEnd(t *testing.T) {
+	// 16 bits of stream, 7-bit values: exactly 2 fit, the third does not.
 	r := NewReader([]byte{0xff, 0xff})
-	out := make([]uint64, 3)
-	if err := r.ReadBulk(out, 7); err != ErrUnexpectedEOF {
-		t.Errorf("err = %v", err)
+	out := []uint64{99, 99, 99}
+	n, err := r.ReadBulk(out, 7)
+	if err != ErrUnexpectedEOF {
+		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
 	}
-	// Position must be untouched after the failed bulk read.
-	if got, err := r.ReadBits(16); err != nil || got != 0xffff {
-		t.Errorf("reader state disturbed: %x %v", got, err)
+	if n != 2 {
+		t.Errorf("n = %d, want 2", n)
+	}
+	if out[0] != 0x7f || out[1] != 0x7f {
+		t.Errorf("decoded prefix = %v, want 0x7f 0x7f", out[:2])
+	}
+	if out[2] != 99 {
+		t.Errorf("out[2] overwritten: %d", out[2])
+	}
+	// Position sits after the 2 decoded values; the remaining 2 bits read
+	// normally.
+	if got := r.BitPos(); got != 14 {
+		t.Errorf("BitPos = %d, want 14", got)
+	}
+	if got, err := r.ReadBits(2); err != nil || got != 3 {
+		t.Errorf("tail read: %d, %v", got, err)
+	}
+}
+
+// TestBulkReadPastEndKernelAligned is the same contract through the kernel
+// path: byte-aligned start, enough values for blocks, stream cut short.
+func TestBulkReadPastEndKernelAligned(t *testing.T) {
+	w := NewWriter(256)
+	vals := make([]uint64, 100)
+	for i := range vals {
+		vals[i] = uint64(i) & 0x1f
+	}
+	w.WriteBulk(vals, 5)
+	data := w.Bytes() // 500 bits -> 63 bytes: 100 values, then padding
+	r := NewReader(data)
+	out := make([]uint64, 120)
+	n, err := r.ReadBulk(out, 5)
+	if err != ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if want := len(data) * 8 / 5; n != want {
+		t.Fatalf("n = %d, want %d", n, want)
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("value %d: got %d want %d", i, out[i], vals[i])
+		}
+	}
+	if got := r.BitPos(); got != n*5 {
+		t.Fatalf("BitPos = %d, want %d", got, n*5)
 	}
 }
 
 func TestBulkZeroWidth(t *testing.T) {
 	r := NewReader(nil)
 	out := []uint64{7, 7}
-	if err := r.ReadBulk(out, 0); err != nil {
-		t.Fatal(err)
+	n, err := r.ReadBulk(out, 0)
+	if err != nil || n != 2 {
+		t.Fatalf("ReadBulk = %d, %v", n, err)
 	}
 	if out[0] != 0 || out[1] != 0 {
 		t.Errorf("out = %v", out)
 	}
 }
 
-func BenchmarkWriteBulk(b *testing.B) {
-	vals := make([]uint64, 1024)
-	for i := range vals {
-		vals[i] = uint64(i) & 0x7ff
+// benchWidths is the sweep the kernel benchmarks run over; BENCH_kernels.json
+// records the scalar-vs-kernel ratio for each.
+var benchWidths = []uint{1, 4, 7, 8, 12, 16, 20, 32, 48, 64}
+
+func benchVals(width uint, n int) []uint64 {
+	vals := make([]uint64, n)
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = 1<<width - 1
 	}
-	w := NewWriter(1 << 16)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		w.Reset()
-		w.WriteBulk(vals, 11)
+	for i := range vals {
+		vals[i] = (uint64(i)*0x9e3779b97f4a7c15 + 1) & mask
+	}
+	return vals
+}
+
+func BenchmarkWriteBulk(b *testing.B) {
+	for _, width := range benchWidths {
+		b.Run(fmt.Sprintf("w%02d", width), func(b *testing.B) {
+			vals := benchVals(width, 1024)
+			w := NewWriter(1 << 14)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.Reset()
+				w.WriteBulk(vals, width)
+			}
+		})
+	}
+}
+
+// BenchmarkWriteBulkScalar measures the pre-kernel accumulator path on the
+// same inputs (the "before" column of BENCH_kernels.json).
+func BenchmarkWriteBulkScalar(b *testing.B) {
+	for _, width := range benchWidths {
+		b.Run(fmt.Sprintf("w%02d", width), func(b *testing.B) {
+			vals := benchVals(width, 1024)
+			w := NewWriter(1 << 14)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.Reset()
+				w.writeBulkScalar(vals, width)
+			}
+		})
 	}
 }
 
 func BenchmarkReadBulk(b *testing.B) {
-	vals := make([]uint64, 1024)
-	for i := range vals {
-		vals[i] = uint64(i) & 0x7ff
+	for _, width := range benchWidths {
+		b.Run(fmt.Sprintf("w%02d", width), func(b *testing.B) {
+			vals := benchVals(width, 1024)
+			w := NewWriter(1 << 14)
+			w.WriteBulk(vals, width)
+			data := w.Bytes()
+			out := make([]uint64, 1024)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := NewReader(data)
+				if _, err := r.ReadBulk(out, width); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	w := NewWriter(1 << 16)
-	w.WriteBulk(vals, 11)
-	data := w.Bytes()
-	out := make([]uint64, 1024)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		r := NewReader(data)
-		if err := r.ReadBulk(out, 11); err != nil {
-			b.Fatal(err)
-		}
+}
+
+// BenchmarkReadBulkScalar measures the pre-kernel per-value load loop on the
+// same streams (the "before" column of BENCH_kernels.json).
+func BenchmarkReadBulkScalar(b *testing.B) {
+	for _, width := range benchWidths {
+		b.Run(fmt.Sprintf("w%02d", width), func(b *testing.B) {
+			vals := benchVals(width, 1024)
+			w := NewWriter(1 << 14)
+			w.WriteBulk(vals, width)
+			data := w.Bytes()
+			out := make([]uint64, 1024)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := NewReader(data)
+				if err := r.readBulkScalar(out, width); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReadBulkInt64(b *testing.B) {
+	for _, width := range benchWidths {
+		b.Run(fmt.Sprintf("w%02d", width), func(b *testing.B) {
+			vals := benchVals(width, 1024)
+			w := NewWriter(1 << 14)
+			w.WriteBulk(vals, width)
+			data := w.Bytes()
+			out := make([]int64, 1024)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := NewReader(data)
+				if err := r.ReadBulkInt64(out, width, 12345); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReadBulkInt64Unaligned starts the stream 3 bits in — the shape of
+// every BOS inlier plane, which sits after the positional bitmap — so it
+// exercises the realign-staging kernel path rather than the direct one.
+func BenchmarkReadBulkInt64Unaligned(b *testing.B) {
+	for _, width := range benchWidths {
+		b.Run(fmt.Sprintf("w%02d", width), func(b *testing.B) {
+			vals := benchVals(width, 1024)
+			w := NewWriter(1 << 14)
+			w.WriteBits(5, 3)
+			w.WriteBulk(vals, width)
+			data := w.Bytes()
+			out := make([]int64, 1024)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := NewReader(data)
+				if _, err := r.ReadBits(3); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.ReadBulkInt64(out, width, 12345); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReadBulkInt64Scalar(b *testing.B) {
+	for _, width := range benchWidths {
+		b.Run(fmt.Sprintf("w%02d", width), func(b *testing.B) {
+			vals := benchVals(width, 1024)
+			w := NewWriter(1 << 14)
+			w.WriteBulk(vals, width)
+			data := w.Bytes()
+			out := make([]int64, 1024)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := NewReader(data)
+				if err := r.readBulkInt64Scalar(out, width, 12345); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -42,11 +42,9 @@ func (Packer) Pack(dst []byte, vals []int64) []byte {
 	width := bitio.WidthOf(uint64(xmax) - uint64(xmin))
 	w.WriteVarint(xmin)
 	w.WriteBits(uint64(width), 8)
-	offsets := make([]uint64, len(vals))
-	for i, v := range vals {
-		offsets[i] = uint64(v) - uint64(xmin)
-	}
-	w.WriteBulk(offsets, width)
+	// Fused frame-of-reference pack: the offsets uint64(v)-uint64(xmin)
+	// are computed inside the bulk writer, no scratch slice.
+	w.WriteBulkInt64(vals, uint64(xmin), width)
 	return append(dst, w.Bytes()...)
 }
 

@@ -72,11 +72,9 @@ func encodePlain(w *bitio.Writer, vals []int64, plan *Plan) {
 	w.WriteVarint(plan.Xmin)
 	width := bitio.WidthOf(spread(plan.Xmin, plan.Xmax))
 	w.WriteBits(uint64(width), 8)
-	offsets := make([]uint64, len(vals))
-	for i, v := range vals {
-		offsets[i] = spread(plan.Xmin, v)
-	}
-	w.WriteBulk(offsets, width)
+	// Fused frame-of-reference pack: WriteBulkInt64 computes
+	// spread(plan.Xmin, v) per value itself, sparing the offsets scratch.
+	w.WriteBulkInt64(vals, uint64(plan.Xmin), width)
 }
 
 //bos:hotpath
@@ -119,19 +117,15 @@ func encodeBOS(w *bitio.Writer, vals []int64, plan *Plan) {
 		}
 	}
 	// Values in original order, relative to their class minimum; maximal
-	// runs of center values go through the bulk writer.
-	scratch := make([]uint64, 0, len(vals))
+	// runs of center values go through the fused bulk writer (it computes
+	// spread(plan.MinXc, v) per value itself, no scratch slice).
 	for i := 0; i < len(vals); {
 		if classes[i] == classCenter {
 			j := i + 1
 			for j < len(vals) && classes[j] == classCenter {
 				j++
 			}
-			scratch = scratch[:0]
-			for k := i; k < j; k++ {
-				scratch = append(scratch, spread(plan.MinXc, vals[k]))
-			}
-			w.WriteBulk(scratch, plan.Beta)
+			w.WriteBulkInt64(vals[i:j], uint64(plan.MinXc), plan.Beta)
 			i = j
 			continue
 		}

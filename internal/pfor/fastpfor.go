@@ -66,13 +66,9 @@ func (FastPFOR) Pack(dst []byte, vals []int64) []byte {
 	}
 	w.WriteVarint(f.xmin)
 	w.WriteBits(uint64(b), 8)
-	mask := ^uint64(0)
-	if b < 64 {
-		mask = uint64(1)<<b - 1
-	}
-	for _, u := range f.u {
-		w.WriteBits(u&mask, b)
-	}
+	// WriteBulk masks each value to b bits itself (byte-identical to the
+	// old WriteBits(u&mask, b) loop).
+	w.WriteBulk(f.u, b)
 	w.WriteUvarint(uint64(nBuckets))
 	iw := idxWidth(n)
 	for h := 1; h <= 64; h++ {

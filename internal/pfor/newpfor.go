@@ -83,13 +83,9 @@ func packLowHigh(dst []byte, f *frame, b uint, _ string) []byte {
 	w.WriteBits(uint64(b), 8)
 	w.WriteBits(uint64(high), 8)
 	w.WriteUvarint(uint64(len(excIdx)))
-	mask := ^uint64(0)
-	if b < 64 {
-		mask = uint64(1)<<b - 1
-	}
-	for _, u := range f.u {
-		w.WriteBits(u&mask, b)
-	}
+	// WriteBulk masks each value to b bits itself (byte-identical to the
+	// old WriteBits(u&mask, b) loop).
+	w.WriteBulk(f.u, b)
 	iw := idxWidth(n)
 	for _, idx := range excIdx {
 		w.WriteBits(uint64(idx), iw)

@@ -167,13 +167,15 @@ func (Packer) Pack(dst []byte, vals []int64) []byte {
 			next[idx] = excIdx[k+1] - idx - 1
 		}
 	}
+	slots := make([]uint64, len(vals))
 	for i, u := range f.u {
 		if isExc[i] {
-			w.WriteBits(uint64(next[i]), b)
+			slots[i] = uint64(next[i])
 		} else {
-			w.WriteBits(u, b)
+			slots[i] = u
 		}
 	}
+	w.WriteBulk(slots, b)
 	// Exception values at full offset width, in index order.
 	for _, idx := range excIdx {
 		w.WriteBits(f.u[idx], f.wmax)
@@ -227,11 +229,8 @@ func (Packer) Unpack(src []byte, out []int64) ([]int64, []byte, error) {
 		first = int(f64)
 	}
 	slots := make([]uint64, n)
-	for i := range slots {
-		slots[i], err = r.ReadBits(b)
-		if err != nil {
-			return out, nil, fmt.Errorf("%w: slot %d: %v", errCorrupt, i, err)
-		}
+	if _, err := r.ReadBulk(slots, b); err != nil {
+		return out, nil, fmt.Errorf("%w: slots: %v", errCorrupt, err)
 	}
 	base := len(out)
 	for _, s := range slots {
