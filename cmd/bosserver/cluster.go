@@ -60,7 +60,7 @@ func openRouter(man *cluster.Manifest, root string, opt engine.Options, maintCfg
 	shards := make([]cluster.Shard, 0, len(man.Shards))
 	fail := func(err error) (*cluster.Router, error) {
 		for _, s := range shards {
-			s.Close() //bos:nolint(checkederr): best-effort unwind after a failed open
+			s.Close() // best-effort unwind after a failed open
 		}
 		return nil, err
 	}
@@ -101,7 +101,7 @@ func runRebalance(man *cluster.Manifest, root string, opt engine.Options, newMap
 	if err != nil {
 		return err
 	}
-	defer router.Close() //bos:nolint(checkederr): read-only open, plan already emitted
+	defer router.Close() // read-only open, plan already emitted
 	series, err := router.Series()
 	if err != nil {
 		return err

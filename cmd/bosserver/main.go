@@ -102,14 +102,12 @@ func main() {
 		File:           tsfile.Options{Packer: p},
 	}
 	if *pprofA != "" {
-		// The pprof handlers self-register on http.DefaultServeMux; serving
-		// it on its own listener keeps profiling off the public API address.
-		ln, err := net.Listen("tcp", *pprofA)
+		stopPprof, pprofAddr, err := startPprof(*pprofA)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "bosserver: pprof on http://%s/debug/pprof/\n", ln.Addr())
-		go http.Serve(ln, nil)
+		fmt.Fprintf(os.Stderr, "bosserver: pprof on http://%s/debug/pprof/\n", pprofAddr)
+		defer stopPprof()
 	}
 
 	benchCfg := benchConfig{
@@ -288,6 +286,27 @@ func serveCluster(router *cluster.Router, addr, packerName, mapPath string) erro
 	}
 	fmt.Fprintln(os.Stderr, "bosserver: clean shutdown")
 	return nil
+}
+
+// startPprof serves net/http/pprof's self-registered DefaultServeMux
+// handlers on their own listener, keeping profiling off the public API
+// address. The returned stop closes the server and waits the serving
+// goroutine out, so a graceful shutdown never leaves a profiler attached to
+// an engine that is mid-teardown.
+func startPprof(addr string) (stop func(), bound net.Addr, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	return func() {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bosserver: pprof shutdown:", err)
+		}
+		<-errc
+	}, ln.Addr(), nil
 }
 
 func joinNames() string {

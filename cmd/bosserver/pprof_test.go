@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestStartPprofStops pins the pprof listener lifecycle: the endpoint serves
+// while running and is fully torn down by stop — the socket stops accepting,
+// so a graceful shutdown does not leave a profiler attached to a closing
+// engine.
+func TestStartPprofStops(t *testing.T) {
+	stop, addr, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("http://%s/debug/pprof/", addr)
+	resp, err := http.Get(url)
+	if err != nil {
+		stop()
+		t.Fatalf("pprof endpoint not serving: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		stop()
+		t.Fatalf("pprof index returned %d, want 200", resp.StatusCode)
+	}
+
+	stop() // must close the listener and join the serving goroutine
+
+	if conn, err := net.DialTimeout("tcp", addr.String(), 500*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("pprof listener still accepting connections after stop")
+	}
+}

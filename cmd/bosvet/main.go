@@ -1,28 +1,51 @@
 // Command bosvet runs the module's static-analysis suite: the lock-order,
-// checked-error, hot-path and mutex-copy analyzers from internal/analysis.
+// checked-error, hot-path, mutex-copy, atomic-field, goroutine-lifecycle and
+// escape-regression analyzers from internal/analysis.
 //
 // Usage:
 //
-//	bosvet [-list] [packages]
+//	bosvet [-list] [-v] [-json] [-escape-baseline] [packages]
 //
 // Package patterns follow the usual go tool shapes ("./...", "./internal/engine");
 // the default is "./..." from the current directory's module. The command
 // prints one line per diagnostic and exits with status 1 when any
 // unsuppressed diagnostic was found, 2 on usage or load errors.
+//
+// -json emits the findings as a JSON array of {file,line,col,analyzer,message}
+// objects (CI archives it as an artifact); -v adds per-analyzer wall time on
+// stderr; -escape-baseline recomputes the hot-path escape allowlist from the
+// current tree and prints it on stdout — redirect it over
+// internal/analysis/escape_baseline.txt to bless the current escapes, or diff
+// it against the committed file to gate drift.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"bos/internal/analysis"
 )
 
+// jsonDiag is the machine-readable finding shape for -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the configured analyzers and exit")
+	verbose := flag.Bool("v", false, "report per-analyzer wall time on stderr")
+	asJSON := flag.Bool("json", false, "print diagnostics as a JSON array on stdout")
+	escBaseline := flag.Bool("escape-baseline", false, "recompute the hot-path escape allowlist and print it on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bosvet [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: bosvet [-list] [-v] [-json] [-escape-baseline] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -30,7 +53,7 @@ func main() {
 	analyzers := analysis.DefaultAnalyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
 		}
 		return
 	}
@@ -45,6 +68,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bosvet: %v\n", err)
 		os.Exit(2)
 	}
+	loader := analysis.NewLoader(modDir, modPath)
+
+	if *escBaseline {
+		keys, err := analysis.ComputeEscapeBaseline(loader, analysis.BOSEscapeCheck())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bosvet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println("# Blessed heap escapes in //bos:hotpath functions; one \"pkgpath.Func: message\"")
+		fmt.Println("# per line. Regenerate with `bosvet -escape-baseline`; CI fails on drift.")
+		for _, k := range keys {
+			fmt.Println(k)
+		}
+		return
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -52,13 +90,43 @@ func main() {
 	}
 
 	drv := &analysis.Driver{
-		Loader:    analysis.NewLoader(modDir, modPath),
+		Loader:    loader,
 		Analyzers: analyzers,
 	}
 	diags, err := drv.CheckPatterns(patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bosvet: %v\n", err)
 		os.Exit(2)
+	}
+	if *verbose {
+		names := make([]string, 0, len(drv.Timings))
+		for name := range drv.Timings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "bosvet: %-14s %v\n", name, drv.Timings[name])
+		}
+	}
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
+				file = rel
+			}
+			out = append(out, jsonDiag{File: file, Line: d.Pos.Line, Col: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "bosvet: %v\n", err)
+			os.Exit(2)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	if len(diags) > 0 {
 		analysis.Print(os.Stdout, cwd, diags)

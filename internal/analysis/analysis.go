@@ -44,9 +44,12 @@ type Pass struct {
 	Analyzer Analyzer
 	Fset     *token.FileSet
 	PkgPath  string
-	Pkg      *types.Package
-	Files    []*ast.File
-	Info     *types.Info
+	// Dir is the package's source directory on disk (build-wrapping
+	// analyzers like escapecheck shell out relative to it).
+	Dir   string
+	Pkg   *types.Package
+	Files []*ast.File
+	Info  *types.Info
 
 	report func(Diagnostic)
 }

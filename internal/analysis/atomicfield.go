@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewAtomicField returns the atomicfield analyzer.
+//
+// A struct field is an atomic field when any code in the package passes its
+// address to a sync/atomic function (atomic.AddInt64(&s.n, 1), ...) or when
+// it is declared with one of sync/atomic's named types (atomic.Int64,
+// atomic.Bool, atomic.Pointer[T], ...). Mixing disciplines on such a field —
+// an atomic store in one function and a plain `s.n++` or `if s.n > 0` in
+// another — is a data race the race detector only catches when the two sides
+// actually collide under test; this check makes the discipline structural:
+//
+//   - a field whose address ever reaches sync/atomic must be accessed
+//     through sync/atomic everywhere (plain reads, writes and aliasing are
+//     reported). Struct-literal initialization is exempt: a composite
+//     literal builds a value no other goroutine can see yet;
+//   - a field of an atomic named type may only be used as a method receiver
+//     (s.n.Load(), s.n.Store(v)) or have its address taken; assigning the
+//     whole field (which both bypasses the atomic protocol and copies the
+//     embedded noCopy state) or reading it as a value is reported.
+//
+// The analysis is per package, which matches how such fields are used here:
+// every atomic field in this module is unexported.
+func NewAtomicField() Analyzer { return &atomicField{} }
+
+type atomicField struct{}
+
+func (a *atomicField) Name() string { return "atomicfield" }
+func (a *atomicField) Doc() string {
+	return "fields passed to sync/atomic or declared atomic.* must be accessed atomically everywhere (no mixed plain/atomic access)"
+}
+
+func (a *atomicField) Run(pass *Pass) {
+	marked := map[*types.Var]token.Position{} // plain-typed fields used atomically -> first atomic use
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			if field := addressedField(pass, call.Args[0]); field != nil {
+				if _, seen := marked[field]; !seen {
+					marked[field] = pass.Fset.Position(call.Args[0].Pos())
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range pass.Files {
+		w := &atomicWalker{pass: pass, marked: marked}
+		w.walk(file)
+	}
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package function.
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return fn.Pkg().Path() == "sync/atomic" && (sig == nil || sig.Recv() == nil)
+}
+
+// addressedField resolves `&x.f` to the struct field f, or nil.
+func addressedField(pass *Pass, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	return selectedField(pass, u.X)
+}
+
+// selectedField resolves a selector expression to the struct field it
+// selects, or nil for anything else (methods, package selectors, locals).
+func selectedField(pass *Pass, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	return selection.Obj().(*types.Var)
+}
+
+// atomicTypeName returns the sync/atomic named type of t ("atomic.Int64"),
+// or "" when t is not one of them.
+func atomicTypeName(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return "atomic." + obj.Name()
+}
+
+// atomicWalker checks every field selector in one file against the atomic
+// discipline, tracking parents to recognize the sanctioned access shapes.
+type atomicWalker struct {
+	pass   *Pass
+	marked map[*types.Var]token.Position
+	stack  []ast.Node
+}
+
+func (w *atomicWalker) walk(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			w.stack = w.stack[:len(w.stack)-1]
+			return true
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			w.checkSelector(sel)
+		}
+		w.stack = append(w.stack, n)
+		return true
+	})
+}
+
+// parent returns the i-th enclosing node of the one being visited (1 is the
+// immediate parent), unwrapping parenthesized expressions.
+func (w *atomicWalker) parent(i int) ast.Node {
+	for idx := len(w.stack) - 1; idx >= 0; idx-- {
+		if _, ok := w.stack[idx].(*ast.ParenExpr); ok {
+			continue
+		}
+		i--
+		if i == 0 {
+			return w.stack[idx]
+		}
+	}
+	return nil
+}
+
+func (w *atomicWalker) checkSelector(sel *ast.SelectorExpr) {
+	field := selectedField(w.pass, sel)
+	if field == nil {
+		return
+	}
+	if name := atomicTypeName(field.Type()); name != "" {
+		w.checkAtomicTyped(sel, field, name)
+		return
+	}
+	first, isMarked := w.marked[field]
+	if !isMarked {
+		return
+	}
+	switch p := w.parent(1).(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			// Address taken: fine when it feeds sync/atomic, reported as
+			// aliasing otherwise (a plain pointer to an atomic field lets
+			// unchecked code race on it).
+			if call, ok := w.parent(2).(*ast.CallExpr); ok && isAtomicCall(w.pass, call) {
+				return
+			}
+			w.pass.Reportf(sel.Pos(), "address of field %s escapes outside sync/atomic: the field is updated atomically (first atomic use at %s) and plain aliases race with it",
+				field.Name(), first)
+			return
+		}
+	case *ast.SelectorExpr:
+		if ast.Unparen(p.X) == sel {
+			return // deeper selection: s.stats.n — the leaf selector decides
+		}
+	case *ast.KeyValueExpr:
+		return // struct-literal initialization happens before publication
+	case *ast.IncDecStmt:
+		w.pass.Reportf(sel.Pos(), "plain %s of field %s which is updated atomically elsewhere (first atomic use at %s): use sync/atomic for every access",
+			"increment", field.Name(), first)
+		return
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == sel {
+				w.pass.Reportf(sel.Pos(), "plain %s of field %s which is updated atomically elsewhere (first atomic use at %s): use sync/atomic for every access",
+					"write", field.Name(), first)
+				return
+			}
+		}
+	}
+	w.pass.Reportf(sel.Pos(), "plain %s of field %s which is updated atomically elsewhere (first atomic use at %s): use sync/atomic for every access",
+		"read", field.Name(), first)
+}
+
+// checkAtomicTyped enforces the method-or-address rule on fields declared
+// with a sync/atomic named type.
+func (w *atomicWalker) checkAtomicTyped(sel *ast.SelectorExpr, field *types.Var, typeName string) {
+	switch p := w.parent(1).(type) {
+	case *ast.SelectorExpr:
+		if ast.Unparen(p.X) == sel {
+			return // method call or deeper selection through the field
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // &s.n passed along; the callee uses the atomic API
+		}
+	case *ast.KeyValueExpr:
+		return // composite-literal init, pre-publication
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == sel {
+				w.pass.Reportf(sel.Pos(), "plain store to %s field %s: assignment bypasses the atomic protocol (use %s.Store)",
+					typeName, field.Name(), field.Name())
+				return
+			}
+		}
+	}
+	w.pass.Reportf(sel.Pos(), "%s field %s copied as a plain value: use %s.Load (atomic types must not be copied)",
+		typeName, field.Name(), field.Name())
+}

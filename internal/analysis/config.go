@@ -19,7 +19,9 @@ package analysis
 //	                           leader drops it and holds the walBusy token)
 //
 // Any path may skip levels but never acquires a lower or equal level while
-// holding a higher one.
+// holding a higher one. The lockStripes/unlockStripes barrier pair (and any
+// future wrapper) is not configured here: the analyzer infers acquire and
+// release wrappers from per-function lock summaries.
 func EngineLockOrder() LockOrderConfig {
 	return LockOrderConfig{
 		PkgPath: "bos/internal/engine",
@@ -36,8 +38,6 @@ func EngineLockOrder() LockOrderConfig {
 			2: "memtable stripes",
 			3: "walMu",
 		},
-		Acquire: map[string]int{"Engine.lockStripes": 2},
-		Release: map[string]int{"Engine.unlockStripes": 2},
 	}
 }
 
@@ -78,6 +78,32 @@ func BOSHotPath() HotPathConfig {
 	}
 }
 
+// BOSGoroutineLife recognizes the module's fan-out helpers: functions that
+// own the WaitGroup joining the goroutines they spawn, so spawns routed
+// through them need no per-site proof.
+func BOSGoroutineLife() GoroutineLifeConfig {
+	return GoroutineLifeConfig{
+		Helpers: []string{
+			"bos/internal/engine.fanOut",
+		},
+	}
+}
+
+// BOSEscapeCheck gates the packages whose //bos:hotpath functions must stay
+// allocation-free: the decode kernels (bitio), the BOS core codec, and the
+// engine's WAL/flush append paths. The committed baseline blesses today's
+// escapes; anything new fails the build (see README, "Static analysis").
+func BOSEscapeCheck() EscapeCheckConfig {
+	return EscapeCheckConfig{
+		Packages: []string{
+			"bos/internal/bitio",
+			"bos/internal/core",
+			"bos/internal/engine",
+		},
+		BaselineFile: "internal/analysis/escape_baseline.txt",
+	}
+}
+
 // DefaultAnalyzers is the analyzer suite cmd/bosvet runs: the module's
 // concurrency and codec invariants, machine-checked.
 func DefaultAnalyzers() []Analyzer {
@@ -86,5 +112,8 @@ func DefaultAnalyzers() []Analyzer {
 		NewCheckedErr(BOSCheckedErr()),
 		NewHotPath(BOSHotPath()),
 		NewMutexCopy(),
+		NewAtomicField(),
+		NewGoroutineLife(BOSGoroutineLife()),
+		NewEscapeCheck(BOSEscapeCheck()),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"time"
 )
 
 // Driver runs a set of analyzers over module packages and applies the
@@ -11,6 +12,10 @@ import (
 type Driver struct {
 	Loader    *Loader
 	Analyzers []Analyzer
+
+	// Timings accumulates per-analyzer wall time across every package
+	// checked through this driver (bosvet -v prints it).
+	Timings map[string]time.Duration
 }
 
 // CheckPatterns loads every package matched by patterns, runs all analyzers
@@ -38,21 +43,28 @@ func (d *Driver) CheckPatterns(patterns []string) ([]Diagnostic, error) {
 }
 
 // CheckPackage runs every analyzer over one package and filters the results
-// through the package's //bos:nolint directives. Malformed directives are
-// appended as "nolint" diagnostics.
+// through the package's //bos:nolint directives. Malformed directives and
+// stale suppressions (directives whose analyzer no longer fires on the
+// covered lines) are appended as "nolint" diagnostics.
 func (d *Driver) CheckPackage(pkg *Package) []Diagnostic {
+	if d.Timings == nil {
+		d.Timings = map[string]time.Duration{}
+	}
 	var raw []Diagnostic
 	for _, a := range d.Analyzers {
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
 			PkgPath:  pkg.Path,
+			Dir:      pkg.Dir,
 			Pkg:      pkg.Types,
 			Files:    pkg.Files,
 			Info:     pkg.Info,
 			report:   func(diag Diagnostic) { raw = append(raw, diag) },
 		}
+		start := time.Now()
 		a.Run(pass)
+		d.Timings[a.Name()] += time.Since(start)
 	}
 	known := map[string]bool{}
 	for _, a := range d.Analyzers {
@@ -67,6 +79,7 @@ func (d *Driver) CheckPackage(pkg *Package) []Diagnostic {
 			out = append(out, diag)
 		}
 	}
+	dirs.reportStale(func(diag Diagnostic) { out = append(out, diag) })
 	sortDiagnostics(out)
 	return out
 }

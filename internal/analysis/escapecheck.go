@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EscapeCheckConfig gates heap escapes in hot functions. The analyzer wraps
+// the real compiler: it runs `go build -gcflags=-m -l` on each configured
+// package, parses the escape diagnostics, keeps the ones that land inside a
+// //bos:hotpath function (or a file-level hot marker), and fails on any that
+// the committed baseline does not bless.
+type EscapeCheckConfig struct {
+	// Packages are the import paths whose hot functions are gated. Only
+	// these are built: the check costs one (cached) compile per package.
+	Packages []string
+	// BaselineFile is the allowlist of known escapes, relative to the
+	// module root. One "pkgpath.Func: diagnostic" key per line; blank lines
+	// and #-comments are ignored. Regenerate with `bosvet -escape-baseline`.
+	BaselineFile string
+}
+
+// NewEscapeCheck returns the escapecheck analyzer.
+//
+// Inlining is disabled (-l) so diagnostics attribute to the function that
+// wrote the code, and the escape keys are function-scoped rather than
+// line-scoped: "bos/internal/engine.fanOut: moved to heap: next" survives
+// unrelated edits shifting line numbers. The compiler's own escape analysis
+// is the ground truth — this gate only turns its -m chatter into a
+// regression test for the ~390 generated kernels and the flush/WAL append
+// paths whose performance story depends on staying allocation-free.
+func NewEscapeCheck(cfg EscapeCheckConfig) Analyzer {
+	a := &escapeCheck{pkgs: map[string]bool{}, baselineFile: cfg.BaselineFile}
+	for _, p := range cfg.Packages {
+		a.pkgs[p] = true
+	}
+	return a
+}
+
+type escapeCheck struct {
+	pkgs         map[string]bool
+	baselineFile string
+}
+
+func (a *escapeCheck) Name() string { return "escapecheck" }
+func (a *escapeCheck) Doc() string {
+	return "run `go build -gcflags=-m -l` on hot packages and fail on heap escapes in //bos:hotpath functions absent from the baseline"
+}
+
+// escapeFinding is one compiler escape diagnostic inside a hot function.
+type escapeFinding struct {
+	key  string // "pkgpath.Func: message" — the baseline unit
+	fn   string // "Func" or "Type.Method"
+	msg  string
+	file *ast.File
+	line int
+}
+
+// escapeLine matches one `go build -m` diagnostic worth gating. The compiler
+// also prints "... does not escape" and inline notes; only actual heap moves
+// count.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*(?:escapes to heap|moved to heap).*)$`)
+
+func (a *escapeCheck) Run(pass *Pass) {
+	if !a.pkgs[pass.PkgPath] {
+		return
+	}
+	findings, err := a.findings(pass)
+	if err != nil {
+		pass.Reportf(pass.Files[0].Package, "escapecheck could not analyze %s: %v", pass.PkgPath, err)
+		return
+	}
+	if len(findings) == 0 {
+		return
+	}
+	baseline, err := a.loadBaseline(pass.Dir)
+	if err != nil {
+		pass.Reportf(pass.Files[0].Package, "escapecheck could not read baseline: %v", err)
+		return
+	}
+	for _, f := range findings {
+		if baseline[f.key] {
+			continue
+		}
+		tf := pass.Fset.File(f.file.Package)
+		pos := f.file.Package
+		if tf != nil && f.line <= tf.LineCount() {
+			pos = tf.LineStart(f.line)
+		}
+		pass.Reportf(pos, "new heap escape in hot path: %s (in %s); keep the function allocation-free, or bless it by adding %q to %s",
+			f.msg, f.fn, f.key, a.baselineFile)
+	}
+}
+
+// findings builds the package with escape diagnostics enabled and keeps the
+// ones landing inside a hot function.
+func (a *escapeCheck) findings(pass *Pass) ([]escapeFinding, error) {
+	modRoot, _, err := FindModule(pass.Dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(modRoot, pass.Dir)
+	if err != nil {
+		return nil, err
+	}
+	// -l disables inlining so escapes attribute to their source function;
+	// the build cache replays the diagnostics, so warm runs cost nothing.
+	cmd := exec.Command("go", "build", "-gcflags=-m -l", "./"+filepath.ToSlash(rel))
+	cmd.Dir = modRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+	hot := a.hotRanges(pass)
+	if len(hot) == 0 {
+		return nil, nil
+	}
+	var findings []escapeFinding
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(modRoot, file)
+		}
+		lineno, _ := strconv.Atoi(m[2])
+		msg := m[3]
+		for _, h := range hot {
+			if h.filename == file && lineno >= h.start && lineno <= h.end {
+				findings = append(findings, escapeFinding{
+					key:  pass.PkgPath + "." + h.name + ": " + msg,
+					fn:   h.name,
+					msg:  msg,
+					file: h.astFile,
+					line: lineno,
+				})
+				break
+			}
+		}
+	}
+	return findings, nil
+}
+
+// hotRange is the line span of one hot function in one file.
+type hotRange struct {
+	filename   string
+	start, end int
+	name       string
+	astFile    *ast.File
+}
+
+// hotRanges collects every //bos:hotpath function (explicit doc marker or
+// file-level marker) as a file/line range for diagnostic attribution.
+func (a *escapeCheck) hotRanges(pass *Pass) []hotRange {
+	var out []hotRange
+	for _, file := range pass.Files {
+		fileHot := hasFileHotMarker(file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !fileHot && !hasHotMarker(fn.Doc) {
+				continue
+			}
+			start := pass.Fset.Position(fn.Pos())
+			end := pass.Fset.Position(fn.End())
+			name := fn.Name.Name
+			if fn.Recv != nil && len(fn.Recv.List) == 1 {
+				if tv, ok := pass.Info.Types[fn.Recv.List[0].Type]; ok {
+					if recv := namedRecv(tv.Type); recv != "" {
+						name = recv + "." + name
+					}
+				}
+			}
+			out = append(out, hotRange{
+				filename: start.Filename,
+				start:    start.Line,
+				end:      end.Line,
+				name:     name,
+				astFile:  file,
+			})
+		}
+	}
+	return out
+}
+
+// loadBaseline reads the allowlist relative to the module root of dir. A
+// missing file is an empty baseline: every hot escape is then a finding.
+func (a *escapeCheck) loadBaseline(dir string) (map[string]bool, error) {
+	if a.baselineFile == "" {
+		return map[string]bool{}, nil
+	}
+	modRoot, _, err := FindModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(modRoot, a.baselineFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	baseline := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		baseline[line] = true
+	}
+	return baseline, nil
+}
+
+// ComputeEscapeBaseline runs the escape extraction over every configured
+// package and returns the sorted key set — the exact content of a fresh
+// baseline file (bosvet -escape-baseline prints it; CI diffs it against the
+// committed one).
+func ComputeEscapeBaseline(loader *Loader, cfg EscapeCheckConfig) ([]string, error) {
+	a := NewEscapeCheck(cfg).(*escapeCheck)
+	seen := map[string]bool{}
+	for _, path := range cfg.Packages {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			PkgPath:  pkg.Path,
+			Dir:      pkg.Dir,
+			Pkg:      pkg.Types,
+			Files:    pkg.Files,
+			Info:     pkg.Info,
+		}
+		findings, err := a.findings(pass)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range findings {
+			seen[f.key] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestComputeEscapeBaseline pins the bosvet -escape-baseline plumbing: the
+// computed key set for the escape fixture must contain every deliberate hot
+// escape (including the blessed and the inline-suppressed ones — the
+// baseline is the raw compiler truth, suppression happens at report time)
+// and nothing from the unmarked cold function.
+func TestComputeEscapeBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build; skipped in -short runs")
+	}
+	srcDir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := ComputeEscapeBaseline(NewLoader(srcDir, "fix"), EscapeCheckConfig{
+		Packages:     []string{"fix/escape"},
+		BaselineFile: "escape/baseline.txt",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, k := range keys {
+		got[k] = true
+	}
+	for _, want := range []string{
+		"fix/escape.EscapePointer: moved to heap: x",
+		"fix/escape.EscapeMake: make([]byte, n) escapes to heap",
+		"fix/escape.EscapeClosure: moved to heap: n",
+		"fix/escape.Blessed: new(big) escapes to heap",
+		"fix/escape.Suppressed: new(big) escapes to heap",
+		"fix/escape.FileLevelHot: moved to heap: w",
+	} {
+		if !got[want] {
+			t.Errorf("baseline is missing %q; got:\n%v", want, keys)
+		}
+	}
+	for _, k := range keys {
+		if len(k) >= len("fix/escape.cold") && k[:len("fix/escape.cold")] == "fix/escape.cold" {
+			t.Errorf("cold (unmarked) function leaked into the baseline: %q", k)
+		}
+	}
+}

@@ -18,19 +18,8 @@ import (
 // module's package paths and type names.
 func fixtureAnalyzers() []Analyzer {
 	return []Analyzer{
-		NewLockOrder(LockOrderConfig{
-			PkgPath: "fix/lockorder",
-			DocRef:  "the fixture hierarchy table",
-			Fields: map[string]int{
-				"Engine.flushMu":  0,
-				"Engine.structMu": 1,
-				"memStripe.mu":    2,
-				"Engine.walMu":    3,
-			},
-			LevelName: map[int]string{0: "flushMu", 1: "structMu", 2: "stripes", 3: "walMu"},
-			Acquire:   map[string]int{"Engine.lockStripes": 2},
-			Release:   map[string]int{"Engine.unlockStripes": 2},
-		}),
+		NewLockOrder(fixtureLockOrder("fix/lockorder")),
+		NewLockOrder(fixtureLockOrder("fix/lockorder2")),
 		NewCheckedErr(CheckedErrConfig{
 			Packages:   []string{"fix/checkederrapi"},
 			Funcs:      []string{"io.ReadAll"},
@@ -41,6 +30,29 @@ func fixtureAnalyzers() []Analyzer {
 			BannedFuncs: []string{"time.Now", "time.Since"},
 		}),
 		NewMutexCopy(),
+		NewAtomicField(),
+		NewGoroutineLife(GoroutineLifeConfig{}),
+		NewEscapeCheck(EscapeCheckConfig{
+			Packages:     []string{"fix/escape"},
+			BaselineFile: "escape/baseline.txt",
+		}),
+	}
+}
+
+// fixtureLockOrder is the fixture mirror of EngineLockOrder, applied to both
+// lockorder fixture packages (the intra-procedural one and the cross-call
+// one).
+func fixtureLockOrder(pkgPath string) LockOrderConfig {
+	return LockOrderConfig{
+		PkgPath: pkgPath,
+		DocRef:  "the fixture hierarchy table",
+		Fields: map[string]int{
+			"Engine.flushMu":  0,
+			"Engine.structMu": 1,
+			"memStripe.mu":    2,
+			"Engine.walMu":    3,
+		},
+		LevelName: map[int]string{0: "flushMu", 1: "structMu", 2: "stripes", 3: "walMu"},
 	}
 }
 
@@ -112,7 +124,7 @@ func TestGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	drv := &Driver{Loader: NewLoader(srcDir, "fix"), Analyzers: fixtureAnalyzers()}
-	for _, pkg := range []string{"lockorder", "checkederr", "checkederrapi", "hotpath", "hotpathgen", "mutexcopy", "nolint"} {
+	for _, pkg := range []string{"lockorder", "lockorder2", "checkederr", "checkederrapi", "hotpath", "hotpathgen", "mutexcopy", "nolint", "atomicfield", "goroutinelife", "escape"} {
 		t.Run(pkg, func(t *testing.T) {
 			diags, err := drv.CheckPatterns([]string{"fix/" + pkg})
 			if err != nil {

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // LockOrderConfig models a documented lock hierarchy for one package. Locks
@@ -11,9 +12,9 @@ import (
 // must be acquired in ascending order, skipping levels is allowed, and no
 // lock may be acquired while a lock of the same or a higher level is held.
 //
-// Wrapper methods that acquire or release a whole level (e.g. an
-// all-stripes barrier) are declared in Acquire/Release; their bodies are the
-// level's primitive implementation and are exempt from simulation.
+// Wrapper functions — an all-stripes barrier, an unlock helper — are not
+// declared anywhere: the analyzer infers them from per-function summaries
+// (see the interprocedural notes on NewLockOrder).
 type LockOrderConfig struct {
 	// PkgPath is the package the hierarchy applies to.
 	PkgPath string
@@ -23,39 +24,65 @@ type LockOrderConfig struct {
 	Fields map[string]int
 	// LevelName names each level for diagnostics.
 	LevelName map[int]string
-	// Acquire/Release map wrapper methods ("Type.method") to the level they
-	// take or drop as a write lock.
-	Acquire map[string]int
-	// Release pairs with Acquire.
-	Release map[string]int
+	// IntraOnly disables the propagation of callee summaries at call
+	// sites, reverting to the v1 single-body analysis (wrapper inference
+	// for leak suppression stays: v1 exempted wrapper bodies through
+	// configuration). Only tests set it, to pin exactly which violations
+	// the interprocedural pass catches that a per-function pass cannot
+	// (the cross-call blind spot).
+	IntraOnly bool
 }
 
 // NewLockOrder returns the lockorder analyzer for one configured hierarchy.
 //
-// The check is intra-procedural and path-sensitive over the structured
-// statement forms Go encourages for critical sections: straight-line code,
-// if/else, for/range, switch and select. Within each function (and each
-// function literal, which starts with no locks held) it simulates the set of
-// held configured locks and reports:
+// The check is path-sensitive over the structured statement forms Go
+// encourages for critical sections — straight-line code, if/else, for/range,
+// switch and select — and, unlike its first version, interprocedural: before
+// reporting anything it builds a module-local call graph over the package's
+// function declarations and computes a lock summary for every function by
+// running the same simulation in a silent mode. A summary records three sets
+// of configured lock classes:
 //
-//   - acquiring a lock while holding one of the same or a higher level
-//     (out-of-hierarchy order, the deadlock precondition);
+//   - acquires: classes the function (or anything it calls, transitively)
+//     may acquire at some point while running;
+//   - heldAtExit: classes held, with no deferred unlock pending, at every
+//     exit — the function is an acquire wrapper for them (e.g. lockStripes);
+//   - releases: classes the function unlocks without ever acquiring them —
+//     the function is a release wrapper; its callers must hold the class
+//     (e.g. unlockStripes).
+//
+// Summaries are propagated to a fixed point (bounded rounds, so recursive
+// call cycles converge and then stop), and the reporting pass applies the
+// callee's summary at every call site. That is what catches the cross-call
+// violations the per-function pass is blind to: f holding a stripe and
+// calling g, where only g takes structMu, is flagged at the call to g.
+//
+// Within each function (and each function literal, which starts with no
+// locks held) the simulation reports:
+//
+//   - acquiring a lock — directly or via a call — while holding one of the
+//     same or a higher level (out-of-hierarchy order, the deadlock
+//     precondition);
 //   - a TryLock whose result is not branched on directly (`if mu.TryLock()`
 //     or `if !mu.TryLock()` are the modeled forms): the simulation cannot
 //     follow a stored boolean, so other uses are reported and conservatively
 //     treated as a successful acquisition;
-//   - a return reached while a configured lock is held with no deferred
-//     unlock scheduled (a leak on that path);
-//   - falling off the end of the function in the same state;
-//   - unlocking a lock that is not held, or with the wrong flavor
-//     (RUnlock for a write lock and vice versa);
+//   - a return (or falling off the end) while a configured lock is held with
+//     no deferred unlock scheduled — unless the function holds the class at
+//     every exit and a release twin exists in the package, in which case it
+//     is an acquire wrapper and its callers carry the obligation;
+//   - unlocking a lock that was acquired and already released on this path
+//     (double unlock), or with the wrong flavor (RUnlock for a write lock
+//     and vice versa). Unlocking a class the function never acquired is not
+//     a local error: it makes the function a release wrapper, and calls to
+//     it while the class is not held are reported at the call site;
+//   - calling a release wrapper without holding what it releases;
 //   - any defer inside a loop while a lock is held (defers run at function
 //     exit, not loop exit, so the critical section silently widens).
 //
 // Unconfigured mutexes are ignored, and lock state is tracked per field
 // (per class), not per instance: two instances of the same field must go
-// through a configured wrapper (e.g. lockStripes) rather than be nested
-// directly.
+// through an inferred all-instance wrapper rather than be nested directly.
 func NewLockOrder(cfg LockOrderConfig) Analyzer { return &lockOrder{cfg: cfg} }
 
 type lockOrder struct {
@@ -64,7 +91,7 @@ type lockOrder struct {
 
 func (a *lockOrder) Name() string { return "lockorder" }
 func (a *lockOrder) Doc() string {
-	return "enforce the configured mutex hierarchy: ascending acquisition, unlock on every path, no defer-in-loop under a lock"
+	return "enforce the configured mutex hierarchy across function boundaries: call-graph lock summaries, ascending acquisition, unlock on every path"
 }
 
 func (a *lockOrder) levelName(level int) string {
@@ -74,45 +101,128 @@ func (a *lockOrder) levelName(level int) string {
 	return "?"
 }
 
+// maxSummaryRounds bounds the summary fixpoint: each round propagates
+// summaries one call-graph edge further, and recursive cycles stop growing
+// once their acquire sets saturate (the sets are subsets of the configured
+// classes, so convergence is fast; the bound is a backstop).
+const maxSummaryRounds = 8
+
 func (a *lockOrder) Run(pass *Pass) {
 	if pass.PkgPath != a.cfg.PkgPath {
 		return
 	}
+	ip := newInterproc(pass)
+	ip.computeSummaries(a, pass)
+	for _, fd := range ip.decls {
+		sim := &lockSim{a: a, pass: pass, ip: ip, self: ip.objs[fd], cur: newFuncSummary(), report: true}
+		sim.runFunc(fd.Body)
+	}
+}
+
+// interproc is the per-package call-graph state: every declared function
+// with a body, in file order, plus the lock summary fixpoint.
+type interproc struct {
+	decls       []*ast.FuncDecl
+	objs        map[*ast.FuncDecl]*types.Func
+	sums        map[*types.Func]*funcSummary
+	releaseTwin map[string]bool // classes some function releases at entry
+}
+
+func newInterproc(pass *Pass) *interproc {
+	ip := &interproc{
+		objs:        map[*ast.FuncDecl]*types.Func{},
+		sums:        map[*types.Func]*funcSummary{},
+		releaseTwin: map[string]bool{},
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
 				continue
 			}
-			if key, ok := a.funcKey(pass, fn); ok {
-				if _, w := a.cfg.Acquire[key]; w {
-					continue // wrapper bodies implement the level primitive
-				}
-				if _, w := a.cfg.Release[key]; w {
-					continue
-				}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
 			}
-			sim := &lockSim{a: a, pass: pass}
-			sim.runBody(fn.Body)
+			ip.decls = append(ip.decls, fd)
+			ip.objs[fd] = obj
+		}
+	}
+	return ip
+}
+
+// computeSummaries iterates the silent simulation over every declaration
+// until the summaries stop changing. Within a round each function sees the
+// freshest summaries computed so far (declaration order), so a chain of
+// wrappers converges in one round and mutual recursion in a handful.
+func (ip *interproc) computeSummaries(a *lockOrder, pass *Pass) {
+	for round := 0; round < maxSummaryRounds; round++ {
+		changed := false
+		for _, fd := range ip.decls {
+			obj := ip.objs[fd]
+			sim := &lockSim{a: a, pass: pass, ip: ip, self: obj, cur: newFuncSummary()}
+			sum := sim.runFunc(fd.Body)
+			if !sum.equal(ip.sums[obj]) {
+				ip.sums[obj] = sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, sum := range ip.sums {
+		for class := range sum.releases {
+			ip.releaseTwin[class] = true
 		}
 	}
 }
 
-// funcKey renders a declared method as "Type.method".
-func (a *lockOrder) funcKey(pass *Pass, fn *ast.FuncDecl) (string, bool) {
-	obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
-	if !ok {
-		return "", false
+// funcSummary is one function's effect on the configured lock classes.
+type funcSummary struct {
+	acquires   map[string]lockOp // may be acquired while the function runs
+	heldAtExit map[string]lockOp // held at every exit (acquire wrapper)
+	releases   map[string]lockOp // released without acquiring (release wrapper)
+}
+
+func newFuncSummary() *funcSummary {
+	return &funcSummary{
+		acquires:   map[string]lockOp{},
+		heldAtExit: map[string]lockOp{},
+		releases:   map[string]lockOp{},
 	}
-	sig := obj.Type().(*types.Signature)
-	if sig.Recv() == nil {
-		return obj.Name(), true
+}
+
+func (s *funcSummary) empty() bool {
+	return len(s.acquires) == 0 && len(s.heldAtExit) == 0 && len(s.releases) == 0
+}
+
+func (s *funcSummary) equal(o *funcSummary) bool {
+	if o == nil {
+		return false
 	}
-	recv := namedRecv(sig.Recv().Type())
-	if recv == "" {
-		return "", false
+	return sameOps(s.acquires, o.acquires) && sameOps(s.heldAtExit, o.heldAtExit) && sameOps(s.releases, o.releases)
+}
+
+func sameOps(a, b map[string]lockOp) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return recv + "." + obj.Name(), true
+	for class, op := range a {
+		if other, ok := b[class]; !ok || other.read != op.read {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedClasses(m map[string]lockOp) []string {
+	out := make([]string, 0, len(m))
+	for class := range m {
+		out = append(out, class)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // lockOpKind classifies one statement's effect on the lock state.
@@ -132,93 +242,59 @@ const (
 // lockOp is one recognized operation on a configured lock class.
 type lockOp struct {
 	kind  lockOpKind
-	class string // "Type.field" or wrapper target
+	class string // "Type.field"
 	level int
 	read  bool // RLock/RUnlock flavor
 }
 
-// classify recognizes sync Lock/RLock/Unlock/RUnlock calls on configured
-// fields and configured wrapper methods.
+// classify recognizes sync Lock/RLock/Unlock/RUnlock/TryLock/TryRLock calls
+// on configured fields. Wrapper calls are not special-cased here: they are
+// handled through the callee's summary.
 func (a *lockOrder) classify(pass *Pass, call *ast.CallExpr) (lockOp, bool) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return lockOp{}, false
 	}
 	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
-	if fn == nil {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return lockOp{}, false
 	}
-	if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
-		var kind lockOpKind
-		var read bool
-		switch fn.Name() {
-		case "Lock":
-			kind = opAcquire
-		case "RLock":
-			kind, read = opAcquire, true
-		case "Unlock":
-			kind = opRelease
-		case "RUnlock":
-			kind, read = opRelease, true
-		case "TryLock":
-			kind = opTryAcquire
-		case "TryRLock":
-			kind, read = opTryAcquire, true
-		default:
-			return lockOp{}, false
-		}
-		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
-		if !ok {
-			return lockOp{}, false
-		}
-		selection := pass.Info.Selections[inner]
-		if selection == nil {
-			return lockOp{}, false
-		}
-		owner := namedRecv(selection.Recv())
-		if owner == "" {
-			return lockOp{}, false
-		}
-		class := owner + "." + inner.Sel.Name
-		level, configured := a.cfg.Fields[class]
-		if !configured {
-			return lockOp{}, false
-		}
-		return lockOp{kind: kind, class: class, level: level, read: read}, true
-	}
-	// Wrapper methods live in the configured package.
-	if fn.Pkg() == nil || fn.Pkg().Path() != a.cfg.PkgPath {
+	var kind lockOpKind
+	var read bool
+	switch fn.Name() {
+	case "Lock":
+		kind = opAcquire
+	case "RLock":
+		kind, read = opAcquire, true
+	case "Unlock":
+		kind = opRelease
+	case "RUnlock":
+		kind, read = opRelease, true
+	case "TryLock":
+		kind = opTryAcquire
+	case "TryRLock":
+		kind, read = opTryAcquire, true
+	default:
 		return lockOp{}, false
 	}
-	sig := fn.Type().(*types.Signature)
-	if sig.Recv() == nil {
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
 		return lockOp{}, false
 	}
-	recv := namedRecv(sig.Recv().Type())
-	if recv == "" {
+	selection := pass.Info.Selections[inner]
+	if selection == nil {
 		return lockOp{}, false
 	}
-	key := recv + "." + fn.Name()
-	if level, ok := a.cfg.Acquire[key]; ok {
-		return lockOp{kind: opAcquire, class: key, level: level}, true
+	owner := namedRecv(selection.Recv())
+	if owner == "" {
+		return lockOp{}, false
 	}
-	if level, ok := a.cfg.Release[key]; ok {
-		// A release wrapper drops whatever its acquire twin took; pair them
-		// through the level so lockStripes/unlockStripes match.
-		return lockOp{kind: opRelease, class: acquireClassFor(a.cfg, level), level: level}, true
+	class := owner + "." + inner.Sel.Name
+	level, configured := a.cfg.Fields[class]
+	if !configured {
+		return lockOp{}, false
 	}
-	return lockOp{}, false
-}
-
-// acquireClassFor finds the acquire-wrapper class registered at level, so a
-// release wrapper at the same level closes it.
-func acquireClassFor(cfg LockOrderConfig, level int) string {
-	for key, l := range cfg.Acquire {
-		if l == level {
-			return key
-		}
-	}
-	return ""
+	return lockOp{kind: kind, class: class, level: level, read: read}, true
 }
 
 // heldLock is the simulated state of one acquired lock class.
@@ -229,42 +305,120 @@ type heldLock struct {
 	pos      token.Pos
 }
 
-// lockState maps held class -> state. States are cloned at branches.
-type lockState map[string]*heldLock
+// lockState is one path's simulation state: the held classes plus every
+// class acquired earlier on the path (held or not), which distinguishes a
+// double unlock from a release wrapper unlocking on the caller's behalf.
+type lockState struct {
+	held map[string]*heldLock
+	acq  map[string]bool
+}
 
-func (s lockState) clone() lockState {
-	out := make(lockState, len(s))
-	for k, v := range s {
+func newLockState() *lockState {
+	return &lockState{held: map[string]*heldLock{}, acq: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	out := &lockState{held: make(map[string]*heldLock, len(s.held)), acq: make(map[string]bool, len(s.acq))}
+	for k, v := range s.held {
 		c := *v
-		out[k] = &c
+		out.held[k] = &c
+	}
+	for k := range s.acq {
+		out.acq[k] = true
 	}
 	return out
 }
 
-// lockSim walks one function body.
+// sortedHeld lists the held classes in deterministic order for reporting.
+func sortedHeld(st *lockState) []string {
+	out := make([]string, 0, len(st.held))
+	for class := range st.held {
+		out = append(out, class)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockSim walks one function body (in silent summary mode or reporting mode).
 type lockSim struct {
 	a    *lockOrder
 	pass *Pass
+	ip   *interproc
+	self *types.Func // the declaration being simulated; nil for literals
+
+	cur    *funcSummary // summary under construction
+	report bool
+	exits  []*lockState
 }
 
-// runBody simulates a function (or function literal) starting with no locks
-// held and reports a leak if the body can fall off the end still holding one.
-func (s *lockSim) runBody(body *ast.BlockStmt) {
-	st, terminated := s.walkStmts(body.List, lockState{}, false)
-	if terminated {
+// runFunc simulates a function (or function literal) starting with no locks
+// held and derives its summary from the collected exit states.
+func (s *lockSim) runFunc(body *ast.BlockStmt) *funcSummary {
+	st, terminated := s.walkStmts(body.List, newLockState(), false)
+	if !terminated {
+		s.exit(st, body.Rbrace, true)
+	}
+	if len(s.exits) > 0 {
+		for class, h := range s.exits[0].held {
+			if h.deferred {
+				continue
+			}
+			everywhere := true
+			for _, e := range s.exits[1:] {
+				if hh, ok := e.held[class]; !ok || hh.deferred {
+					everywhere = false
+					break
+				}
+			}
+			if everywhere {
+				s.cur.heldAtExit[class] = lockOp{kind: opAcquire, class: class, level: h.level, read: h.read}
+			}
+		}
+	}
+	return s.cur
+}
+
+// exit records one exit state and, in reporting mode, flags locks leaking
+// through it — unless the function is an inferred acquire wrapper for the
+// class (held at every exit, with a release twin somewhere in the package).
+func (s *lockSim) exit(st *lockState, pos token.Pos, atEnd bool) {
+	s.exits = append(s.exits, st.clone())
+	if !s.report {
 		return
 	}
-	for class, h := range st {
-		if !h.deferred {
-			s.pass.Reportf(body.Rbrace, "function ends while still holding %s (locked at %s; no unlock or deferred unlock on this path)",
+	for _, class := range sortedHeld(st) {
+		h := st.held[class]
+		if h.deferred || s.wrapperHold(class) {
+			continue
+		}
+		if atEnd {
+			s.pass.Reportf(pos, "function ends while still holding %s (locked at %s; no unlock or deferred unlock on this path)",
+				class, s.pass.Fset.Position(h.pos))
+		} else {
+			s.pass.Reportf(pos, "returns while holding %s (locked at %s; no unlock or deferred unlock on this path)",
 				class, s.pass.Fset.Position(h.pos))
 		}
 	}
 }
 
+// wrapperHold reports whether the function being simulated legitimately
+// hands class to its callers: it holds it at every exit and some function in
+// the package is the matching release wrapper.
+func (s *lockSim) wrapperHold(class string) bool {
+	if s.self == nil {
+		return false
+	}
+	sum := s.ip.sums[s.self]
+	if sum == nil {
+		return false
+	}
+	_, netHeld := sum.heldAtExit[class]
+	return netHeld && s.ip.releaseTwin[class]
+}
+
 // walkStmts simulates a statement list. It returns the resulting state and
 // whether every path through the list terminates (returns or panics).
-func (s *lockSim) walkStmts(stmts []ast.Stmt, st lockState, inLoop bool) (lockState, bool) {
+func (s *lockSim) walkStmts(stmts []ast.Stmt, st *lockState, inLoop bool) (*lockState, bool) {
 	for _, stmt := range stmts {
 		var terminated bool
 		st, terminated = s.walkStmt(stmt, st, inLoop)
@@ -275,7 +429,7 @@ func (s *lockSim) walkStmts(stmts []ast.Stmt, st lockState, inLoop bool) (lockSt
 	return st, false
 }
 
-func (s *lockSim) walkStmt(stmt ast.Stmt, st lockState, inLoop bool) (lockState, bool) {
+func (s *lockSim) walkStmt(stmt ast.Stmt, st *lockState, inLoop bool) (*lockState, bool) {
 	switch n := stmt.(type) {
 	case *ast.ExprStmt:
 		s.visitFuncLits(n.X)
@@ -287,32 +441,19 @@ func (s *lockSim) walkStmt(stmt ast.Stmt, st lockState, inLoop bool) (lockState,
 		}
 	case *ast.DeferStmt:
 		s.visitFuncLits(n.Call)
-		if inLoop && len(st) > 0 {
-			s.pass.Reportf(n.Pos(), "defer inside a loop while holding %s: deferred calls run at function exit, widening the critical section every iteration",
+		if inLoop && len(st.held) > 0 {
+			s.reportf(n.Pos(), "defer inside a loop while holding %s: deferred calls run at function exit, widening the critical section every iteration",
 				anyHeld(st))
 		}
-		if op, ok := s.a.classify(s.pass, n.Call); ok {
-			switch op.kind {
-			case opRelease:
-				if h, held := st[op.class]; held {
-					h.deferred = true
-				} else {
-					s.pass.Reportf(n.Pos(), "defer unlocks %s which is not held at this point", op.class)
-				}
-			case opAcquire, opTryAcquire:
-				s.pass.Reportf(n.Pos(), "defer acquires %s: acquisition cannot be deferred", op.class)
-			}
-		}
+		st = s.applyDefer(n, st)
 	case *ast.ReturnStmt:
 		for _, res := range n.Results {
 			s.visitFuncLits(res)
-		}
-		for class, h := range st {
-			if !h.deferred {
-				s.pass.Reportf(n.Pos(), "returns while holding %s (locked at %s; no unlock or deferred unlock on this path)",
-					class, s.pass.Fset.Position(h.pos))
+			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+				st = s.applyCall(call, st)
 			}
 		}
+		s.exit(st, n.Pos(), false)
 		return st, true
 	case *ast.AssignStmt:
 		for _, e := range n.Rhs {
@@ -323,9 +464,23 @@ func (s *lockSim) walkStmt(stmt ast.Stmt, st lockState, inLoop bool) (lockState,
 		}
 	case *ast.DeclStmt:
 		s.visitFuncLits(n)
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					if call, ok := ast.Unparen(v).(*ast.CallExpr); ok {
+						st = s.applyCall(call, st)
+					}
+				}
+			}
+		}
 	case *ast.GoStmt:
 		// A spawned goroutine starts with its own empty lock state; its
-		// literal body is simulated independently by visitFuncLits.
+		// literal body is simulated independently by visitFuncLits, and a
+		// named callee is simulated as its own declaration.
 		s.visitFuncLits(n.Call)
 	case *ast.BlockStmt:
 		return s.walkStmts(n.List, st, inLoop)
@@ -397,8 +552,8 @@ func (s *lockSim) walkStmt(stmt ast.Stmt, st lockState, inLoop bool) (lockState,
 // walkClauses merges the case bodies of a switch/select: the result is the
 // union of every non-terminating clause (plus the entry state when there is
 // no default clause, since the switch may then match nothing).
-func (s *lockSim) walkClauses(body *ast.BlockStmt, st lockState, inLoop bool) (lockState, bool) {
-	merged := lockState(nil)
+func (s *lockSim) walkClauses(body *ast.BlockStmt, st *lockState, inLoop bool) (*lockState, bool) {
+	merged := (*lockState)(nil)
 	hasDefault := false
 	allTerminate := true
 	for _, clause := range body.List {
@@ -456,57 +611,186 @@ func (s *lockSim) tryCond(cond ast.Expr) (op lockOp, negated, ok bool) {
 	return op, negated, true
 }
 
+// reportf is Pass.Reportf gated on reporting mode (summary rounds are
+// silent; the final pass re-simulates with report set).
+func (s *lockSim) reportf(pos token.Pos, format string, args ...any) {
+	if s.report {
+		s.pass.Reportf(pos, format, args...)
+	}
+}
+
 // acquire folds one successful acquisition into a fresh state, reporting
 // hierarchy violations against what is already held.
-func (s *lockSim) acquire(op lockOp, st lockState, pos token.Pos) lockState {
-	if _, held := st[op.class]; held {
-		s.pass.Reportf(pos, "%s acquired while already held: nested same-class acquisition deadlocks (for multiple instances use the configured wrapper; see %s)",
+func (s *lockSim) acquire(op lockOp, st *lockState, pos token.Pos) *lockState {
+	s.cur.acquires[op.class] = op
+	if _, held := st.held[op.class]; held {
+		s.reportf(pos, "%s acquired while already held: nested same-class acquisition deadlocks (for multiple instances use an all-instance wrapper; see %s)",
 			op.class, s.a.cfg.DocRef)
 		return st
 	}
-	for class, h := range st {
+	for _, class := range sortedHeld(st) {
+		h := st.held[class]
 		if h.level >= op.level {
-			s.pass.Reportf(pos, "%s (level %d, %s) acquired while holding %s (level %d, %s): lock order is ascending levels only (see %s)",
+			s.reportf(pos, "%s (level %d, %s) acquired while holding %s (level %d, %s): lock order is ascending levels only (see %s)",
 				op.class, op.level, s.a.levelName(op.level), class, h.level, s.a.levelName(h.level), s.a.cfg.DocRef)
 		}
 	}
 	st = st.clone()
-	st[op.class] = &heldLock{level: op.level, read: op.read, pos: pos}
+	st.held[op.class] = &heldLock{level: op.level, read: op.read, pos: pos}
+	st.acq[op.class] = true
 	return st
 }
 
-// applyCall folds one call's lock effect into the state.
-func (s *lockSim) applyCall(call *ast.CallExpr, st lockState) lockState {
-	op, ok := s.a.classify(s.pass, call)
-	if !ok {
+// release folds one direct unlock into the state. Releasing a class the
+// function never acquired on this path is not an error: it makes the
+// function a release wrapper (callers must hold the class, checked at their
+// call sites).
+func (s *lockSim) release(op lockOp, st *lockState, pos token.Pos) *lockState {
+	h, held := st.held[op.class]
+	if !held {
+		if st.acq[op.class] {
+			s.reportf(pos, "unlock of %s which is not held on this path", op.class)
+		} else {
+			s.cur.releases[op.class] = op
+		}
 		return st
 	}
-	switch op.kind {
-	case opAcquire:
-		return s.acquire(op, st, call.Pos())
-	case opTryAcquire:
-		// Reaching here means the try's result is not branched on directly;
-		// the simulation cannot follow it. Treat the lock as acquired so the
-		// later unlock does not cascade into false reports.
-		s.pass.Reportf(call.Pos(), "result of TryLock on %s is not branched on directly: lockorder models only `if mu.TryLock()` / `if !mu.TryLock()` (see %s)",
-			op.class, s.a.cfg.DocRef)
-		return s.acquire(op, st, call.Pos())
-	case opRelease:
-		h, held := st[op.class]
-		if !held {
-			s.pass.Reportf(call.Pos(), "unlock of %s which is not held on this path", op.class)
-			return st
+	if h.read != op.read {
+		want, got := "Unlock", "RUnlock"
+		if h.read {
+			want, got = "RUnlock", "Unlock"
 		}
-		if h.read != op.read {
-			want, got := "Unlock", "RUnlock"
-			if h.read {
-				want, got = "RUnlock", "Unlock"
+		s.reportf(pos, "%s released with %s but was acquired as a %s lock (use %s)",
+			op.class, got, flavor(h.read), want)
+	}
+	st = st.clone()
+	delete(st.held, op.class)
+	return st
+}
+
+// applyCall folds one call's lock effect into the state: a direct sync
+// operation on a configured field, or — interprocedurally — the callee's
+// summary.
+func (s *lockSim) applyCall(call *ast.CallExpr, st *lockState) *lockState {
+	if op, ok := s.a.classify(s.pass, call); ok {
+		switch op.kind {
+		case opAcquire:
+			return s.acquire(op, st, call.Pos())
+		case opTryAcquire:
+			// Reaching here means the try's result is not branched on
+			// directly; the simulation cannot follow it. Treat the lock as
+			// acquired so the later unlock does not cascade into false
+			// reports.
+			s.reportf(call.Pos(), "result of TryLock on %s is not branched on directly: lockorder models only `if mu.TryLock()` / `if !mu.TryLock()` (see %s)",
+				op.class, s.a.cfg.DocRef)
+			return s.acquire(op, st, call.Pos())
+		case opRelease:
+			return s.release(op, st, call.Pos())
+		}
+		return st
+	}
+	fn, sum := s.calleeSummary(call)
+	if sum == nil {
+		return st
+	}
+	return s.applySummary(call.Pos(), fn.Name(), sum, st)
+}
+
+// calleeSummary resolves a call to a same-package declaration with a
+// non-empty lock summary.
+func (s *lockSim) calleeSummary(call *ast.CallExpr) (*types.Func, *funcSummary) {
+	if s.a.cfg.IntraOnly {
+		return nil, nil
+	}
+	fn := calleeFunc(s.pass.Info, call)
+	if fn == nil {
+		return nil, nil
+	}
+	sum := s.ip.sums[fn]
+	if sum == nil || sum.empty() {
+		return nil, nil
+	}
+	return fn, sum
+}
+
+// applySummary applies a callee's lock summary at a call site: entry
+// releases first (the caller must hold them), then a hierarchy check for
+// everything the callee may acquire, then the callee's net acquisitions.
+func (s *lockSim) applySummary(pos token.Pos, name string, sum *funcSummary, st *lockState) *lockState {
+	for _, class := range sortedClasses(sum.releases) {
+		op := sum.releases[class]
+		if h, held := st.held[class]; held {
+			if h.read != op.read {
+				want, got := "Unlock", "RUnlock"
+				if h.read {
+					want, got = "RUnlock", "Unlock"
+				}
+				s.reportf(pos, "call to %s releases %s with %s but it was acquired as a %s lock (use %s)",
+					name, class, got, flavor(h.read), want)
 			}
-			s.pass.Reportf(call.Pos(), "%s released with %s but was acquired as a %s lock (use %s)",
-				op.class, got, flavor(h.read), want)
+			st = st.clone()
+			delete(st.held, class)
+		} else {
+			s.reportf(pos, "call to %s releases %s which is not held on this path", name, class)
 		}
-		st = st.clone()
-		delete(st, op.class)
+	}
+	for _, class := range sortedClasses(sum.acquires) {
+		op := sum.acquires[class]
+		s.cur.acquires[class] = op
+		if _, held := st.held[class]; held {
+			s.reportf(pos, "call to %s acquires %s which is already held: nested same-class acquisition deadlocks (see %s)",
+				name, class, s.a.cfg.DocRef)
+			continue
+		}
+		for _, hclass := range sortedHeld(st) {
+			h := st.held[hclass]
+			if h.level >= op.level {
+				s.reportf(pos, "call to %s acquires %s (level %d, %s) while holding %s (level %d, %s): lock order is ascending levels only (see %s)",
+					name, class, op.level, s.a.levelName(op.level), hclass, h.level, s.a.levelName(h.level), s.a.cfg.DocRef)
+			}
+		}
+	}
+	for _, class := range sortedClasses(sum.heldAtExit) {
+		op := sum.heldAtExit[class]
+		if _, held := st.held[class]; !held {
+			st = st.clone()
+			st.held[class] = &heldLock{level: op.level, read: op.read, pos: pos}
+			st.acq[class] = true
+		}
+	}
+	return st
+}
+
+// applyDefer handles a defer of a direct unlock, a direct (illegal)
+// acquisition, or a call whose summary releases or acquires classes.
+func (s *lockSim) applyDefer(n *ast.DeferStmt, st *lockState) *lockState {
+	if op, ok := s.a.classify(s.pass, n.Call); ok {
+		switch op.kind {
+		case opRelease:
+			if h, held := st.held[op.class]; held {
+				h.deferred = true
+			} else {
+				s.reportf(n.Pos(), "defer unlocks %s which is not held at this point", op.class)
+			}
+		case opAcquire, opTryAcquire:
+			s.reportf(n.Pos(), "defer acquires %s: acquisition cannot be deferred", op.class)
+		}
+		return st
+	}
+	fn, sum := s.calleeSummary(n.Call)
+	if sum == nil {
+		return st
+	}
+	for _, class := range sortedClasses(sum.releases) {
+		if h, held := st.held[class]; held {
+			h.deferred = true
+		} else {
+			s.reportf(n.Pos(), "defer calls %s which releases %s not held at this point", fn.Name(), class)
+		}
+	}
+	if len(sum.heldAtExit) > 0 {
+		s.reportf(n.Pos(), "defer calls %s which acquires %s: acquisition cannot be deferred",
+			fn.Name(), sortedClasses(sum.heldAtExit)[0])
 	}
 	return st
 }
@@ -514,15 +798,17 @@ func (s *lockSim) applyCall(call *ast.CallExpr, st lockState) lockState {
 // visitFuncLits simulates every function literal in an expression tree as an
 // independent function (a literal's body starts with no locks held, even
 // when the enclosing function holds some — the literal may run later, on
-// another goroutine, or not at all).
+// another goroutine, or not at all). Literal summaries are discarded: only
+// declared functions participate in the call graph.
 func (s *lockSim) visitFuncLits(n ast.Node) {
 	if n == nil {
 		return
 	}
 	ast.Inspect(n, func(node ast.Node) bool {
 		if lit, ok := node.(*ast.FuncLit); ok {
-			s.runBody(lit.Body)
-			return false // runBody handles nested literals
+			inner := &lockSim{a: s.a, pass: s.pass, ip: s.ip, cur: newFuncSummary(), report: s.report}
+			inner.runFunc(lit.Body)
+			return false // the inner sim handles nested literals
 		}
 		return true
 	})
@@ -531,7 +817,7 @@ func (s *lockSim) visitFuncLits(n ast.Node) {
 // mergeStates unions two branch outcomes. A lock held on either side stays
 // tracked (conservative for leak detection); deferred unlocks only survive
 // when scheduled on every merged path.
-func mergeStates(a, b lockState) lockState {
+func mergeStates(a, b *lockState) *lockState {
 	if a == nil {
 		return b
 	}
@@ -539,20 +825,23 @@ func mergeStates(a, b lockState) lockState {
 		return a
 	}
 	out := a.clone()
-	for class, h := range b {
-		if existing, ok := out[class]; ok {
+	for class, h := range b.held {
+		if existing, ok := out.held[class]; ok {
 			existing.deferred = existing.deferred && h.deferred
 			continue
 		}
 		c := *h
-		out[class] = &c
+		out.held[class] = &c
+	}
+	for class := range b.acq {
+		out.acq[class] = true
 	}
 	return out
 }
 
-func anyHeld(st lockState) string {
-	for class := range st {
-		return class
+func anyHeld(st *lockState) string {
+	if names := sortedHeld(st); len(names) > 0 {
+		return names[0]
 	}
 	return "?"
 }

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLockOrderInterprocBlindSpot pins the reason lockorder went
+// interprocedural: every function in the fix/lockorder2 package is clean in
+// isolation, so the v1-style intra-procedural simulation (IntraOnly) reports
+// nothing there, while the call-graph pass reports every cross-call
+// violation the fixture's want markers assert (TestGolden checks those
+// exactly; here we only need the count to be nonzero).
+func TestLockOrderInterprocBlindSpot(t *testing.T) {
+	srcDir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(intraOnly bool) []Diagnostic {
+		cfg := fixtureLockOrder("fix/lockorder2")
+		cfg.IntraOnly = intraOnly
+		drv := &Driver{Loader: NewLoader(srcDir, "fix"), Analyzers: []Analyzer{NewLockOrder(cfg)}}
+		diags, err := drv.CheckPatterns([]string{"fix/lockorder2"})
+		if err != nil {
+			t.Fatalf("loading fixture: %v", err)
+		}
+		// The driver also reports stale-nolint findings (the fixture's
+		// suppression is legitimately stale under IntraOnly, since the
+		// diagnostic it silences only exists interprocedurally); judge the
+		// blind spot on lockorder diagnostics alone.
+		var out []Diagnostic
+		for _, d := range diags {
+			if d.Analyzer == "lockorder" {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+
+	if diags := run(true); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("intra-procedural pass unexpectedly reported: %s", d)
+		}
+	}
+	inter := run(false)
+	if len(inter) < 4 {
+		t.Fatalf("interprocedural pass reported %d diagnostics, want at least 4 cross-call findings:\n%v", len(inter), inter)
+	}
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -22,29 +23,58 @@ import (
 // are reported.
 const nolintName = "nolint"
 
-// directive is one parsed //bos:nolint comment.
-type directive struct {
-	file      string
-	line      int
-	analyzers map[string]bool
+// nolintEntry is the merged suppression state of one "file:line" location:
+// which analyzers its directives name, and which of those actually matched a
+// diagnostic (the rest are stale).
+type nolintEntry struct {
+	pos   token.Position
+	names map[string]bool
+	used  map[string]bool
 }
 
 // directiveSet indexes the well-formed directives of one package.
 type directiveSet struct {
-	byLoc map[string]map[string]bool // "file:line" -> analyzer set
+	byLoc   map[string]*nolintEntry // "file:line" -> entry
+	entries []*nolintEntry          // in parse order, for deterministic stale reports
 }
 
-// suppresses reports whether d covers the given diagnostic.
+// suppresses reports whether a directive covers the given diagnostic, and
+// records the use on every covering directive so unused suppressions can be
+// flagged afterwards.
 func (s *directiveSet) suppresses(d Diagnostic) bool {
 	if d.Analyzer == nolintName {
 		return false
 	}
+	matched := false
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		if set, ok := s.byLoc[locKey(d.Pos.Filename, line)]; ok && set[d.Analyzer] {
-			return true
+		if e, ok := s.byLoc[locKey(d.Pos.Filename, line)]; ok && e.names[d.Analyzer] {
+			e.used[d.Analyzer] = true
+			matched = true
 		}
 	}
-	return false
+	return matched
+}
+
+// reportStale flags every suppression whose analyzer reported nothing on the
+// covered lines: the finding it once silenced is gone, so the directive is
+// dead weight that would silently swallow a future, different finding.
+func (s *directiveSet) reportStale(report func(Diagnostic)) {
+	for _, e := range s.entries {
+		names := make([]string, 0, len(e.names))
+		for name := range e.names {
+			if !e.used[name] {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			report(Diagnostic{
+				Pos:      e.pos,
+				Analyzer: nolintName,
+				Message:  "stale bos:nolint(" + name + "): the " + name + " diagnostic no longer fires here; delete the suppression",
+			})
+		}
+	}
 }
 
 func locKey(file string, line int) string {
@@ -55,7 +85,7 @@ func locKey(file string, line int) string {
 // Malformed directives are reported through report; only well-formed ones
 // land in the returned set. known is the set of valid analyzer names.
 func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool, report func(Diagnostic)) *directiveSet {
-	set := &directiveSet{byLoc: map[string]map[string]bool{}}
+	set := &directiveSet{byLoc: map[string]*nolintEntry{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -103,11 +133,14 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]
 					continue
 				}
 				key := locKey(pos.Filename, pos.Line)
-				if set.byLoc[key] == nil {
-					set.byLoc[key] = map[string]bool{}
+				entry := set.byLoc[key]
+				if entry == nil {
+					entry = &nolintEntry{pos: pos, names: map[string]bool{}, used: map[string]bool{}}
+					set.byLoc[key] = entry
+					set.entries = append(set.entries, entry)
 				}
 				for name := range analyzers {
-					set.byLoc[key][name] = true
+					entry.names[name] = true
 				}
 			}
 		}

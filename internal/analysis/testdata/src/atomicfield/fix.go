@@ -1,0 +1,65 @@
+// Package atomicfield mixes atomic and plain access on purpose: a field
+// that ever meets sync/atomic (by address or by named type) must be accessed
+// atomically everywhere, and everything else here demonstrates one way of
+// breaking that.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	closed int32
+	memPts int64
+	gen    atomic.Int64
+	ready  atomic.Bool
+}
+
+// Close marks closed as an atomic field for the whole package.
+func (c *counters) Close() {
+	atomic.StoreInt32(&c.closed, 1)
+}
+
+// AddAtomic marks memPts.
+func (c *counters) AddAtomic(n int64) {
+	atomic.AddInt64(&c.memPts, n)
+}
+
+func (c *counters) IsClosedRacy() bool {
+	return c.closed == 1 // want `plain read of field closed which is updated atomically elsewhere`
+}
+
+func (c *counters) AddRacy() {
+	c.memPts++ // want `plain increment of field memPts which is updated atomically elsewhere`
+}
+
+func (c *counters) ResetRacy() {
+	c.closed = 0 // want `plain write of field closed which is updated atomically elsewhere`
+}
+
+func (c *counters) Alias() *int64 {
+	return &c.memPts // want `address of field memPts escapes outside sync/atomic`
+}
+
+// StoreGen is the sanctioned use of an atomic-typed field: method calls.
+func (c *counters) StoreGen(v int64) {
+	c.gen.Store(v)
+}
+
+func (c *counters) CopyGen() int64 {
+	g := c.gen // want `atomic.Int64 field gen copied as a plain value`
+	return g.Load()
+}
+
+func (c *counters) OverwriteReady() {
+	c.ready = atomic.Bool{} // want `plain store to atomic.Bool field ready`
+}
+
+// Composite-literal initialization happens before the value is published and
+// is exempt.
+func newCounters() *counters {
+	return &counters{closed: 0, memPts: 0}
+}
+
+// Suppression works like for any analyzer.
+func (c *counters) SuppressedRead() int64 {
+	return c.memPts //bos:nolint(atomicfield): fixture demonstrates suppression
+}

@@ -29,7 +29,7 @@ func DropsByDefer() {
 }
 
 func DropsByGo() {
-	go checkederrapi.Close() // want `error returned by fix/checkederrapi.Close is discarded by go statement`
+	go checkederrapi.Close() // want `error returned by fix/checkederrapi.Close is discarded by go statement` `go fix/checkederrapi.Close: callee is outside the package`
 }
 
 func BlanksError() []byte {

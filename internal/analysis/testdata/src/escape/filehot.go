@@ -1,0 +1,12 @@
+// The file-level marker makes every function in this file hot, the way the
+// generated kernel files opt in.
+
+//bos:hotpath
+
+package escape
+
+// FileLevelHot has no per-function marker; the file marker covers it.
+func FileLevelHot() *big {
+	w := big{} // want `new heap escape in hot path: moved to heap: w`
+	return &w
+}

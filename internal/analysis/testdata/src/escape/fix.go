@@ -1,0 +1,56 @@
+// Package escape feeds escapecheck deliberate heap escapes inside hot
+// functions: unbaselined ones are findings, one is blessed by baseline.txt,
+// and one is suppressed inline.
+package escape
+
+type big struct {
+	a, b [64]uint64
+}
+
+var (
+	sinkSlice []byte
+	sinkFn    func() int
+)
+
+//bos:hotpath
+func EscapePointer() *big {
+	x := big{} // want `new heap escape in hot path: moved to heap: x`
+	return &x
+}
+
+//bos:hotpath
+func EscapeMake(n int) {
+	buf := make([]byte, n) // want `new heap escape in hot path: make\(\[\]byte, n\) escapes to heap`
+	sinkSlice = buf
+}
+
+//bos:hotpath
+func EscapeClosure() {
+	n := 0                // want `new heap escape in hot path: moved to heap: n`
+	sinkFn = func() int { // want `new heap escape in hot path: func literal escapes to heap`
+		n++
+		return n
+	}
+}
+
+// Blessed's escape is in baseline.txt: known, tolerated, not reported.
+//
+//bos:hotpath
+func Blessed() *big {
+	y := new(big)
+	return y
+}
+
+// Suppressed's escape is acknowledged inline instead of in the baseline.
+//
+//bos:hotpath
+func Suppressed() *big {
+	z := new(big) //bos:nolint(escapecheck): fixture demonstrates suppression
+	return z
+}
+
+// cold is not marked: its escapes are nobody's business.
+func cold() *big {
+	c := new(big)
+	return c
+}

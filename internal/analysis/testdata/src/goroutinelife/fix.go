@@ -1,0 +1,124 @@
+// Package goroutinelife spawns goroutines with and without a provable join
+// or stop path: WaitGroup pairing, stop-channel/context selects and result
+// channels are accepted; fire-and-forget spawns are reported.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// StartWorker pairs a field WaitGroup: Add anywhere in the package, Done in
+// the body. Clean.
+func (s *server) StartWorker() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+// FanOut pairs a local WaitGroup: the Add precedes every spawn. Clean.
+func FanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// DoneNoAdd has a Done but no Add before the spawn: the pairing is broken,
+// so the Done proves nothing (Wait would return immediately).
+func DoneNoAdd() {
+	var wg sync.WaitGroup
+	go func() { // want `goroutine has no provable join or stop path`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// StartLoop selects on a field stop channel that Stop closes. Clean.
+func (s *server) StartLoop() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(time.Second):
+			}
+		}
+	}()
+}
+
+// loop is the named-callee variant of the same lifecycle.
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// StartNamed spawns a same-package method, judged by its body. Clean.
+func (s *server) StartNamed() {
+	go s.loop()
+}
+
+func (s *server) Stop() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// StartCtx waits on context cancellation. Clean.
+func StartCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Result sends on a channel the spawner receives from. Clean.
+func Result() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+// FireAndForget joins nothing and stops never.
+func FireAndForget() {
+	go func() { // want `goroutine has no provable join or stop path`
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// ExternalCallee spawns a function declared outside the package: nothing is
+// provable about its lifecycle.
+func ExternalCallee() {
+	go time.Sleep(time.Second) // want `go time.Sleep: callee is outside the package`
+}
+
+// FuncValue spawns through a function value: the body is unknown.
+func FuncValue(f func()) {
+	go f() // want `go statement through a function value`
+}
+
+// Suppressed documents its lifecycle out of band.
+func Suppressed() {
+	go func() { //bos:nolint(goroutinelife): fixture demonstrates suppression
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

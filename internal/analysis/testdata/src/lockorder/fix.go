@@ -23,8 +23,9 @@ type Engine struct {
 	walMu    sync.Mutex
 }
 
-// lockStripes is the configured acquire wrapper; its body is the level
-// primitive and is exempt from simulation.
+// lockStripes is an acquire wrapper: it holds memStripe.mu at every exit and
+// unlockStripes is its release twin, so the analyzer infers the pair from
+// their summaries — no configuration names them.
 func (e *Engine) lockStripes() {
 	for i := range e.stripes {
 		e.stripes[i].mu.Lock()
@@ -95,10 +96,11 @@ func (e *Engine) StripeThenStruct(i int) {
 	e.stripes[i].mu.Unlock()
 }
 
+// The barrier summary says memStripe.mu is held after lockStripes, so a
+// direct stripe lock behind it is a nested same-class acquisition.
 func (e *Engine) BarrierThenStripe(i int) {
 	e.lockStripes()
-	e.stripes[i].mu.Lock() // want `memStripe.mu \(level 2, stripes\) acquired while holding Engine.lockStripes`
-	e.stripes[i].mu.Unlock()
+	e.stripes[i].mu.Lock() // want `memStripe.mu acquired while already held`
 	e.unlockStripes()
 }
 
@@ -155,7 +157,12 @@ func (e *Engine) DeferInLoop(cleanups []func()) {
 	}
 }
 
+// A double unlock: the second release finds the class acquired-but-released
+// on this path, which distinguishes a bug from a release wrapper (a wrapper
+// unlocks a class its body never acquired at all).
 func (e *Engine) UnlockNotHeld() {
+	e.walMu.Lock()
+	e.walMu.Unlock()
 	e.walMu.Unlock() // want `unlock of Engine.walMu which is not held`
 }
 
@@ -166,11 +173,16 @@ func (e *Engine) WrongFlavor() {
 
 // A goroutine body starts with its own empty lock state: the literal may
 // lock independently, and the spawner's held locks do not leak into it.
+// (The WaitGroup pairing keeps the spawn goroutinelife-clean.)
 func (e *Engine) SpawnClean() {
 	e.structMu.Lock()
 	defer e.structMu.Unlock()
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		e.walMu.Lock()
 		defer e.walMu.Unlock()
 	}()
+	wg.Wait()
 }

@@ -1,0 +1,121 @@
+// Package lockorder2 holds cross-call hierarchy violations: every function
+// body is clean in isolation, so the v1 intra-procedural pass sees nothing
+// here (TestLockOrderInterprocBlindSpot pins that), and every finding below
+// exists only because call-graph summaries propagate lock effects to call
+// sites.
+package lockorder2
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type memStripe struct {
+	mu sync.RWMutex
+}
+
+type Engine struct {
+	flushMu  sync.Mutex
+	structMu sync.RWMutex
+	stripes  [4]memStripe
+	walMu    sync.Mutex
+}
+
+// takesStruct is clean in isolation: lock, unlock, no leak.
+func (e *Engine) takesStruct() {
+	e.structMu.Lock()
+	e.structMu.Unlock()
+}
+
+// holdsStripe is also clean in isolation — the inversion (structMu level 1
+// under memStripe.mu level 2) only exists across the call boundary.
+func (e *Engine) holdsStripe(i int) {
+	e.stripes[i].mu.Lock()
+	e.takesStruct() // want `call to takesStruct acquires Engine.structMu \(level 1, structMu\) while holding memStripe.mu \(level 2, stripes\)`
+	e.stripes[i].mu.Unlock()
+}
+
+// lockAll / unlockAll are an inferred wrapper pair: lockAll holds the stripe
+// class at every exit, unlockAll releases a class it never acquires.
+func (e *Engine) lockAll() {
+	for i := range e.stripes {
+		e.stripes[i].mu.Lock()
+	}
+}
+
+func (e *Engine) unlockAll() {
+	for i := range e.stripes {
+		e.stripes[i].mu.Unlock()
+	}
+}
+
+// Calling the acquire wrapper while holding a higher level is the same
+// violation as locking a stripe directly.
+func (e *Engine) holdsWal() {
+	e.walMu.Lock()
+	e.lockAll() // want `call to lockAll acquires memStripe.mu \(level 2, stripes\) while holding Engine.walMu \(level 3, walMu\)`
+	e.unlockAll()
+	e.walMu.Unlock()
+}
+
+// deepWal -> midWal: the walMu acquisition propagates through two summary
+// hops.
+func (e *Engine) deepWal() {
+	e.walMu.Lock()
+	e.walMu.Unlock()
+}
+
+func (e *Engine) midWal() {
+	e.deepWal()
+}
+
+// stripeThenMid: walMu (3) through midWal is an ascending (clean) skip from
+// a held stripe (2); takesStruct (1) through one hop is not.
+func (e *Engine) stripeThenMid(i int) {
+	e.stripes[i].mu.Lock()
+	defer e.stripes[i].mu.Unlock()
+	e.midWal()
+	e.takesStruct() // want `call to takesStruct acquires Engine.structMu \(level 1, structMu\) while holding memStripe.mu \(level 2, stripes\)`
+}
+
+// A release wrapper called with nothing held unlocks a lock the caller does
+// not own.
+func (e *Engine) callerNotHolding() {
+	e.unlockAll() // want `call to unlockAll releases memStripe.mu which is not held on this path`
+}
+
+// Proper wrapper usage across branches is clean: the summary pair balances
+// on every path.
+func (e *Engine) barrierUser(fail bool) error {
+	e.lockAll()
+	if fail {
+		e.unlockAll()
+		return errFail
+	}
+	e.unlockAll()
+	return nil
+}
+
+// Mutual recursion: the summary fixpoint converges under the round cap, and
+// recB's transitive stripe acquisition is still seen under recA's held
+// stripe.
+func (e *Engine) recA(i, depth int) {
+	e.stripes[i].mu.Lock()
+	e.recB(i, depth) // want `call to recB acquires memStripe.mu which is already held`
+	e.stripes[i].mu.Unlock()
+}
+
+func (e *Engine) recB(i, depth int) {
+	if depth > 0 {
+		e.recA(i, depth-1)
+	}
+}
+
+// Cross-call findings are suppressible like any other diagnostic.
+func (e *Engine) suppressed(i int) {
+	e.stripes[i].mu.Lock()
+	e.takesStruct() //bos:nolint(lockorder): fixture demonstrates cross-call suppression
+	e.stripes[i].mu.Unlock()
+}

@@ -38,8 +38,9 @@ func MissingList(src *Guarded) int {
 	return g.n
 }
 
-// A directive naming the wrong (but valid) analyzer suppresses nothing.
+// A directive naming the wrong (but valid) analyzer suppresses nothing —
+// and since no hotpath diagnostic fires here, it is also flagged as stale.
 func WrongAnalyzer(src *Guarded) int {
-	g := *src //bos:nolint(hotpath): wrong analyzer on purpose // want `assignment copies`
+	g := *src //bos:nolint(hotpath): wrong analyzer on purpose // want `assignment copies` `stale bos:nolint\(hotpath\)`
 	return g.n
 }

@@ -59,7 +59,7 @@ func Open(man *Manifest, root string, opt engine.Options) (*Router, error) {
 	shards := make([]Shard, 0, len(man.Shards))
 	fail := func(err error) (*Router, error) {
 		for _, s := range shards {
-			s.Close() //bos:nolint(checkederr): best-effort unwind after a failed open
+			s.Close() // best-effort unwind after a failed open
 		}
 		return nil, err
 	}
