@@ -64,10 +64,78 @@ func (w *Writer) WriteBulk(vals []uint64, width uint) {
 			k += int(width)
 		}
 		w.buf = buf[:k]
+	} else if len(vals) >= kernelTail {
+		// Bit-unaligned: the mirror of the read side's staging. Pack each
+		// block byte-aligned into a stack buffer with the same kernels,
+		// then shift it into the stream one word at a time (one shift/or
+		// pair per 8 output bytes). This is how encodeBOS center runs —
+		// which always sit after the n+outliers-bit bitmap — reach the
+		// kernels; the scalar accumulator only keeps the sub-8-value tail.
+		i = w.writeBulkStaged(vals, width)
 	}
 	if i < len(vals) {
 		w.writeBulkScalar(vals[i:], width)
 	}
+}
+
+// writeBulkStaged appends whole kernel blocks of vals at the given width to
+// a bit-unaligned stream (0 < nbits < 8) and returns how many values it
+// consumed. Each block is packed byte-aligned into a stack buffer by the
+// width kernels, then merged into the stream shifted right by the pending
+// bit count: emit = carry | word>>o, next carry = word<<(64-o). Every block
+// spans a whole number of bytes (64*W bits, or 8*W bits for tails), so the
+// pending bit count is invariant across blocks; a tail block whose last
+// word is only partially logical advances by the logical bytes and keeps
+// the o carry bits that follow them (the staged slack beyond is zero).
+//
+//bos:hotpath
+func (w *Writer) writeBulkStaged(vals []uint64, width uint) int {
+	o := w.nbits
+	need := len(w.buf) + (int(o)+len(vals)*int(width))>>3 + 16
+	buf := w.buf
+	if cap(buf) >= need {
+		buf = buf[:need]
+	} else {
+		buf = make([]byte, need)
+		copy(buf, w.buf)
+	}
+	k := len(w.buf)
+	carry := w.cur << (64 - o)
+	var tmp [kernelBlock * 8]byte
+	i := 0
+	bb := int(width) * 8
+	for ; i+kernelBlock <= len(vals); i += kernelBlock {
+		kernelPack64(width, (*[64]uint64)(vals[i:]), tmp[:])
+		for j := 0; j < bb; j += 8 {
+			x := binary.BigEndian.Uint64(tmp[j:])
+			binary.BigEndian.PutUint64(buf[k:], carry|x>>o)
+			carry = x << (64 - o)
+			k += 8
+		}
+	}
+	for lb := int(width); i+kernelTail <= len(vals); i += kernelTail {
+		kernelPack8(width, (*[8]uint64)(vals[i:]), tmp[:])
+		for j := 0; j < lb; j += 8 {
+			x := binary.BigEndian.Uint64(tmp[j:])
+			emit := carry | x>>o
+			binary.BigEndian.PutUint64(buf[k:], emit)
+			if adv := lb - j; adv < 8 {
+				// Partial last word: x's bytes past the logical length
+				// are kernel slack zeros, so the o bits that follow the
+				// logical bytes are the only live carry. The stored
+				// slack bytes sit beyond k and are overwritten by the
+				// next store or left past the final length.
+				carry = emit << (uint(adv) * 8)
+				k += adv
+			} else {
+				carry = x << (64 - o)
+				k += 8
+			}
+		}
+	}
+	w.buf = buf[:k]
+	w.cur = carry >> (64 - o)
+	return i
 }
 
 // WriteBulkInt64 appends (uint64(v) - base) & (2^width - 1) for every value

@@ -217,6 +217,41 @@ func BenchmarkWriteBulk(b *testing.B) {
 	}
 }
 
+// BenchmarkWriteBulkUnaligned starts the stream 3 bits in — the shape of the
+// encodeBOS center plane, which sits after the positional bitmap — so it
+// exercises the staged unaligned write path rather than the aligned kernels.
+func BenchmarkWriteBulkUnaligned(b *testing.B) {
+	for _, width := range benchWidths {
+		b.Run(fmt.Sprintf("w%02d", width), func(b *testing.B) {
+			vals := benchVals(width, 1024)
+			w := NewWriter(1 << 14)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.Reset()
+				w.WriteBits(5, 3)
+				w.WriteBulk(vals, width)
+			}
+		})
+	}
+}
+
+// BenchmarkWriteBulkUnalignedScalar is the same shape through the pre-kernel
+// accumulator (the "before" column for the staged write path).
+func BenchmarkWriteBulkUnalignedScalar(b *testing.B) {
+	for _, width := range benchWidths {
+		b.Run(fmt.Sprintf("w%02d", width), func(b *testing.B) {
+			vals := benchVals(width, 1024)
+			w := NewWriter(1 << 14)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.Reset()
+				w.WriteBits(5, 3)
+				w.writeBulkScalar(vals, width)
+			}
+		})
+	}
+}
+
 // BenchmarkWriteBulkScalar measures the pre-kernel accumulator path on the
 // same inputs (the "before" column of BENCH_kernels.json).
 func BenchmarkWriteBulkScalar(b *testing.B) {

@@ -46,7 +46,10 @@ func TestKernelsDifferentialExhaustive(t *testing.T) {
 	for width := uint(1); width <= 64; width++ {
 		for _, n := range diffLengths {
 			for vi, vals := range diffValues(rng, width, n) {
-				for _, lead := range []uint{0, 3} { // aligned and misaligned starts
+				// Every byte phase: the staged write path merges aligned
+				// kernel output into the stream at any pending-bit offset,
+				// so all seven misalignments must be byte-identical too.
+				for lead := uint(0); lead < 8; lead++ {
 					// Pack: scalar baseline vs kernel front door.
 					scalar := NewWriter(64)
 					scalar.WriteBits(1, lead)
@@ -94,6 +97,39 @@ func TestKernelsDifferentialExhaustive(t *testing.T) {
 							t.Fatalf("width %d n %d vec %d lead %d: int64 value %d: got %d want %d",
 								width, n, vi, lead, i, got64[i], want)
 						}
+					}
+
+					// RunReader: the same stream read run-fused, split into
+					// varying short chunks so both the gather kernels and the
+					// above-threshold bulk delegation fire, with resume
+					// points between chunks.
+					r = NewReader(kb)
+					if _, err := r.ReadBits(lead); err != nil {
+						t.Fatal(err)
+					}
+					rr := r.Run()
+					gotRun := make([]int64, n)
+					for lo := 0; lo < n; {
+						step := 3 + lo%9 // 3..11 straddles kernelTail
+						if lo+step > n {
+							step = n - lo
+						}
+						if err := rr.ReadRunInt64(gotRun[lo:lo+step], width, base); err != nil {
+							t.Fatalf("width %d n %d vec %d lead %d: ReadRunInt64 at %d: %v",
+								width, n, vi, lead, lo, err)
+						}
+						lo += step
+					}
+					rr.Detach()
+					for i := range vals {
+						if gotRun[i] != got64[i] {
+							t.Fatalf("width %d n %d vec %d lead %d: run value %d: got %d want %d",
+								width, n, vi, lead, i, gotRun[i], got64[i])
+						}
+					}
+					if want := int(lead) + n*int(width); r.BitPos() != want {
+						t.Fatalf("width %d n %d vec %d lead %d: run BitPos %d want %d",
+							width, n, vi, lead, r.BitPos(), want)
 					}
 				}
 			}
@@ -232,6 +268,46 @@ func FuzzBulkKernels(f *testing.F) {
 		manual.WriteBulk(offs, width)
 		if !bytes.Equal(fused.Bytes(), manual.Bytes()) {
 			t.Fatalf("fused int64 stream differs (width %d lead %d)", width, lead)
+		}
+
+		// RunReader leg: run-fused reads over the arbitrary raw stream in
+		// short chunks must agree with ReadBulkInt64 on values, rejection
+		// and final position.
+		if width > 0 && n > 0 {
+			r1 := NewReader(raw)
+			r2 := NewReader(raw)
+			if _, err := r1.ReadBits(lead); err == nil {
+				if _, err := r2.ReadBits(lead); err != nil {
+					t.Fatal(err)
+				}
+				want := make([]int64, n)
+				wantErr := r1.ReadBulkInt64(want, width, uint64(base))
+				got := make([]int64, n)
+				rr := r2.Run()
+				var gotErr error
+				for lo := 0; lo < n && gotErr == nil; {
+					step := 1 + lo%11
+					if lo+step > n {
+						step = n - lo
+					}
+					gotErr = rr.ReadRunInt64(got[lo:lo+step], width, uint64(base))
+					lo += step
+				}
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("run rejection: bulk %v run %v (width %d lead %d n %d)", wantErr, gotErr, width, lead, n)
+				}
+				if wantErr == nil {
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("run value %d: %d vs %d (width %d lead %d)", i, got[i], want[i], width, lead)
+						}
+					}
+					rr.Detach()
+					if r1.BitPos() != r2.BitPos() {
+						t.Fatalf("run position: bulk %d run %d", r1.BitPos(), r2.BitPos())
+					}
+				}
+			}
 		}
 	})
 }

@@ -1,0 +1,242 @@
+package bitio
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// RunReader is a resumable decoder for streams that interleave short
+// fixed-width runs with single values — the shape decodeBOS faces, where the
+// average center run is ~1/outlier-rate values and sits between 1-2 bit
+// bitmap marks and full-width outliers. A plain Reader pays per-call entry
+// cost (bounds math, alignment dispatch) for every run; a RunReader instead
+// caches the current 64-bit stream window across calls, so consecutive short
+// reads share one refill schedule: roughly one 8-byte load per 56 stream
+// bits regardless of how the bits split into runs.
+//
+// The window invariant: cur holds stream bits left-aligned, the top `have`
+// of which are accounted for; `next` is the byte index of the first byte not
+// yet loaded into the accounted region. Bits of cur below `have` are either
+// zero or a redundant copy of the bytes at `next` (refill ORs whole words,
+// so the overlap always re-ORs identical bits). Consumption only ever
+// shifts, so the invariant is maintained without masking.
+//
+// Obtain one with Reader.Run, use it for a burst of short reads, and call
+// Detach to write the position back before using the Reader again.
+type RunReader struct {
+	r    *Reader
+	cur  uint64 // stream bits, left-aligned
+	have uint   // accounted bits at the top of cur
+	next int    // byte index of the next refill load
+}
+
+// Run returns a RunReader positioned at r's current bit position. The
+// RunReader reads ahead whole bytes; r's own position is stale until Detach.
+//
+//bos:hotpath
+func (r *Reader) Run() RunReader {
+	rr := RunReader{r: r}
+	rr.resync()
+	return rr
+}
+
+// resync reinitializes the window from the Reader's current position. It
+// deliberately rebuilds in place rather than constructing a fresh RunReader:
+// assigning a struct that contains rr.r through the pointer receiver reads to
+// escape analysis as a heap flow and would force the Reader (and every decode
+// call site using one) onto the heap.
+//
+//bos:hotpath
+func (rr *RunReader) resync() {
+	rr.cur, rr.have, rr.next = 0, 0, rr.r.pos>>3
+	if o := uint(rr.r.pos) & 7; o != 0 {
+		rr.refill()
+		rr.cur <<= o
+		rr.have -= o // refill loaded >= 8 bits: pos&7 != 0 implies a byte exists
+	}
+}
+
+// Detach writes the RunReader's exact bit position back to the underlying
+// Reader. The RunReader must not be used afterwards without re-Run.
+func (rr *RunReader) Detach() {
+	rr.r.SetBitPos(rr.BitPos())
+}
+
+// BitPos reports the absolute bit position of the next unread bit.
+func (rr *RunReader) BitPos() int {
+	return rr.next*8 - int(rr.have)
+}
+
+// refill tops the window up to at least 57 accounted bits (or everything the
+// stream has left) and reports whether any bits are accounted. One 8-byte
+// load covers the common case; the last 7 stream bytes load one at a time.
+//
+//bos:hotpath
+func (rr *RunReader) refill() bool {
+	data := rr.r.data
+	if rr.have <= 56 && rr.next+8 <= len(data) {
+		w := binary.BigEndian.Uint64(data[rr.next:])
+		rr.cur |= w >> rr.have
+		take := (64 - rr.have) >> 3
+		rr.have += take * 8
+		rr.next += int(take)
+		return true
+	}
+	for rr.have <= 56 && rr.next < len(data) {
+		rr.cur |= uint64(data[rr.next]) << (56 - rr.have)
+		rr.have += 8
+		rr.next++
+	}
+	return rr.have > 0
+}
+
+// consume discards the top n accounted bits (n <= have).
+//
+//bos:hotpath
+func (rr *RunReader) consume(n uint) {
+	rr.cur <<= n
+	rr.have -= n
+}
+
+// ReadBits consumes `width` bits (MSB-first) and returns them
+// right-aligned, exactly like Reader.ReadBits but served from the cached
+// window. width must be in [0, 64].
+//
+//bos:hotpath
+func (rr *RunReader) ReadBits(width uint) (uint64, error) {
+	if width > 64 {
+		return 0, ErrOverflow
+	}
+	if rr.have < width {
+		rr.refill()
+		if rr.have < width {
+			return rr.readBitsSlow(width)
+		}
+	}
+	if width == 0 {
+		return 0, nil
+	}
+	v := rr.cur >> (64 - width)
+	rr.consume(width)
+	return v, nil
+}
+
+// readBitsSlow assembles a value that spans two windows (width 57..64 at an
+// unlucky phase) or fails with ErrUnexpectedEOF when the stream is short.
+func (rr *RunReader) readBitsSlow(width uint) (uint64, error) {
+	if width == 0 {
+		return 0, nil
+	}
+	take := rr.have
+	v := uint64(0)
+	if take > 0 {
+		v = rr.cur >> (64 - take)
+		rr.consume(take)
+	}
+	rest := width - take
+	if !rr.refill() || rr.have < rest {
+		// Restore nothing: decode errors abandon the block anyway.
+		return 0, ErrUnexpectedEOF
+	}
+	v = v<<rest | rr.cur>>(64-rest)
+	rr.consume(rest)
+	return v, nil
+}
+
+// ZeroRun consumes consecutive 0 bits — up to lim of them — and reports how
+// many it consumed. It stops early, without consuming the terminator, when a
+// 1 bit follows the zeros, or when the stream ends. bits.LeadingZeros64 on
+// the MSB-first window is this stream order's TrailingZeros64: one
+// instruction finds the next outlier mark however far away it is, and an
+// all-zero window (OnesCount64 == 0) skips 64 center values per load.
+//
+//bos:hotpath
+func (rr *RunReader) ZeroRun(lim int) int {
+	total := 0
+	for total < lim {
+		if rr.have == 0 && !rr.refill() {
+			return total // stream exhausted mid-run
+		}
+		z := uint(bits.LeadingZeros64(rr.cur))
+		if z < rr.have {
+			// A 1 bit inside the accounted window terminates the run.
+			if total+int(z) >= lim {
+				rr.consume(uint(lim - total))
+				return lim
+			}
+			rr.consume(z)
+			return total + int(z)
+		}
+		// The whole accounted window is zeros.
+		z = rr.have
+		if total+int(z) >= lim {
+			rr.consume(uint(lim - total))
+			return lim
+		}
+		rr.consume(z)
+		total += int(z)
+	}
+	return total
+}
+
+// ReadRunInt64 decodes len(out) consecutive width-bit offsets and stores
+// base+offset, like Reader.ReadBulkInt64 but tuned for short runs: counts
+// below the 8-value kernel threshold decode straight from the cached window
+// through the generated gather kernels (constant shift schedules, no refill
+// between values of a run), while longer runs sync the position back to the
+// Reader and delegate to the width-specialized jump tables, then resume the
+// window. A stream too short for the run returns ErrUnexpectedEOF; out may
+// hold a decoded prefix (callers abandon the output on error).
+//
+//bos:hotpath
+func (rr *RunReader) ReadRunInt64(out []int64, width uint, base uint64) error {
+	if width > 64 {
+		return ErrOverflow
+	}
+	if width == 0 {
+		for i := range out {
+			out[i] = int64(base)
+		}
+		return nil
+	}
+	if len(out) >= kernelTail {
+		// Long run: the bulk jump tables (and their staging) win; share the
+		// position rather than the window.
+		rr.Detach()
+		if err := rr.r.ReadBulkInt64(out, width, base); err != nil {
+			return err
+		}
+		rr.resync()
+		return nil
+	}
+	for len(out) > 0 {
+		n := len(out)
+		if m := int(gatherMax[width]); m >= 2 {
+			if n > m {
+				n = m
+			}
+			need := uint(n) * width
+			if rr.have < need {
+				rr.refill()
+				for rr.have < need && n > 1 {
+					// Short window near the stream end: decode what fits.
+					n--
+					need -= width
+				}
+			}
+			if n >= 2 {
+				kernelGatherInt64(width, rr.cur, out[:n], base)
+				rr.consume(need)
+				out = out[n:]
+				continue
+			}
+		}
+		v, err := rr.ReadBits(width)
+		if err != nil {
+			return err
+		}
+		out[0] = int64(base + v)
+		out = out[1:]
+	}
+	return nil
+}

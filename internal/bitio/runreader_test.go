@@ -1,0 +1,246 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refZeroRun is the bit-at-a-time reference for RunReader.ZeroRun: count
+// zeros up to lim, stopping before a 1 bit or at the stream end.
+func refZeroRun(r *Reader, lim int) int {
+	n := 0
+	for n < lim {
+		pos := r.BitPos()
+		b, err := r.ReadBit()
+		if err != nil {
+			return n
+		}
+		if b != 0 {
+			r.SetBitPos(pos)
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// TestRunReaderDifferential drives a RunReader and a plain Reader over the
+// same stream with random interleavings of ReadBits, ReadRunInt64 and
+// ZeroRun, checking values and — at every resume point — exact bit
+// positions. This is the resumability contract: a RunReader can be detached
+// and re-attached anywhere, and its reads are indistinguishable from the
+// scalar Reader's.
+func TestRunReaderDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 400; iter++ {
+		data := make([]byte, 1+rng.Intn(400))
+		rng.Read(data)
+		if iter%3 == 0 {
+			// Sparse streams give ZeroRun long jumps.
+			for i := range data {
+				if rng.Intn(4) > 0 {
+					data[i] = 0
+				}
+			}
+		}
+		ref := NewReader(data)
+		run := NewReader(data)
+		if lead := uint(rng.Intn(8)); lead > 0 {
+			if _, err := ref.ReadBits(lead); err != nil {
+				continue
+			}
+			if _, err := run.ReadBits(lead); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rr := run.Run()
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(4) {
+			case 0: // single value read
+				width := uint(rng.Intn(65))
+				want, wantErr := ref.ReadBits(width)
+				got, gotErr := rr.ReadBits(width)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("iter %d op %d: ReadBits(%d) err %v vs %v", iter, op, width, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					op = 60 // positions may differ after EOF; stop comparing
+					break
+				}
+				if got != want {
+					t.Fatalf("iter %d op %d: ReadBits(%d) = %#x want %#x", iter, op, width, got, want)
+				}
+			case 1: // short-to-long run read
+				n := rng.Intn(20)
+				width := uint(rng.Intn(65))
+				base := rng.Uint64()
+				want := make([]int64, n)
+				got := make([]int64, n)
+				wantErr := ref.ReadBulkInt64(want, width, base)
+				gotErr := rr.ReadRunInt64(got, width, base)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("iter %d op %d: ReadRunInt64(n=%d w=%d) err %v vs %v",
+						iter, op, n, width, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					op = 60
+					break
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("iter %d op %d: run value %d: got %d want %d (n=%d w=%d)",
+							iter, op, i, got[i], want[i], n, width)
+					}
+				}
+			case 2: // zero-run jump
+				lim := rng.Intn(200)
+				want := refZeroRun(ref, lim)
+				got := rr.ZeroRun(lim)
+				if got != want {
+					t.Fatalf("iter %d op %d: ZeroRun(%d) = %d want %d", iter, op, lim, got, want)
+				}
+			case 3: // resume point: detach, compare positions, re-attach
+				rr.Detach()
+				if run.BitPos() != ref.BitPos() {
+					t.Fatalf("iter %d op %d: position %d vs %d", iter, op, run.BitPos(), ref.BitPos())
+				}
+				rr = run.Run()
+			}
+			if op >= 60 {
+				break
+			}
+		}
+	}
+}
+
+// TestRunReaderGatherMatchesScalar pins every gather kernel against the
+// scalar reader for every width and count it handles, at every lead offset.
+func TestRunReaderGatherMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for width := uint(1); width <= 64; width++ {
+		maxN := int(gatherMax[width])
+		for n := 1; n <= 7; n++ {
+			for lead := uint(0); lead < 8; lead++ {
+				vals := make([]uint64, n)
+				mask := ^uint64(0)
+				if width < 64 {
+					mask = 1<<width - 1
+				}
+				for i := range vals {
+					vals[i] = rng.Uint64() & mask
+				}
+				w := NewWriter(64)
+				w.WriteBits(1, lead)
+				w.WriteBulk(vals, width)
+				data := w.Bytes()
+
+				r := NewReader(data)
+				if _, err := r.ReadBits(lead); err != nil {
+					t.Fatal(err)
+				}
+				rr := r.Run()
+				const base = uint64(9000)
+				got := make([]int64, n)
+				if err := rr.ReadRunInt64(got, width, base); err != nil {
+					t.Fatalf("w%d n%d lead%d: %v", width, n, lead, err)
+				}
+				for i := range vals {
+					if want := int64(base + vals[i]); got[i] != want {
+						t.Fatalf("w%d n%d lead%d (maxN %d): value %d: got %d want %d",
+							width, n, lead, maxN, i, got[i], want)
+					}
+				}
+				rr.Detach()
+				if want := int(lead) + n*int(width); r.BitPos() != want {
+					t.Fatalf("w%d n%d lead%d: BitPos %d want %d", width, n, lead, r.BitPos(), want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunReaderShortStream pins EOF behavior: a run that does not fit fails
+// with ErrUnexpectedEOF, like ReadBulkInt64.
+func TestRunReaderShortStream(t *testing.T) {
+	r := NewReader([]byte{0xff}) // 8 bits
+	rr := r.Run()
+	out := make([]int64, 3)
+	if err := rr.ReadRunInt64(out, 5, 0); err != ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	r = NewReader([]byte{0xff})
+	rr = r.Run()
+	if _, err := rr.ReadBits(9); err != ErrUnexpectedEOF {
+		t.Fatalf("ReadBits(9) err = %v, want ErrUnexpectedEOF", err)
+	}
+	// Zero width needs no stream at all.
+	r = NewReader(nil)
+	rr = r.Run()
+	if err := rr.ReadRunInt64(out, 0, 7); err != nil || out[0] != 7 {
+		t.Fatalf("zero width: %v %v", out, err)
+	}
+}
+
+func BenchmarkRunReaderShortRuns(b *testing.B) {
+	// 1% outlier shape: runs of ~99 8-bit values split by 24-bit outliers.
+	w := NewWriter(1 << 14)
+	w.WriteBits(1, 3) // misalign like a bitmap would
+	const runs = 128
+	for i := 0; i < runs; i++ {
+		for j := 0; j < 6; j++ {
+			w.WriteBits(uint64(i+j)&0xff, 8)
+		}
+		w.WriteBits(uint64(i)<<10, 24)
+	}
+	data := w.Bytes()
+	out := make([]int64, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(data)
+		if _, err := r.ReadBits(3); err != nil {
+			b.Fatal(err)
+		}
+		rr := r.Run()
+		for j := 0; j < runs; j++ {
+			if err := rr.ReadRunInt64(out, 8, 100); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rr.ReadBits(24); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunReaderShortRunsScalar is the same access pattern through the
+// plain Reader front doors (the pre-RunReader decode shape).
+func BenchmarkRunReaderShortRunsScalar(b *testing.B) {
+	w := NewWriter(1 << 14)
+	w.WriteBits(1, 3)
+	const runs = 128
+	for i := 0; i < runs; i++ {
+		for j := 0; j < 6; j++ {
+			w.WriteBits(uint64(i+j)&0xff, 8)
+		}
+		w.WriteBits(uint64(i)<<10, 24)
+	}
+	data := w.Bytes()
+	out := make([]int64, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(data)
+		if _, err := r.ReadBits(3); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < runs; j++ {
+			if err := r.ReadBulkInt64(out, 8, 100); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.ReadBits(24); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

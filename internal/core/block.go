@@ -98,43 +98,62 @@ func encodeBOS(w *bitio.Writer, vals []int64, plan *Plan) {
 	w.WriteBits(uint64(plan.Beta), 8)
 	w.WriteBits(uint64(plan.Gamma), 8)
 
-	// Classify once; the bitmap and value sections reuse the result.
-	classes := make([]class, len(vals))
+	// Classify once into a compact outlier mark list: position<<1 | class
+	// bit, center positions implicit. At realistic outlier rates this is
+	// orders of magnitude smaller than the per-value class slice it
+	// replaces, and it hands both the bitmap and the value section their
+	// run boundaries directly. Positions fit easily: decoders cap blocks
+	// at maxBlockLen (1<<22) values.
+	marks := make([]uint32, 0, plan.NL+plan.NU)
 	for i, v := range vals {
-		classes[i] = classOf(plan, v)
-	}
-	// Positional bitmap (Figure 2), in original order.
-	for _, c := range classes {
-		switch c {
-		case classCenter:
-			w.WriteBit(0)
-		case classLower:
-			w.WriteBit(1)
-			w.WriteBit(0)
-		default:
-			w.WriteBit(1)
-			w.WriteBit(1)
+		if c := classOf(plan, v); c != classCenter {
+			marks = append(marks, uint32(i)<<1|uint32(c-classLower))
 		}
 	}
-	// Values in original order, relative to their class minimum; maximal
-	// runs of center values go through the fused bulk writer (it computes
-	// spread(plan.MinXc, v) per value itself, no scratch slice).
-	for i := 0; i < len(vals); {
-		if classes[i] == classCenter {
-			j := i + 1
-			for j < len(vals) && classes[j] == classCenter {
-				j++
+	// Positional bitmap (Figure 2), in original order: center gaps emit as
+	// up-to-64-bit zero words, each outlier as its two-bit mark. The bit
+	// sequence — and therefore every byte — is identical to the per-value
+	// WriteBit form this replaces.
+	prev := 0
+	for _, m := range marks {
+		for g := int(m>>1) - prev; g > 0; {
+			c := g
+			if c > 64 {
+				c = 64
 			}
-			w.WriteBulkInt64(vals[i:j], uint64(plan.MinXc), plan.Beta)
-			i = j
-			continue
+			w.WriteBits(0, uint(c))
+			g -= c
 		}
-		if classes[i] == classLower {
-			w.WriteBits(spread(plan.Xmin, vals[i]), plan.Alpha)
+		w.WriteBits(0b10|uint64(m&1), 2)
+		prev = int(m>>1) + 1
+	}
+	for g := len(vals) - prev; g > 0; {
+		c := g
+		if c > 64 {
+			c = 64
+		}
+		w.WriteBits(0, uint(c))
+		g -= c
+	}
+	// Values in original order, relative to their class minimum. The runs
+	// of center values between consecutive marks go through the fused bulk
+	// writer (it computes spread(plan.MinXc, v) per value itself, and
+	// stages blocks through the aligned kernels even mid-byte).
+	prev = 0
+	for _, m := range marks {
+		p := int(m >> 1)
+		if p > prev {
+			w.WriteBulkInt64(vals[prev:p], uint64(plan.MinXc), plan.Beta)
+		}
+		if m&1 == 0 {
+			w.WriteBits(spread(plan.Xmin, vals[p]), plan.Alpha)
 		} else {
-			w.WriteBits(spread(plan.MinXu, vals[i]), plan.Gamma)
+			w.WriteBits(spread(plan.MinXu, vals[p]), plan.Gamma)
 		}
-		i++
+		prev = p + 1
+	}
+	if prev < len(vals) {
+		w.WriteBulkInt64(vals[prev:], uint64(plan.MinXc), plan.Beta)
 	}
 }
 
@@ -157,12 +176,28 @@ func classOf(plan *Plan, v int64) class {
 	return classCenter
 }
 
+// Scratch carries reusable decode state across DecodeBlockScratch calls so
+// steady-state block decode allocates nothing. marks is the compact outlier
+// list the bitmap pass produces (position<<1 | class bit, 1 = upper); with
+// blocks capped at maxBlockLen (1<<22) values a position always fits. A
+// Scratch is single-goroutine state, like the Packer that owns one.
+type Scratch struct {
+	marks []uint32
+}
+
 // DecodeBlock decodes one block from the front of src, appends the values to
 // out, and returns the grown slice and the unread remainder. It never panics
-// on malformed input.
+// on malformed input. Loop callers should prefer DecodeBlockScratch, which
+// reuses the bitmap scratch across blocks.
+func DecodeBlock(src []byte, out []int64) ([]int64, []byte, error) {
+	var sc Scratch
+	return DecodeBlockScratch(src, out, &sc)
+}
+
+// DecodeBlockScratch is DecodeBlock with caller-owned scratch.
 //
 //bos:hotpath
-func DecodeBlock(src []byte, out []int64) ([]int64, []byte, error) {
+func DecodeBlockScratch(src []byte, out []int64, sc *Scratch) ([]int64, []byte, error) {
 	r := bitio.NewReader(src)
 	n64, err := r.ReadUvarint()
 	if err != nil {
@@ -186,7 +221,7 @@ func DecodeBlock(src []byte, out []int64) ([]int64, []byte, error) {
 	case modePlain:
 		return decodePlain(r, n, out)
 	case modeBOS:
-		return decodeBOS(r, n, out)
+		return decodeBOS(r, n, out, sc)
 	case modeParts:
 		return decodeParts(r, n, out)
 	default:
@@ -208,15 +243,40 @@ func decodePlain(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 		return out, nil, corruptn("width", int64(width))
 	}
 	base := len(out)
-	out = append(out, make([]int64, n)...)
+	out = growInt64(out, n)
 	if err := r.ReadBulkInt64(out[base:], uint(width), uint64(xmin)); err != nil {
 		return out[:base], nil, corrupte("values", err)
 	}
 	return out, r.Rest(), nil
 }
 
+// growInt64 extends s by n elements without the temporary slice that
+// `append(s, make([]int64, n)...)` materializes when capacity is short, and
+// without touching memory at all when it is not. The extension is NOT zeroed:
+// callers must either write every element or truncate back on error (all
+// decode paths do both).
+//
 //bos:hotpath
-func decodeBOS(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
+func growInt64(s []int64, n int) []int64 {
+	if cap(s)-len(s) >= n {
+		return s[:len(s)+n]
+	}
+	ns := make([]int64, len(s)+n, len(s)+n+len(s)/2)
+	copy(ns, s)
+	return ns
+}
+
+// decodeBOS is the run-fused block decoder. The bitmap pass walks the
+// positional bitmap word-at-a-time through a bitio.RunReader — ZeroRun's
+// LeadingZeros64 jumps over whole center gaps in one instruction — and emits
+// only the compact outlier mark list into sc (no per-value class slice). The
+// value pass then reads straight off the same window: the marks delimit the
+// center runs, short runs decode through the gather kernels, long runs
+// through the bulk jump tables, and outliers come out of the cached window
+// without per-call Reader entry cost.
+//
+//bos:hotpath
+func decodeBOS(r *bitio.Reader, n int, out []int64, sc *Scratch) ([]int64, []byte, error) {
 	fail := func(what string, err error) ([]int64, []byte, error) {
 		return out, nil, corrupte(what, err)
 	}
@@ -257,75 +317,72 @@ func decodeBOS(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
 	minXu := int64(uint64(xmin) + offU)
 
 	// First pass: the positional bitmap. Its exact length (n + nl + nu
-	// bits) is known from the header, so bounds are checked once and the
-	// inner loop indexes the buffer directly.
-	data, pos := r.Data()
-	if pos+n+int(nl64+nu64) > len(data)*8 {
+	// bits) is known from the header, so bounds are checked once up front;
+	// after that ZeroRun and ReadBits cannot run out mid-bitmap.
+	if data, pos := r.Data(); pos+n+int(nl64+nu64) > len(data)*8 {
 		return fail("bitmap", bitio.ErrUnexpectedEOF)
 	}
-	classes := make([]class, n)
 	declared := int(nl64 + nu64)
-	outliers := 0
+	marks := sc.marks[:0]
+	rr := r.Run()
 	for i := 0; i < n; {
-		// Fast path: an aligned all-zero byte is eight center values
-		// (outliers are rare, so most of the bitmap is zero bytes).
-		if pos&7 == 0 && i+8 <= n && data[pos>>3] == 0 {
-			i += 8 // classes are zero-initialized to classCenter
-			pos += 8
-			continue
+		i += rr.ZeroRun(n - i)
+		if i >= n {
+			break
 		}
-		if data[pos>>3]>>(7-uint(pos&7))&1 == 0 {
-			pos++
-			i++
-			continue
-		}
-		// An outlier mark consumes a second bit; the bounds check above
-		// only covers the declared outlier count, so more marks than
-		// declared is corruption (and would otherwise overrun).
-		if outliers == declared {
+		// The next bit is an outlier mark and consumes a second bit; the
+		// bounds check above only covers the declared outlier count, so
+		// more marks than declared is corruption (and would otherwise
+		// overrun the section).
+		if len(marks) == declared {
 			return out, nil, corruptn("bitmap marks more outliers than declared", int64(declared))
 		}
-		outliers++
-		pos++
-		if data[pos>>3]>>(7-uint(pos&7))&1 == 0 {
-			classes[i] = classLower
-		} else {
-			classes[i] = classUpper
+		mb, err := rr.ReadBits(2)
+		if err != nil {
+			return fail("bitmap", err)
 		}
-		pos++
+		marks = append(marks, uint32(i)<<1|uint32(mb&1))
 		i++
 	}
-	r.SetBitPos(pos)
-	// Second pass: the values in original order. Center values dominate
-	// typical blocks, so maximal runs of them go through the bulk reader;
-	// outliers decode individually.
+	sc.marks = marks
+	// Second pass: the values in original order, continuing on the same
+	// stream window. The marks delimit the maximal center runs directly;
+	// outliers decode individually, and a zero-width outlier class stores
+	// nothing — every member IS its class minimum.
 	base := len(out)
-	out = append(out, make([]int64, n)...)
-	for i := 0; i < n; {
-		if classes[i] == classCenter {
-			j := i + 1
-			for j < n && classes[j] == classCenter {
-				j++
+	out = growInt64(out, n)
+	vals := out[base:]
+	prev := 0
+	for _, m := range marks {
+		p := int(m >> 1)
+		if p > prev {
+			if err := rr.ReadRunInt64(vals[prev:p], beta, uint64(minXc)); err != nil {
+				return out[:base], nil, corruptne("values at", int64(prev), err)
 			}
-			if err := r.ReadBulkInt64(out[base+i:base+j], beta, uint64(minXc)); err != nil {
-				return out[:base], nil, corruptne("values at", int64(i), err)
-			}
-			i = j
-			continue
 		}
 		var vbase uint64
 		var width uint
-		if classes[i] == classLower {
+		if m&1 == 0 {
 			vbase, width = uint64(xmin), alpha
 		} else {
 			vbase, width = uint64(minXu), gamma
 		}
-		d, err := r.ReadBits(width)
-		if err != nil {
-			return out[:base], nil, corruptne("value", int64(i), err)
+		if width == 0 {
+			vals[p] = int64(vbase)
+		} else {
+			d, err := rr.ReadBits(width)
+			if err != nil {
+				return out[:base], nil, corruptne("value", int64(p), err)
+			}
+			vals[p] = int64(vbase + d)
 		}
-		out[base+i] = int64(vbase + d)
-		i++
+		prev = p + 1
 	}
+	if prev < n {
+		if err := rr.ReadRunInt64(vals[prev:], beta, uint64(minXc)); err != nil {
+			return out[:base], nil, corruptne("values at", int64(prev), err)
+		}
+	}
+	rr.Detach()
 	return out, r.Rest(), nil
 }

@@ -1,0 +1,213 @@
+//go:build bosoldref
+
+package core
+
+import "bos/internal/bitio"
+
+// This file preserves the pre-run-fusion block codec — the per-bit bitmap
+// walk with a full per-value class slice, and the per-value WriteBit encoder
+// — as a differential baseline. It is compiled only under the bosoldref tag,
+// where FuzzDecodeBOS and the byte-identity tests pin the rewritten hot paths
+// against it: same bytes in, same values (or same rejection) out, and same
+// bytes produced for every plan. It is frozen code; do not optimize it.
+
+// decodeBlockRef mirrors DecodeBlock but routes modeBOS through the old
+// decoder. Other modes share the live implementation (they were not touched
+// by the rewrite).
+func decodeBlockRef(src []byte, out []int64) ([]int64, []byte, error) {
+	r := bitio.NewReader(src)
+	n64, err := r.ReadUvarint()
+	if err != nil {
+		return out, nil, corrupte("count", err)
+	}
+	if n64 > maxBlockLen {
+		return out, nil, corruptn("implausible count", int64(n64))
+	}
+	n := int(n64)
+	if n == 0 {
+		return out, r.Rest(), nil
+	}
+	mode, err := r.ReadBits(8)
+	if err != nil {
+		return out, nil, corrupte("mode", err)
+	}
+	switch byte(mode) {
+	case modePlain:
+		return decodePlain(r, n, out)
+	case modeBOS:
+		return decodeBOSRef(r, n, out)
+	case modeParts:
+		return decodeParts(r, n, out)
+	default:
+		return out, nil, corruptn("unknown mode", int64(mode))
+	}
+}
+
+func decodeBOSRef(r *bitio.Reader, n int, out []int64) ([]int64, []byte, error) {
+	fail := func(what string, err error) ([]int64, []byte, error) {
+		return out, nil, corrupte(what, err)
+	}
+	xmin, err := r.ReadVarint()
+	if err != nil {
+		return fail("xmin", err)
+	}
+	nl64, err := r.ReadUvarint()
+	if err != nil {
+		return fail("nl", err)
+	}
+	nu64, err := r.ReadUvarint()
+	if err != nil {
+		return fail("nu", err)
+	}
+	if nl64+nu64 > uint64(n) {
+		return out, nil, corruptn("outlier counts exceed block size", int64(nl64), int64(nu64), int64(n))
+	}
+	offC, err := r.ReadUvarint()
+	if err != nil {
+		return fail("minXc", err)
+	}
+	offU, err := r.ReadUvarint()
+	if err != nil {
+		return fail("minXu", err)
+	}
+	widths, err := r.ReadBits(24)
+	if err != nil {
+		return fail("widths", err)
+	}
+	alpha := uint(widths >> 16 & 0xff)
+	beta := uint(widths >> 8 & 0xff)
+	gamma := uint(widths & 0xff)
+	if alpha > 64 || beta > 64 || gamma > 64 {
+		return out, nil, corruptn("widths", int64(alpha), int64(beta), int64(gamma))
+	}
+	minXc := int64(uint64(xmin) + offC)
+	minXu := int64(uint64(xmin) + offU)
+
+	// First pass: the positional bitmap, one bit at a time, into a
+	// per-value class slice.
+	data, pos := r.Data()
+	if pos+n+int(nl64+nu64) > len(data)*8 {
+		return fail("bitmap", bitio.ErrUnexpectedEOF)
+	}
+	classes := make([]class, n)
+	declared := int(nl64 + nu64)
+	outliers := 0
+	for i := 0; i < n; {
+		if pos&7 == 0 && i+8 <= n && data[pos>>3] == 0 {
+			i += 8 // classes are zero-initialized to classCenter
+			pos += 8
+			continue
+		}
+		if data[pos>>3]>>(7-uint(pos&7))&1 == 0 {
+			pos++
+			i++
+			continue
+		}
+		if outliers == declared {
+			return out, nil, corruptn("bitmap marks more outliers than declared", int64(declared))
+		}
+		outliers++
+		pos++
+		if data[pos>>3]>>(7-uint(pos&7))&1 == 0 {
+			classes[i] = classLower
+		} else {
+			classes[i] = classUpper
+		}
+		pos++
+		i++
+	}
+	r.SetBitPos(pos)
+	// Second pass: the values in original order.
+	base := len(out)
+	out = append(out, make([]int64, n)...)
+	for i := 0; i < n; {
+		if classes[i] == classCenter {
+			j := i + 1
+			for j < n && classes[j] == classCenter {
+				j++
+			}
+			if err := r.ReadBulkInt64(out[base+i:base+j], beta, uint64(minXc)); err != nil {
+				return out[:base], nil, corruptne("values at", int64(i), err)
+			}
+			i = j
+			continue
+		}
+		var vbase uint64
+		var width uint
+		if classes[i] == classLower {
+			vbase, width = uint64(xmin), alpha
+		} else {
+			vbase, width = uint64(minXu), gamma
+		}
+		if width == 0 {
+			// Zero-width outlier class: every member equals the class
+			// minimum; nothing was stored.
+			out[base+i] = int64(vbase)
+			i++
+			continue
+		}
+		d, err := r.ReadBits(width)
+		if err != nil {
+			return out[:base], nil, corruptne("value", int64(i), err)
+		}
+		out[base+i] = int64(vbase + d)
+		i++
+	}
+	return out, r.Rest(), nil
+}
+
+// encodeBOSRef is the pre-staging encoder: per-value classification into a
+// full class slice and a WriteBit-at-a-time bitmap.
+func encodeBOSRef(w *bitio.Writer, vals []int64, plan *Plan) {
+	w.WriteBits(uint64(modeBOS), 8)
+	w.WriteVarint(plan.Xmin)
+	w.WriteUvarint(uint64(plan.NL))
+	w.WriteUvarint(uint64(plan.NU))
+	if plan.NC() > 0 {
+		w.WriteUvarint(spread(plan.Xmin, plan.MinXc))
+	} else {
+		w.WriteUvarint(0)
+	}
+	if plan.NU > 0 {
+		w.WriteUvarint(spread(plan.Xmin, plan.MinXu))
+	} else {
+		w.WriteUvarint(0)
+	}
+	w.WriteBits(uint64(plan.Alpha), 8)
+	w.WriteBits(uint64(plan.Beta), 8)
+	w.WriteBits(uint64(plan.Gamma), 8)
+
+	classes := make([]class, len(vals))
+	for i, v := range vals {
+		classes[i] = classOf(plan, v)
+	}
+	for _, c := range classes {
+		switch c {
+		case classCenter:
+			w.WriteBit(0)
+		case classLower:
+			w.WriteBit(1)
+			w.WriteBit(0)
+		default:
+			w.WriteBit(1)
+			w.WriteBit(1)
+		}
+	}
+	for i := 0; i < len(vals); {
+		if classes[i] == classCenter {
+			j := i + 1
+			for j < len(vals) && classes[j] == classCenter {
+				j++
+			}
+			w.WriteBulkInt64(vals[i:j], uint64(plan.MinXc), plan.Beta)
+			i = j
+			continue
+		}
+		if classes[i] == classLower {
+			w.WriteBits(spread(plan.Xmin, vals[i]), plan.Alpha)
+		} else {
+			w.WriteBits(spread(plan.MinXu, vals[i]), plan.Gamma)
+		}
+		i++
+	}
+}

@@ -1,0 +1,148 @@
+//go:build bosoldref
+
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+
+	"bos/internal/bitio"
+)
+
+// diffSeries builds a block's worth of values at roughly rate outliers per
+// thousand, mixing lower and upper bands.
+func diffSeries(rng *rand.Rand, n, ratePermille int, beta uint) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		if rng.Intn(1000) < ratePermille {
+			d := int64(1)<<40 + rng.Int63n(1<<20)
+			if rng.Intn(2) == 0 {
+				d = -d
+			}
+			vals[i] = d
+		} else {
+			vals[i] = rng.Int63n(1 << beta)
+		}
+	}
+	return vals
+}
+
+// TestEncodeBOSByteIdentity pins the chunked-bitmap, mark-list encoder
+// against the frozen per-value baseline: same plan, same values, same bytes.
+func TestEncodeBOSByteIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	seps := []Separation{SeparationValue, SeparationBitWidth, SeparationMedian, SeparationUpperOnly}
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(600)
+		vals := diffSeries(rng, n, []int{0, 1, 10, 50, 200, 900}[iter%6], uint(4+rng.Intn(16)))
+		plan := PlanFor(vals, seps[iter%len(seps)])
+		if !plan.Separated {
+			continue
+		}
+		wNew := bitio.NewWriter(n * 2)
+		encodeBOS(wNew, vals, &plan)
+		wOld := bitio.NewWriter(n * 2)
+		encodeBOSRef(wOld, vals, &plan)
+		if !bytes.Equal(wNew.Bytes(), wOld.Bytes()) {
+			t.Fatalf("iter %d (n=%d sep=%v): encoded stream differs from baseline", iter, n, seps[iter%len(seps)])
+		}
+	}
+}
+
+// TestDecodeBOSDifferentialRandom feeds valid, truncated and bit-flipped
+// blocks to both decoders: they must agree on acceptance, values and
+// remainder.
+func TestDecodeBOSDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(600)
+		vals := diffSeries(rng, n, []int{0, 1, 10, 50, 200}[iter%5], uint(4+rng.Intn(16)))
+		src := EncodeBlock(nil, vals, SeparationValue)
+		src = append(src, 0xa5, 0x5a) // trailing bytes exercise Rest()
+		switch iter % 3 {
+		case 1:
+			src = src[:rng.Intn(len(src)+1)]
+		case 2:
+			src[rng.Intn(len(src))] ^= 1 << uint(rng.Intn(8))
+		}
+		checkDecodersAgree(t, src)
+	}
+}
+
+func checkDecodersAgree(t *testing.T, src []byte) {
+	t.Helper()
+	gotNew, restNew, errNew := DecodeBlock(src, nil)
+	gotOld, restOld, errOld := decodeBlockRef(src, nil)
+	if (errNew == nil) != (errOld == nil) {
+		t.Fatalf("decoders disagree on acceptance: new=%v old=%v (src %x)", errNew, errOld, src)
+	}
+	if errNew != nil {
+		return
+	}
+	if len(gotNew) != len(gotOld) {
+		t.Fatalf("value count %d vs %d", len(gotNew), len(gotOld))
+	}
+	for i := range gotNew {
+		if gotNew[i] != gotOld[i] {
+			t.Fatalf("value %d: new %d old %d", i, gotNew[i], gotOld[i])
+		}
+	}
+	if !bytes.Equal(restNew, restOld) {
+		t.Fatalf("remainders differ: %x vs %x", restNew, restOld)
+	}
+}
+
+// FuzzDecodeBOS differentially fuzzes the run-fused decoder against the
+// frozen baseline on arbitrary bytes. Run with -tags bosoldref.
+func FuzzDecodeBOS(f *testing.F) {
+	rng := rand.New(rand.NewSource(33))
+	for _, rate := range []int{0, 10, 200} {
+		vals := diffSeries(rng, 256, rate, 8)
+		f.Add(EncodeBlock(nil, vals, SeparationValue))
+		f.Add(EncodeBlock(nil, vals, SeparationMedian))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 0x01})
+	f.Fuzz(func(t *testing.T, src []byte) {
+		checkDecodersAgree(t, src)
+	})
+}
+
+// TestDecodeBOSSpeedup is the CI block-decode smoke: at a 1% outlier rate the
+// run-fused decoder must beat the frozen per-bit baseline by at least 1.5x
+// (in practice 3.5-4.7x). Opt-in via BOS_BENCH_SMOKE=1, like the bitio kernel
+// smoke, so noisy development machines do not see spurious failures.
+func TestDecodeBOSSpeedup(t *testing.T) {
+	if os.Getenv("BOS_BENCH_SMOKE") == "" {
+		t.Skip("set BOS_BENCH_SMOKE=1 to run the block decode speedup smoke")
+	}
+	rng := rand.New(rand.NewSource(40))
+	vals := diffSeries(rng, 1024, 10, 8) // 1% outliers, 8-bit centers
+	if plan := PlanFor(vals, SeparationValue); !plan.Separated {
+		t.Fatal("fixture no longer produces a separated plan")
+	}
+	src := EncodeBlock(nil, vals, SeparationValue)
+	out := make([]int64, 0, len(vals))
+	var sc Scratch
+	fused := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DecodeBlockScratch(src, out[:0], &sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	baseline := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := decodeBlockRef(src, out[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ratio := float64(baseline.NsPerOp()) / float64(fused.NsPerOp())
+	t.Logf("baseline %v, run-fused %v, speedup %.2fx", baseline, fused, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("run-fused decode only %.2fx the baseline, want >= 1.5x", ratio)
+	}
+}

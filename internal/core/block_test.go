@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"bos/internal/bitio"
 )
 
 var allSeparations = []Separation{
@@ -225,25 +227,88 @@ func benchEncode(b *testing.B, sep Separation) {
 	}
 }
 
-func BenchmarkDecodeBlock(b *testing.B) {
-	rng := rand.New(rand.NewSource(17))
-	vals := make([]int64, 1024)
-	for i := range vals {
-		if rng.Float64() < 0.05 {
-			vals[i] = rng.Int63n(1 << 30)
-		} else {
-			vals[i] = int64(rng.NormFloat64() * 100)
+// BenchmarkDecodeBlock lives in bench_rates_test.go: it sweeps outlier rates
+// and inlier widths (the decode cost drivers) instead of a single mix.
+
+// TestZeroWidthOutlierClass pins the width-0 outlier short-circuit: when an
+// outlier band is a single repeated value, a plan may set its class width
+// (alpha or gamma) to 0 and the body stores nothing for those positions —
+// the decoder must materialize the class minimum rather than touch the
+// stream. The production planners clamp class widths to >= 1, so the blocks
+// are built from hand plans; the format itself supports width 0.
+func TestZeroWidthOutlierClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mkVals := func(n int, lower, upper bool) []int64 {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = 100 + rng.Int63n(200)
 		}
+		if lower {
+			for i := 10; i < n; i += 97 {
+				vals[i] = -77777
+			}
+		}
+		if upper {
+			for i := 7; i < n; i += 83 {
+				vals[i] = 1 << 50
+			}
+		}
+		return vals
 	}
-	enc := EncodeBlock(nil, vals, SeparationBitWidth)
-	out := make([]int64, 0, 1024)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var err error
-		out, _, err = DecodeBlock(enc, out[:0])
+	mkPlan := func(vals []int64, lower, upper bool) Plan {
+		p := Plan{N: len(vals), Separated: true}
+		p.MinXc, p.MaxXc = int64(math.MaxInt64), int64(math.MinInt64)
+		for _, v := range vals {
+			switch {
+			case lower && v == -77777:
+				p.NL++
+			case upper && v == 1<<50:
+				p.NU++
+			default:
+				if v < p.MinXc {
+					p.MinXc = v
+				}
+				if v > p.MaxXc {
+					p.MaxXc = v
+				}
+			}
+		}
+		p.Xmin, p.Xmax = p.MinXc, p.MaxXc
+		if lower {
+			p.Xmin, p.MaxXl = -77777, -77777
+		}
+		if upper {
+			p.Xmax, p.MinXu = 1<<50, 1<<50
+		}
+		p.Beta = bitio.WidthOf(spread(p.MinXc, p.MaxXc))
+		return p // Alpha and Gamma stay 0: the bands are single values
+	}
+	check := func(t *testing.T, vals []int64, plan Plan) {
+		t.Helper()
+		enc := EncodeBlockPlan(nil, vals, &plan)
+		got, rest, err := DecodeBlock(enc, nil)
 		if err != nil {
-			b.Fatal(err)
+			t.Fatalf("decode: %v", err)
+		}
+		if len(rest) != 0 || len(got) != len(vals) {
+			t.Fatalf("decoded %d values, %d bytes left", len(got), len(rest))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("value %d: got %d want %d", i, got[i], vals[i])
+			}
 		}
 	}
+	t.Run("alpha0", func(t *testing.T) {
+		vals := mkVals(500, true, false)
+		check(t, vals, mkPlan(vals, true, false))
+	})
+	t.Run("gamma0", func(t *testing.T) {
+		vals := mkVals(500, false, true)
+		check(t, vals, mkPlan(vals, false, true))
+	})
+	t.Run("both0", func(t *testing.T) {
+		vals := mkVals(500, true, true)
+		check(t, vals, mkPlan(vals, true, true))
+	})
 }

@@ -7,6 +7,12 @@ import "fmt"
 // TS2DIFF and any other block codec.
 type Packer struct {
 	Sep Separation
+
+	// sc is reused across Unpack calls so steady-state block decode does
+	// not allocate. Packer instances are per-caller (the codec registry
+	// hands out fresh ones via constructors), so this carries no
+	// cross-goroutine state.
+	sc Scratch
 }
 
 // NewPacker returns a Packer using the given separation strategy.
@@ -22,7 +28,7 @@ func (p *Packer) Pack(dst []byte, vals []int64) []byte {
 
 // Unpack implements codec.Packer.
 func (p *Packer) Unpack(src []byte, out []int64) ([]int64, []byte, error) {
-	return DecodeBlock(src, out)
+	return DecodeBlockScratch(src, out, &p.sc)
 }
 
 // PartsPacker packs blocks with the k-parts generalization of Figure 14.
